@@ -1,0 +1,95 @@
+"""Ablation benchmarks for the remaining design choices of DESIGN.md §4.
+
+Covers centroid seeding (MEmin vs. random vs. per-tree), the clustering
+distance measure (path length vs. blended), the convergence criterion (relaxed
+vs. total stability) and the offline-fragment baseline.  The generator ablation
+lives in ``bench_generators.py`` and the reclustering ablation in
+``bench_figure4.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.baselines import FragmentClusterer
+from repro.clustering.convergence import RelaxedConvergence, TotalStability
+from repro.clustering.distance import BlendedDistance, PathLengthDistance
+from repro.clustering.initialization import MEminInitializer, PerTreeInitializer, RandomInitializer
+from repro.clustering.kmeans import KMeansClusterer
+from repro.clustering.reclustering import join_and_remove
+from repro.labeling.distance import RepositoryDistanceOracle
+
+
+def _kmeans(**overrides):
+    defaults = dict(
+        initializer=MEminInitializer(),
+        reclustering=join_and_remove(distance_threshold=3.0, min_size=2),
+        convergence=RelaxedConvergence(),
+    )
+    defaults.update(overrides)
+    return KMeansClusterer(**defaults)
+
+
+SEEDING = {
+    "me-min": lambda workload: _kmeans(),
+    "random-150": lambda workload: _kmeans(initializer=RandomInitializer(centroid_count=150, seed=7)),
+    "per-tree-2": lambda workload: _kmeans(initializer=PerTreeInitializer(centroids_per_tree=2, seed=7)),
+}
+
+
+@pytest.mark.parametrize("seeding_name", sorted(SEEDING))
+def test_centroid_seeding_ablation(benchmark, bench_workload, seeding_name):
+    """Clustering time and useful-cluster yield per centroid-seeding heuristic."""
+
+    def cluster_once():
+        clusterer = SEEDING[seeding_name](bench_workload)
+        return clusterer.cluster(bench_workload.candidates, bench_workload.repository)
+
+    clustering = benchmark.pedantic(cluster_once, rounds=3, iterations=1)
+    useful = clustering.clusters.useful_clusters(bench_workload.candidates)
+    benchmark.extra_info["clusters"] = clustering.clusters.cluster_count
+    benchmark.extra_info["useful_clusters"] = len(useful)
+    assert clustering.clusters.cluster_count >= 1
+
+
+@pytest.mark.parametrize("distance_name", ["path-length", "blended"])
+def test_clustering_distance_ablation(benchmark, bench_workload, distance_name):
+    """Path-length distance (paper) vs. the blended path+name distance (future work)."""
+    oracle = RepositoryDistanceOracle(bench_workload.repository)
+    if distance_name == "path-length":
+        distance = PathLengthDistance(oracle)
+    else:
+        distance = BlendedDistance(oracle, bench_workload.repository, path_weight=0.7)
+
+    def cluster_once():
+        return _kmeans(distance=distance).cluster(bench_workload.candidates, bench_workload.repository)
+
+    clustering = benchmark.pedantic(cluster_once, rounds=3, iterations=1)
+    benchmark.extra_info["clusters"] = clustering.clusters.cluster_count
+    assert clustering.clusters.cluster_count >= 1
+
+
+@pytest.mark.parametrize("criterion_name", ["relaxed-5pct", "total-stability"])
+def test_convergence_criterion_ablation(benchmark, bench_workload, criterion_name):
+    """The paper's relaxed 5% criterion vs. full stability (iteration counts differ)."""
+    criterion = RelaxedConvergence() if criterion_name == "relaxed-5pct" else TotalStability(max_iterations=30)
+
+    def cluster_once():
+        return _kmeans(convergence=criterion).cluster(bench_workload.candidates, bench_workload.repository)
+
+    clustering = benchmark.pedantic(cluster_once, rounds=3, iterations=1)
+    benchmark.extra_info["iterations"] = clustering.iterations
+    assert clustering.iterations >= 1
+
+
+def test_offline_fragment_baseline(benchmark, bench_workload):
+    """Rahm-style offline fragmentation as the clustering step (DESIGN.md baseline)."""
+
+    def cluster_once():
+        return FragmentClusterer(max_fragment_size=20).cluster(
+            bench_workload.candidates, bench_workload.repository
+        )
+
+    clustering = benchmark.pedantic(cluster_once, rounds=3, iterations=1)
+    benchmark.extra_info["clusters"] = clustering.clusters.cluster_count
+    assert clustering.clusters.cluster_count >= 1

@@ -1,0 +1,54 @@
+"""Benchmarks regenerating Figure 4 (cluster-size distribution per reclustering technique).
+
+Each benchmark times one clustering run of the adapted k-means under a
+different reclustering strategy; the recorded extra_info carries the cluster
+counts and the tiny-cluster counts that make up the figure's bars.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.convergence import RelaxedConvergence
+from repro.clustering.initialization import MEminInitializer
+from repro.clustering.kmeans import KMeansClusterer
+from repro.clustering.reclustering import JoinReclustering, NoReclustering, join_and_remove
+from repro.experiments.figure4 import run as run_figure4
+
+STRATEGIES = {
+    "no-reclustering": NoReclustering,
+    "join": lambda: JoinReclustering(distance_threshold=3.0),
+    "join-and-remove": lambda: join_and_remove(distance_threshold=3.0, min_size=2),
+}
+
+
+@pytest.mark.parametrize("strategy_name", sorted(STRATEGIES))
+def test_figure4_clustering_per_strategy(benchmark, bench_workload, strategy_name):
+    """Clustering time under each reclustering strategy (the runs behind Figure 4)."""
+
+    def cluster_once():
+        clusterer = KMeansClusterer(
+            initializer=MEminInitializer(),
+            reclustering=STRATEGIES[strategy_name](),
+            convergence=RelaxedConvergence(),
+        )
+        return clusterer.cluster(bench_workload.candidates, bench_workload.repository)
+
+    clustering = benchmark.pedantic(cluster_once, rounds=3, iterations=1)
+    sizes = clustering.clusters.mapping_element_sizes(bench_workload.candidates)
+    benchmark.extra_info["clusters"] = clustering.clusters.cluster_count
+    benchmark.extra_info["iterations"] = clustering.iterations
+    benchmark.extra_info["tiny_clusters"] = sum(1 for size in sizes if size == 1)
+    assert clustering.clusters.cluster_count >= 1
+
+
+def test_figure4_full_experiment(benchmark, bench_workload, bench_config, capsys):
+    """The full Figure 4 experiment (three strategies, one shared workload)."""
+    result = benchmark.pedantic(
+        run_figure4, args=(bench_config, bench_workload), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    by_name = {series.strategy_name: series for series in result.series}
+    assert by_name["join & remove"].histogram["[1,1]"] <= by_name["no reclustering"].histogram["[1,1]"]

@@ -1,0 +1,37 @@
+"""Benchmarks regenerating Figure 5 (preserved mappings per threshold and variant).
+
+The preservation curves require the Table 1 matching runs (the clustered and
+non-clustered mapping lists); the benchmark times the full pipeline from shared
+mapping elements to the curves, and prints the regenerated figure series.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import run as run_figure5
+from repro.experiments.table1 import run as run_table1
+
+
+def test_figure5_full_experiment(benchmark, bench_workload, bench_config, capsys):
+    """Matching all variants plus computing the preservation curves (Figure 5)."""
+    result = benchmark.pedantic(
+        run_figure5, args=(bench_config, bench_workload), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert all(point.fraction == 1.0 for point in result.curves["tree"])
+    for variant in ("small", "medium", "large"):
+        fractions = result.fractions(variant)
+        assert fractions[-1] >= fractions[0] - 1e-9
+
+
+def test_figure5_preservation_computation_only(benchmark, bench_workload, bench_config):
+    """Just the preservation-curve computation, given precomputed matching runs."""
+    table1 = run_table1(bench_config, bench_workload)
+    reference = table1.results["tree"].mappings
+    clustered = table1.results["medium"].mappings
+
+    from repro.system.metrics import preservation_curve
+
+    curve = benchmark(preservation_curve, reference, clustered)
+    assert len(curve) == 6

@@ -1,0 +1,54 @@
+"""Benchmarks regenerating Figure 6 (clustering vs. objective-function correlation).
+
+One benchmark per α value times the pair of matching runs (medium clusters and
+the non-clustered reference) that produce one curve of the figure; the full
+experiment benchmark prints the regenerated table and checks the paper's
+qualitative claim (path-heavy objectives are preserved best).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure6 import run as run_figure6
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.system.bellflower import Bellflower
+from repro.system.variants import clustering_variant
+
+ALPHAS = (0.25, 0.50, 0.75)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_figure6_matching_per_alpha(benchmark, bench_workload, bench_config, alpha):
+    """Medium-cluster matching under one objective-function weighting."""
+
+    def match_once():
+        system = Bellflower(
+            bench_workload.repository,
+            objective=bench_config.objective(alpha=alpha),
+            generator=BranchAndBoundGenerator(),
+            clusterer=clustering_variant("medium").make_clusterer(),
+            element_threshold=bench_config.element_threshold,
+            delta=bench_config.delta,
+            variant_name=f"medium-alpha-{alpha}",
+        )
+        return system.match(
+            bench_workload.personal_schema,
+            delta=bench_config.delta,
+            candidates=bench_workload.candidates,
+        )
+
+    result = benchmark.pedantic(match_once, rounds=3, iterations=1)
+    benchmark.extra_info["mappings"] = result.mapping_count
+    assert result.mapping_count >= 0
+
+
+def test_figure6_full_experiment(benchmark, bench_workload, bench_config, capsys):
+    """All three objective functions, clustered and reference runs (Figure 6)."""
+    result = benchmark.pedantic(
+        run_figure6, args=(bench_config, bench_workload), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.mean_preservation(0.25) >= result.mean_preservation(0.75) - 1e-9

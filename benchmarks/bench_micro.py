@@ -1,0 +1,101 @@
+"""Micro-benchmarks of the substrates the matching pipeline is built on.
+
+These cover the components whose cost the paper discusses qualitatively: the
+fuzzy string matcher (CompareStringFuzzy stand-in), the node-labeling distance
+oracle ("low-cost computation of path lengths"), the element-matching scan, and
+the analytical search-space model of Section 2.3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling.distance import TreeDistanceOracle
+from repro.matchers.name import FuzzyNameMatcher
+from repro.matchers.selection import MappingElementSelector
+from repro.matchers.string_metrics import damerau_levenshtein_distance, fuzzy_similarity
+from repro.mapping.search_space import search_space_size, theoretical_reduction_factor
+from repro.schema.node import SchemaNode
+from repro.workload.personal import paper_personal_schema
+
+NAME_PAIRS = [
+    ("authorName", "author_name"),
+    ("shipToAddress", "shippingAddress"),
+    ("publicationYear", "pubYear"),
+    ("customerIdentifier", "custId"),
+    ("emailAddress", "eMail"),
+    ("title", "titel"),
+]
+
+
+def test_fuzzy_similarity_over_name_pairs(benchmark):
+    """Normalized Damerau-Levenshtein over a batch of realistic element-name pairs."""
+
+    def run_batch():
+        return [fuzzy_similarity(a, b) for a, b in NAME_PAIRS]
+
+    scores = benchmark(run_batch)
+    assert all(0.0 <= score <= 1.0 for score in scores)
+
+
+def test_damerau_levenshtein_long_names(benchmark):
+    first = "internationalStandardBookNumber"
+    second = "internationalStandardSerialNumber"
+    distance = benchmark(damerau_levenshtein_distance, first, second)
+    assert distance > 0
+
+
+def test_distance_oracle_construction(benchmark, bench_workload):
+    """Euler-tour + sparse-table preprocessing of the largest repository tree."""
+    largest = max(bench_workload.repository.trees(), key=lambda tree: tree.node_count)
+    oracle = benchmark(TreeDistanceOracle, largest)
+    assert oracle.distance(0, largest.node_count - 1) >= 0
+
+
+def test_distance_oracle_queries(benchmark, bench_workload):
+    """A batch of O(1) path-length queries on a preprocessed tree."""
+    largest = max(bench_workload.repository.trees(), key=lambda tree: tree.node_count)
+    oracle = TreeDistanceOracle(largest)
+    pairs = [(i, (i * 7 + 3) % largest.node_count) for i in range(0, largest.node_count, 2)]
+
+    def run_queries():
+        return sum(oracle.distance(a, b) for a, b in pairs)
+
+    total = benchmark(run_queries)
+    assert total >= 0
+
+
+def test_naive_distance_queries_for_comparison(benchmark, bench_workload):
+    """The same queries answered by root-path walking (what the oracle replaces)."""
+    largest = max(bench_workload.repository.trees(), key=lambda tree: tree.node_count)
+    pairs = [(i, (i * 7 + 3) % largest.node_count) for i in range(0, largest.node_count, 2)]
+
+    def run_queries():
+        return sum(largest.distance(a, b) for a, b in pairs)
+
+    total = benchmark(run_queries)
+    assert total >= 0
+
+
+def test_element_matching_stage(benchmark, bench_workload, bench_config):
+    """The full personal-schema x repository element-matching scan (step 2 of Fig. 2)."""
+    selector = MappingElementSelector(FuzzyNameMatcher(), threshold=bench_config.element_threshold)
+
+    def run_selection():
+        return selector.select(paper_personal_schema(), bench_workload.repository)
+
+    candidates = benchmark.pedantic(run_selection, rounds=3, iterations=1)
+    assert candidates.total() > 0
+
+
+def test_search_space_model(benchmark):
+    """The analytical search-space computation of Section 2.3."""
+
+    def evaluate_model():
+        total = 0
+        for clusters in (1, 10, 100, 250):
+            total += search_space_size({0: 1500 // clusters, 1: 1500 // clusters, 2: 1500 // clusters})
+            theoretical_reduction_factor(clusters, 3)
+        return total
+
+    assert benchmark(evaluate_model) > 0

@@ -1,0 +1,65 @@
+"""Scaling benchmark: repository sizes from 2 500 to 10 200 elements.
+
+The paper built "several smaller repositories with sizes from 2500 to 10200
+elements" and argues (Sec. 2.3) that clustering turns the matching complexity
+from polynomial to roughly linear in the repository size.  Each benchmark here
+matches the paper's personal schema against a repository of a given size, with
+and without clustering; extra_info records the search-space sizes so the trend
+can be read straight from the benchmark log.
+
+The large sizes only run at paper scale (REPRO_BENCH_SCALE=paper) to keep the
+default benchmark run short.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.system.bellflower import Bellflower
+from repro.system.variants import clustering_variant
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+from repro.workload.personal import paper_personal_schema
+
+_PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "paper"
+REPOSITORY_SIZES = (2500, 5000, 7500, 10200) if _PAPER_SCALE else (1000, 2500)
+VARIANTS = ("medium", "tree")
+
+
+@pytest.fixture(scope="module")
+def scaled_workloads():
+    """Repositories of increasing size plus their element-matching results."""
+    workloads = {}
+    personal = paper_personal_schema()
+    for size in REPOSITORY_SIZES:
+        profile = RepositoryProfile(target_node_count=size, name=f"scaling-{size}")
+        repository = RepositoryGenerator(profile).generate()
+        system = Bellflower(repository, element_threshold=0.45)
+        candidates = system.element_matching(personal)
+        workloads[size] = (repository, personal, candidates)
+    return workloads
+
+
+@pytest.mark.parametrize("size", REPOSITORY_SIZES)
+@pytest.mark.parametrize("variant_name", VARIANTS)
+def test_matching_scales_with_repository_size(benchmark, scaled_workloads, size, variant_name):
+    repository, personal, candidates = scaled_workloads[size]
+
+    def match_once():
+        system = Bellflower(
+            repository,
+            generator=BranchAndBoundGenerator(),
+            clusterer=clustering_variant(variant_name).make_clusterer(),
+            element_threshold=0.45,
+            delta=0.75,
+            variant_name=variant_name,
+        )
+        return system.match(personal, candidates=candidates)
+
+    result = benchmark.pedantic(match_once, rounds=2, iterations=1)
+    benchmark.extra_info["repository_nodes"] = repository.node_count
+    benchmark.extra_info["search_space"] = result.search_space
+    benchmark.extra_info["partial_mappings"] = result.partial_mappings
+    assert result.search_space >= 0

@@ -1,0 +1,61 @@
+"""Benchmarks regenerating Table 1 (cluster properties & mapping-generator performance).
+
+One benchmark per clustering variant measures the work the paper's Table 1b
+times: clustering plus per-cluster mapping generation (the element-matching
+stage is shared setup, exactly as in the paper where all variants reuse the
+same 4 520 mapping elements).  The final test prints the regenerated Table 1
+rows so the numbers land in the benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run as run_table1
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.system.bellflower import Bellflower
+from repro.system.variants import clustering_variant
+
+VARIANTS = ("small", "medium", "large", "tree")
+
+
+def _match_once(workload, config, variant_name):
+    variant = clustering_variant(variant_name)
+    system = Bellflower(
+        workload.repository,
+        objective=config.objective(),
+        generator=BranchAndBoundGenerator(),
+        clusterer=variant.make_clusterer(),
+        element_threshold=config.element_threshold,
+        delta=config.delta,
+        variant_name=variant.name,
+    )
+    return system.match(workload.personal_schema, delta=config.delta, candidates=workload.candidates)
+
+
+@pytest.mark.parametrize("variant_name", VARIANTS)
+def test_table1_variant_matching(benchmark, bench_workload, bench_config, variant_name):
+    """Clustering + mapping generation time per clustering variant (Table 1b columns)."""
+    result = benchmark.pedantic(
+        _match_once,
+        args=(bench_workload, bench_config, variant_name),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.mapping_count >= 0
+    benchmark.extra_info["useful_clusters"] = result.useful_cluster_count
+    benchmark.extra_info["search_space"] = result.search_space
+    benchmark.extra_info["partial_mappings"] = result.partial_mappings
+    benchmark.extra_info["mappings_above_delta"] = result.mapping_count
+
+
+def test_table1_full_experiment(benchmark, bench_workload, bench_config, capsys):
+    """The complete Table 1 experiment (all four variants) in one go."""
+    result = benchmark.pedantic(
+        run_table1, args=(bench_config, bench_workload), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    spaces = {row["variant"]: row["search_space"] for row in result.rows}
+    assert spaces["small"] <= spaces["tree"]

@@ -1,0 +1,42 @@
+"""Shared workloads for the benchmark suite.
+
+Benchmarks default to a scaled-down workload (~2 500 repository elements) so
+that ``pytest benchmarks/ --benchmark-only`` completes in a couple of minutes;
+set ``REPRO_BENCH_SCALE=paper`` to run at the paper's scale (~9 750 elements,
+the configuration whose output is recorded in EXPERIMENTS.md).
+
+The expensive setup steps — generating the repository and running the element
+matching stage — are session-scoped fixtures, so benchmark timings isolate the
+stage being measured (clustering, mapping generation, ...) exactly as the paper
+reports them.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, build_workload
+from repro.labeling.distance import RepositoryDistanceOracle
+
+
+def _benchmark_config() -> ExperimentConfig:
+    if os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "paper":
+        return ExperimentConfig.paper_scale()
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return _benchmark_config()
+
+
+@pytest.fixture(scope="session")
+def bench_workload(bench_config):
+    return build_workload(bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_oracle(bench_workload) -> RepositoryDistanceOracle:
+    return RepositoryDistanceOracle(bench_workload.repository)

@@ -1,0 +1,66 @@
+"""Tuning the reclustering step of the adapted k-means.
+
+Reproduces the Figure 4 analysis interactively: clusters one matching problem
+with no reclustering, join reclustering at several distance thresholds, and
+join & remove, then prints the cluster-size histograms and the number of
+useful clusters each configuration yields.  This is the knob that turns the
+"small" / "medium" / "large" variants of the paper into one another.
+
+Run with:  python examples/reclustering_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import Bellflower
+from repro.clustering import (
+    JoinReclustering,
+    KMeansClusterer,
+    MEminInitializer,
+    NoReclustering,
+    RelaxedConvergence,
+)
+from repro.clustering.reclustering import join_and_remove
+from repro.utils.histogram import Histogram, exponential_buckets
+from repro.workload import RepositoryGenerator, RepositoryProfile, paper_personal_schema
+
+CONFIGURATIONS = [
+    ("no reclustering", NoReclustering()),
+    ("join, threshold 2", JoinReclustering(distance_threshold=2.0)),
+    ("join, threshold 3", JoinReclustering(distance_threshold=3.0)),
+    ("join, threshold 4", JoinReclustering(distance_threshold=4.0)),
+    ("join & remove (3, min 2)", join_and_remove(distance_threshold=3.0, min_size=2)),
+]
+
+
+def main() -> None:
+    repository = RepositoryGenerator(
+        RepositoryProfile(target_node_count=4000, name="reclustering-repository")
+    ).generate()
+    personal = paper_personal_schema()
+    candidates = Bellflower(repository, element_threshold=0.45).element_matching(personal)
+    print(
+        f"repository: {repository.tree_count} trees, {repository.node_count} nodes; "
+        f"{candidates.total()} mapping elements\n"
+    )
+
+    for label, strategy in CONFIGURATIONS:
+        clusterer = KMeansClusterer(
+            initializer=MEminInitializer(),
+            reclustering=strategy,
+            convergence=RelaxedConvergence(),
+        )
+        clustering = clusterer.cluster(candidates, repository)
+        useful = clustering.clusters.useful_clusters(candidates)
+        histogram = Histogram(exponential_buckets(255))
+        histogram.add_all(clustering.clusters.mapping_element_sizes(candidates))
+        print(
+            f"--- {label}: {clustering.clusters.cluster_count} clusters "
+            f"({len(useful)} useful), {clustering.iterations} iterations, "
+            f"{clustering.elapsed_seconds:.2f}s"
+        )
+        print(histogram.render(width=30))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so that the
+package can be installed in editable mode in offline environments whose
+setuptools/wheel combination does not support PEP 660 editable wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Bellflower: clustered XML schema matching "
+        "(reproduction of Smiljanic et al., ICDE 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

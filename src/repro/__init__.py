@@ -1,0 +1,103 @@
+"""repro — Bellflower: clustered XML schema matching.
+
+A from-scratch reproduction of *"Using Element Clustering to Increase the
+Efficiency of XML Schema Matching"* (Smiljanić, van Keulen, Jonker — ICDE
+2006): the Bellflower schema matcher, the clustered schema matching technique
+built around an adapted k-means over mapping elements, the substrates both
+depend on (schema model, XSD/DTD parsers, node-labeling distance oracles,
+string matchers, Branch-and-Bound mapping generation), and the experiment
+harness that regenerates every table and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import Bellflower, clustering_variant
+>>> from repro.workload import RepositoryGenerator, RepositoryProfile, paper_personal_schema
+>>> repository = RepositoryGenerator(RepositoryProfile(target_node_count=2000)).generate()
+>>> matcher = Bellflower(repository, clusterer=clustering_variant("medium").make_clusterer())
+>>> result = matcher.match(paper_personal_schema(), delta=0.75)
+"""
+
+from repro.errors import (
+    ClusteringError,
+    ConfigurationError,
+    ExperimentError,
+    LabelingError,
+    MappingError,
+    MatcherError,
+    ObjectiveError,
+    ReproError,
+    SchemaError,
+    SchemaParseError,
+    UnknownNodeError,
+    WorkloadError,
+)
+from repro.schema import (
+    DataType,
+    NodeKind,
+    SchemaNode,
+    SchemaRepository,
+    SchemaTree,
+    TreeBuilder,
+    parse_dtd,
+    parse_xsd,
+)
+from repro.matchers import FuzzyNameMatcher, MappingElementSelector, TokenNameMatcher
+from repro.objective import BellflowerObjective
+from repro.mapping import (
+    AStarGenerator,
+    BeamSearchGenerator,
+    BranchAndBoundGenerator,
+    ExhaustiveGenerator,
+    SchemaMapping,
+)
+from repro.clustering import FragmentClusterer, KMeansClusterer, TreeClusterer
+from repro.system import (
+    Bellflower,
+    MatchResult,
+    clustering_variant,
+    preservation_curve,
+    standard_variants,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AStarGenerator",
+    "BeamSearchGenerator",
+    "Bellflower",
+    "BellflowerObjective",
+    "BranchAndBoundGenerator",
+    "ClusteringError",
+    "ConfigurationError",
+    "DataType",
+    "ExhaustiveGenerator",
+    "ExperimentError",
+    "FragmentClusterer",
+    "FuzzyNameMatcher",
+    "KMeansClusterer",
+    "LabelingError",
+    "MappingElementSelector",
+    "MappingError",
+    "MatchResult",
+    "MatcherError",
+    "NodeKind",
+    "ObjectiveError",
+    "ReproError",
+    "SchemaError",
+    "SchemaMapping",
+    "SchemaNode",
+    "SchemaParseError",
+    "SchemaRepository",
+    "SchemaTree",
+    "TokenNameMatcher",
+    "TreeBuilder",
+    "TreeClusterer",
+    "UnknownNodeError",
+    "WorkloadError",
+    "__version__",
+    "clustering_variant",
+    "parse_dtd",
+    "parse_xsd",
+    "preservation_curve",
+    "standard_variants",
+]

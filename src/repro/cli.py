@@ -1,0 +1,190 @@
+"""Command-line interface for the Bellflower matcher.
+
+Three subcommands cover the typical usage of the library without writing code:
+
+``match``
+    Match a personal schema (given as a nested JSON specification) against a
+    directory of ``.xsd`` / ``.dtd`` files or a previously generated repository
+    JSON file, and print the ranked mappings.
+
+``generate``
+    Generate a synthetic schema repository (the stand-in for the paper's
+    web-harvested collection) and write it to a JSON file that ``match`` and the
+    benchmarks can reuse.
+
+``experiment``
+    Run one of the registered paper experiments (``table1``, ``figure4``,
+    ``figure5``, ``figure6``, ``ablations``) and print its table.
+
+Examples
+--------
+::
+
+    python -m repro.cli generate --nodes 5000 --out repo.json
+    python -m repro.cli match --repository repo.json \\
+        --personal '{"book": ["title", "author"]}' --variant medium --top 5
+    python -m repro.cli match --schema-dir ./schemas --personal '{"contact": ["name", "email"]}'
+    python -m repro.cli experiment table1 --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.schema.builder import TreeBuilder
+from repro.schema.dtd_parser import parse_dtd_file
+from repro.schema.repository import SchemaRepository
+from repro.schema.serialization import load_repository, save_repository
+from repro.schema.xsd_parser import parse_xsd_file
+from repro.system.bellflower import Bellflower
+from repro.system.variants import available_variant_names, clustering_variant
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+
+
+def _load_schema_directory(directory: Path) -> SchemaRepository:
+    """Parse every .xsd/.dtd file under ``directory`` into one repository."""
+    repository = SchemaRepository(name=directory.name or "schemas")
+    documents = sorted(
+        [path for path in directory.rglob("*") if path.suffix.lower() in (".xsd", ".dtd")]
+    )
+    if not documents:
+        raise ReproError(f"no .xsd or .dtd files found under {directory}")
+    for path in documents:
+        if path.suffix.lower() == ".xsd":
+            trees = parse_xsd_file(path)
+        else:
+            trees = parse_dtd_file(path)
+        repository.add_trees(trees)
+    return repository
+
+
+def _load_repository_argument(args: argparse.Namespace) -> SchemaRepository:
+    if args.repository:
+        return load_repository(Path(args.repository))
+    if args.schema_dir:
+        return _load_schema_directory(Path(args.schema_dir))
+    raise ReproError("either --repository or --schema-dir is required")
+
+
+def _personal_schema_from_json(text: str):
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"--personal is not valid JSON: {exc}") from exc
+    if not isinstance(spec, dict):
+        raise ReproError("--personal must be a JSON object mapping the root name to its children")
+    return TreeBuilder.from_nested(spec, name="personal")
+
+
+def _command_match(args: argparse.Namespace) -> int:
+    repository = _load_repository_argument(args)
+    personal = _personal_schema_from_json(args.personal)
+    variant = clustering_variant(args.variant)
+    system = Bellflower(
+        repository,
+        clusterer=variant.make_clusterer(),
+        element_threshold=args.element_threshold,
+        delta=args.delta,
+        variant_name=variant.name,
+    )
+    result = system.match(personal)
+    summary = result.summary()
+    print(
+        f"repository: {repository.tree_count} trees, {repository.node_count} nodes; "
+        f"mapping elements: {result.candidates.total()}; variant: {variant.name}"
+    )
+    print(
+        f"useful clusters: {summary['useful_clusters']}, search space: {summary['search_space']}, "
+        f"partial mappings: {summary['partial_mappings']}, mappings >= {args.delta}: {summary['mappings']}"
+    )
+    for rank, mapping in enumerate(result.mappings[: args.top], start=1):
+        tree = repository.tree(mapping.tree_id)
+        print(f"#{rank} Δ={mapping.score:.3f} in {tree.name}")
+        for node_id, element in sorted(mapping.assignment.items()):
+            path = "/".join(tree.root_path_names(element.ref.node_id))
+            print(f"    {personal.node(node_id).name} -> /{path}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    profile = RepositoryProfile(
+        target_node_count=args.nodes,
+        min_tree_size=args.min_tree_size,
+        max_tree_size=args.max_tree_size,
+        seed=args.seed,
+        name=f"synthetic-{args.nodes}",
+    )
+    repository = RepositoryGenerator(profile).generate()
+    save_repository(repository, Path(args.out))
+    print(
+        f"wrote {repository.node_count} nodes in {repository.tree_count} trees to {args.out} "
+        f"(seed {args.seed})"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.config import ExperimentConfig, build_workload
+    from repro.experiments.harness import registry
+
+    config = ExperimentConfig.paper_scale() if args.scale == "paper" else ExperimentConfig.quick()
+    spec = registry.get(args.name)
+    workload = build_workload(config)
+    result = spec.runner(config, workload)
+    render = getattr(result, "render", None)
+    print(f"=== {args.name}: {spec.description}")
+    if callable(render):
+        print(render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bellflower: clustered XML schema matching (ICDE 2006 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    match_parser = subparsers.add_parser("match", help="match a personal schema against a repository")
+    match_parser.add_argument("--personal", required=True, help="personal schema as nested JSON, e.g. '{\"book\": [\"title\", \"author\"]}'")
+    match_parser.add_argument("--repository", help="repository JSON file written by 'generate'")
+    match_parser.add_argument("--schema-dir", help="directory of .xsd/.dtd files to match against")
+    match_parser.add_argument("--variant", default="medium", choices=available_variant_names(), help="clustering variant")
+    match_parser.add_argument("--delta", type=float, default=0.7, help="objective-function threshold")
+    match_parser.add_argument("--element-threshold", type=float, default=0.45, help="element-matcher threshold")
+    match_parser.add_argument("--top", type=int, default=10, help="number of mappings to print")
+    match_parser.set_defaults(handler=_command_match)
+
+    generate_parser = subparsers.add_parser("generate", help="generate a synthetic schema repository")
+    generate_parser.add_argument("--nodes", type=int, default=2500, help="target number of schema nodes")
+    generate_parser.add_argument("--min-tree-size", type=int, default=20)
+    generate_parser.add_argument("--max-tree-size", type=int, default=220)
+    generate_parser.add_argument("--seed", type=int, default=20060403)
+    generate_parser.add_argument("--out", required=True, help="output JSON file")
+    generate_parser.set_defaults(handler=_command_generate)
+
+    experiment_parser = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment_parser.add_argument("name", help="experiment id (table1, figure4, figure5, figure6, ablations)")
+    experiment_parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    experiment_parser.set_defaults(handler=_command_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Centroid (medoid) computation.
+
+Bellflower represents every cluster by one of its own members — a *medoid* —
+chosen as the member that minimizes the total distance to all other members
+("the mapping element which is the center of weight for the cluster").  Using a
+member instead of a synthetic mean keeps the distance measure applicable (a
+tree distance to an arbitrary point is undefined).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.clustering.distance import ClusteringDistance
+from repro.errors import ClusteringError
+from repro.schema.repository import RepositoryNodeRef
+
+
+def medoid(
+    members: Sequence[RepositoryNodeRef],
+    distance: ClusteringDistance,
+    sample_limit: Optional[int] = 256,
+) -> RepositoryNodeRef:
+    """The member minimizing the summed distance to all other members.
+
+    Parameters
+    ----------
+    members:
+        Cluster members (must be non-empty and share one tree).
+    distance:
+        The clustering distance measure.
+    sample_limit:
+        Exact medoid computation is O(k²); for clusters larger than this limit
+        the summed distance is estimated against an evenly spaced sample of the
+        members, which keeps the clustering step linear in practice while
+        staying deterministic.  ``None`` forces the exact computation.
+    """
+    ordered = sorted(members, key=lambda ref: ref.global_id)
+    if not ordered:
+        raise ClusteringError("cannot compute the medoid of an empty cluster")
+    if len(ordered) == 1:
+        return ordered[0]
+
+    if sample_limit is not None and len(ordered) > sample_limit:
+        step = max(1, len(ordered) // sample_limit)
+        reference = ordered[::step]
+    else:
+        reference = ordered
+
+    best_ref = ordered[0]
+    best_total = float("inf")
+    for candidate in ordered:
+        total = 0.0
+        for other in reference:
+            if other.global_id == candidate.global_id:
+                continue
+            total += distance.distance(candidate, other)
+            if total >= best_total:
+                break
+        if total < best_total:
+            best_total = total
+            best_ref = candidate
+    return best_ref
+
+
+def total_distance(
+    center: RepositoryNodeRef,
+    members: Iterable[RepositoryNodeRef],
+    distance: ClusteringDistance,
+) -> float:
+    """Summed distance from ``center`` to every member (the medoid's objective)."""
+    return sum(
+        distance.distance(center, member)
+        for member in members
+        if member.global_id != center.global_id
+    )

@@ -1,0 +1,116 @@
+"""Convergence criteria for the adapted k-means.
+
+The textbook criterion — *total stability*, no element changes cluster between
+two iterations — is expensive and often unnecessary.  Bellflower relaxes it:
+the algorithm stops when the fraction of mapping elements that switched
+clusters and the relative change in the number of clusters both drop below a
+threshold (the paper uses 5 %), or when an iteration cap is hit.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """What happened in one k-means iteration (input to the convergence test)."""
+
+    iteration: int
+    total_elements: int
+    switched_elements: int
+    previous_cluster_count: int
+    cluster_count: int
+
+    @property
+    def switch_fraction(self) -> float:
+        if self.total_elements == 0:
+            return 0.0
+        return self.switched_elements / self.total_elements
+
+    @property
+    def cluster_change_fraction(self) -> float:
+        if self.previous_cluster_count == 0:
+            return 0.0 if self.cluster_count == 0 else 1.0
+        return abs(self.cluster_count - self.previous_cluster_count) / self.previous_cluster_count
+
+
+class ConvergenceCriterion(abc.ABC):
+    """Decides whether k-means should stop after an iteration."""
+
+    name: str = "convergence"
+
+    @abc.abstractmethod
+    def has_converged(self, stats: IterationStats) -> bool:
+        """True when the iteration statistics indicate convergence."""
+
+
+class TotalStability(ConvergenceCriterion):
+    """Stop only when no element switched clusters and the cluster count is stable."""
+
+    name = "total-stability"
+
+    def __init__(self, max_iterations: int = 50) -> None:
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        self.max_iterations = max_iterations
+
+    def has_converged(self, stats: IterationStats) -> bool:
+        if stats.iteration >= self.max_iterations:
+            return True
+        return stats.switched_elements == 0 and stats.cluster_count == stats.previous_cluster_count
+
+
+class RelaxedConvergence(ConvergenceCriterion):
+    """The paper's relaxed criterion: stop when changes drop below a small fraction.
+
+    Parameters
+    ----------
+    switch_threshold:
+        Maximum fraction of mapping elements that may still be switching
+        clusters (paper: 5 %).
+    cluster_change_threshold:
+        Maximum relative change in the number of clusters (paper: 5 %).
+    max_iterations:
+        Hard cap; each unnecessary iteration "is a waste of time".
+    min_iterations:
+        Iterations to run before the relaxed test applies (the first assignment
+        pass always moves everything, so testing earlier is meaningless).
+    """
+
+    name = "relaxed"
+
+    def __init__(
+        self,
+        switch_threshold: float = 0.05,
+        cluster_change_threshold: float = 0.05,
+        max_iterations: int = 20,
+        min_iterations: int = 2,
+    ) -> None:
+        if not 0.0 <= switch_threshold <= 1.0:
+            raise ValueError(f"switch_threshold must be in [0, 1], got {switch_threshold}")
+        if not 0.0 <= cluster_change_threshold <= 1.0:
+            raise ValueError(
+                f"cluster_change_threshold must be in [0, 1], got {cluster_change_threshold}"
+            )
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be positive, got {max_iterations}")
+        if min_iterations < 1 or min_iterations > max_iterations:
+            raise ValueError(
+                f"min_iterations must be in [1, max_iterations], got {min_iterations}"
+            )
+        self.switch_threshold = switch_threshold
+        self.cluster_change_threshold = cluster_change_threshold
+        self.max_iterations = max_iterations
+        self.min_iterations = min_iterations
+
+    def has_converged(self, stats: IterationStats) -> bool:
+        if stats.iteration >= self.max_iterations:
+            return True
+        if stats.iteration < self.min_iterations:
+            return False
+        return (
+            stats.switch_fraction <= self.switch_threshold
+            and stats.cluster_change_fraction <= self.cluster_change_threshold
+        )

@@ -1,0 +1,123 @@
+"""Centroid initialization heuristics.
+
+Initialization "seeds" the centroids around which clusters form; it determines
+how many clusters are created and roughly where.  The paper's heuristic seeds a
+centroid at every element of ``MEmin`` — the smallest mapping-element set —
+because every useful cluster needs at least one element for every personal
+node, so regions around rare candidates have the highest capacity to deliver
+useful clusters.  Random and per-tree seeding are provided for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+from repro.errors import ClusteringError
+from repro.matchers.selection import MappingElementSets
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.utils.rng import SeededRandom
+
+
+class CentroidInitializer(abc.ABC):
+    """Chooses the initial centroid nodes for k-means clustering."""
+
+    name: str = "initializer"
+
+    @abc.abstractmethod
+    def initial_centroids(
+        self,
+        candidates: MappingElementSets,
+        repository: SchemaRepository,
+    ) -> List[RepositoryNodeRef]:
+        """The list of initial centroids (possibly many; reclustering trims them)."""
+
+
+class MEminInitializer(CentroidInitializer):
+    """The paper's heuristic: every element of the smallest ``MEn`` set becomes a centroid.
+
+    Regions that contain an element of the rarest candidate set are the only
+    regions that can deliver useful clusters, so seeding there maximizes the
+    chance that the resulting clusters produce mappings.
+    """
+
+    name = "me-min"
+
+    def initial_centroids(
+        self,
+        candidates: MappingElementSets,
+        repository: SchemaRepository,
+    ) -> List[RepositoryNodeRef]:
+        smallest_node = candidates.smallest_set_node()
+        elements = candidates.elements_for(smallest_node)
+        if not elements:
+            raise ClusteringError(
+                f"personal node {smallest_node} has no mapping elements; nothing to seed centroids from"
+            )
+        # Deduplicate by repository node (two mapping elements can target the
+        # same node) and keep a deterministic order.
+        unique = {element.ref.global_id: element.ref for element in elements}
+        return [unique[global_id] for global_id in sorted(unique)]
+
+
+class RandomInitializer(CentroidInitializer):
+    """Seeds ``centroid_count`` centroids uniformly at random over all mapping elements."""
+
+    name = "random"
+
+    def __init__(self, centroid_count: int, seed: int = 7) -> None:
+        if centroid_count < 1:
+            raise ClusteringError(f"centroid_count must be positive, got {centroid_count}")
+        self.centroid_count = centroid_count
+        self.seed = seed
+
+    def initial_centroids(
+        self,
+        candidates: MappingElementSets,
+        repository: SchemaRepository,
+    ) -> List[RepositoryNodeRef]:
+        unique: Dict[int, RepositoryNodeRef] = {
+            element.ref.global_id: element.ref for element in candidates.all_elements()
+        }
+        refs = [unique[global_id] for global_id in sorted(unique)]
+        if not refs:
+            raise ClusteringError("no mapping elements to seed centroids from")
+        count = min(self.centroid_count, len(refs))
+        rng = SeededRandom(self.seed)
+        return rng.sample(refs, count)
+
+
+class PerTreeInitializer(CentroidInitializer):
+    """Seeds a fixed number of centroids in every tree that contains mapping elements.
+
+    A simple middle ground between MEmin seeding and random seeding: it ignores
+    which candidate set an element belongs to but guarantees coverage of every
+    tree, which random seeding does not.
+    """
+
+    name = "per-tree"
+
+    def __init__(self, centroids_per_tree: int = 2, seed: int = 7) -> None:
+        if centroids_per_tree < 1:
+            raise ClusteringError(f"centroids_per_tree must be positive, got {centroids_per_tree}")
+        self.centroids_per_tree = centroids_per_tree
+        self.seed = seed
+
+    def initial_centroids(
+        self,
+        candidates: MappingElementSets,
+        repository: SchemaRepository,
+    ) -> List[RepositoryNodeRef]:
+        by_tree: Dict[int, Dict[int, RepositoryNodeRef]] = {}
+        for element in candidates.all_elements():
+            by_tree.setdefault(element.ref.tree_id, {})[element.ref.global_id] = element.ref
+        if not by_tree:
+            raise ClusteringError("no mapping elements to seed centroids from")
+        rng = SeededRandom(self.seed)
+        centroids: List[RepositoryNodeRef] = []
+        for tree_id in sorted(by_tree):
+            refs = [by_tree[tree_id][global_id] for global_id in sorted(by_tree[tree_id])]
+            count = min(self.centroids_per_tree, len(refs))
+            centroids.extend(rng.spawn("tree", tree_id).sample(refs, count))
+        return centroids

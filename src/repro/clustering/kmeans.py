@@ -1,0 +1,236 @@
+"""The adapted k-means clusterer (Algorithm 1 of the paper).
+
+The algorithm clusters the *mapping elements* (repository nodes selected by the
+element-matching stage), not the whole repository:
+
+1. initialize centroids (MEmin heuristic by default);
+2. repeat:
+   a. assign every mapping element to the nearest centroid in its tree;
+   b. recompute each cluster's centroid as its medoid;
+   c. perform reclustering (join / remove);
+   until the convergence criterion is met.
+
+Mapping elements living in a tree that contains no centroid remain unclustered;
+with MEmin seeding this only happens in trees that lack an element of the
+rarest candidate set — trees that could never produce a complete mapping in the
+first place.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clustering.centroid import medoid
+from repro.clustering.cluster import Cluster, ClusterSet
+from repro.clustering.convergence import ConvergenceCriterion, IterationStats, RelaxedConvergence
+from repro.clustering.distance import ClusteringDistance, PathLengthDistance
+from repro.clustering.initialization import CentroidInitializer, MEminInitializer
+from repro.clustering.reclustering import NoReclustering, ReclusteringStrategy
+from repro.errors import ClusteringError
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.matchers.selection import MappingElementSets
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.utils.counters import CounterSet
+
+
+@dataclass
+class ClusteringResult:
+    """Clusters plus the statistics the experiments report."""
+
+    clusters: ClusterSet
+    counters: CounterSet = field(default_factory=CounterSet)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def iterations(self) -> int:
+        return self.counters.get("iterations")
+
+    @property
+    def cluster_count(self) -> int:
+        return self.clusters.cluster_count
+
+
+class Clusterer(abc.ABC):
+    """Base class of every clustering component (step *c* in Fig. 3)."""
+
+    name: str = "clusterer"
+
+    @abc.abstractmethod
+    def cluster(
+        self,
+        candidates: MappingElementSets,
+        repository: SchemaRepository,
+        oracle: Optional[RepositoryDistanceOracle] = None,
+    ) -> ClusteringResult:
+        """Group the candidates' repository nodes into clusters."""
+
+
+class KMeansClusterer(Clusterer):
+    """The paper's adapted k-means over mapping elements.
+
+    Parameters
+    ----------
+    initializer:
+        Centroid seeding heuristic (default: the MEmin heuristic).
+    reclustering:
+        Strategy applied at the end of each iteration (default: none, i.e. the
+        standard k-means behaviour; the paper's experiments use join or
+        join & remove).
+    convergence:
+        Stopping criterion (default: the paper's relaxed 5 % criterion).
+    distance:
+        Distance measure; defaults to tree path length via the labeling oracle.
+    medoid_sample_limit:
+        Passed through to :func:`repro.clustering.centroid.medoid`.
+    """
+
+    name = "k-means"
+
+    def __init__(
+        self,
+        initializer: Optional[CentroidInitializer] = None,
+        reclustering: Optional[ReclusteringStrategy] = None,
+        convergence: Optional[ConvergenceCriterion] = None,
+        distance: Optional[ClusteringDistance] = None,
+        medoid_sample_limit: Optional[int] = 256,
+    ) -> None:
+        self.initializer = initializer or MEminInitializer()
+        self.reclustering = reclustering or NoReclustering()
+        self.convergence = convergence or RelaxedConvergence()
+        self.distance = distance
+        self.medoid_sample_limit = medoid_sample_limit
+
+    # -- Clusterer interface -----------------------------------------------------
+
+    def cluster(
+        self,
+        candidates: MappingElementSets,
+        repository: SchemaRepository,
+        oracle: Optional[RepositoryDistanceOracle] = None,
+    ) -> ClusteringResult:
+        started = time.perf_counter()
+        counters = CounterSet()
+
+        if candidates.total() == 0:
+            raise ClusteringError("cannot cluster an empty set of mapping elements")
+
+        distance = self.distance
+        if distance is None:
+            distance = PathLengthDistance(oracle or RepositoryDistanceOracle(repository))
+
+        # Items to cluster: the distinct repository nodes targeted by any
+        # mapping element.  Two mapping elements with the same target always
+        # belong to the same cluster, so clustering the distinct nodes is
+        # equivalent and cheaper.
+        items: Dict[int, RepositoryNodeRef] = {
+            element.ref.global_id: element.ref for element in candidates.all_elements()
+        }
+        item_list = [items[global_id] for global_id in sorted(items)]
+        counters.set("clustered_items", len(item_list))
+
+        centroids = self.initializer.initial_centroids(candidates, repository)
+        if not centroids:
+            raise ClusteringError("centroid initialization produced no centroids")
+        counters.set("initial_centroids", len(centroids))
+
+        previous_assignment: Dict[int, int] = {}
+        clusters: List[Cluster] = []
+        iteration = 0
+
+        while True:
+            iteration += 1
+            # -- assignment step (lines 3-8 of Algorithm 1) -----------------------
+            centroids_by_tree: Dict[int, List[tuple[int, RepositoryNodeRef]]] = {}
+            for index, centroid in enumerate(centroids):
+                centroids_by_tree.setdefault(centroid.tree_id, []).append((index, centroid))
+
+            members_per_centroid: Dict[int, List[RepositoryNodeRef]] = {i: [] for i in range(len(centroids))}
+            assignment: Dict[int, int] = {}
+            for item in item_list:
+                candidates_in_tree = centroids_by_tree.get(item.tree_id)
+                if not candidates_in_tree:
+                    counters.increment("unclustered_items_last_iteration", 0)
+                    continue
+                best_index = -1
+                best_distance = float("inf")
+                for index, centroid in candidates_in_tree:
+                    value = distance.distance(item, centroid)
+                    counters.increment("distance_computations")
+                    if value < best_distance or (value == best_distance and index < best_index):
+                        best_distance = value
+                        best_index = index
+                members_per_centroid[best_index].append(item)
+                assignment[item.global_id] = best_index
+
+            clusters = []
+            for index, members in members_per_centroid.items():
+                if not members:
+                    counters.increment("starved_centroids")
+                    continue
+                cluster = Cluster(
+                    cluster_id=index,
+                    tree_id=members[0].tree_id,
+                    members=set(members),
+                    centroid=centroids[index],
+                )
+                clusters.append(cluster)
+
+            # -- centroid update (line 9) -----------------------------------------
+            for cluster in clusters:
+                cluster.centroid = medoid(
+                    sorted(cluster.members, key=lambda ref: ref.global_id),
+                    distance,
+                    sample_limit=self.medoid_sample_limit,
+                )
+
+            # -- reclustering (line 10) -------------------------------------------
+            clusters = self.reclustering.recluster(clusters, distance, counters)
+
+            # -- convergence check (line 11) ----------------------------------------
+            switched = sum(
+                1
+                for global_id, cluster_index in assignment.items()
+                if previous_assignment.get(global_id, -1) != cluster_index
+            )
+            stats = IterationStats(
+                iteration=iteration,
+                total_elements=len(item_list),
+                switched_elements=switched,
+                previous_cluster_count=len(previous_assignment and set(previous_assignment.values()) or [])
+                or len(centroids),
+                cluster_count=len(clusters),
+            )
+            counters.increment("iterations")
+            counters.set("last_switched_elements", switched)
+            previous_assignment = assignment
+
+            if self.convergence.has_converged(stats):
+                break
+
+            # Next iteration's centroids are this iteration's (reclustered) medoids.
+            centroids = [cluster.centroid for cluster in clusters if cluster.centroid is not None]
+            if not centroids:
+                break
+
+        # Re-number clusters contiguously for stable downstream reporting.
+        final = ClusterSet()
+        for new_id, cluster in enumerate(sorted(clusters, key=lambda c: (c.tree_id, min(c.member_global_ids())))):
+            final.add(
+                Cluster(
+                    cluster_id=new_id,
+                    tree_id=cluster.tree_id,
+                    members=set(cluster.members),
+                    centroid=cluster.centroid,
+                )
+            )
+        clustered_ids = {member for cluster in final for member in cluster.member_global_ids()}
+        counters.set("unclustered_items", len(item_list) - len(clustered_ids))
+
+        return ClusteringResult(
+            clusters=final,
+            counters=counters,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,183 @@
+"""Reclustering strategies (the non-standard step of the adapted k-means).
+
+The paper adds a *reclustering* step to every k-means iteration (line 10 of
+Algorithm 1) to counteract two pathologies:
+
+* **tiny clusters** — nearby initial centroids compete for the same mapping
+  elements and some "starve"; *join* reclustering merges clusters whose
+  centroids are closer than a distance threshold (the threshold is exactly what
+  distinguishes the paper's "small" / "medium" / "large" clustering variants);
+* **leftover tiny clusters** — *remove* reclustering deletes clusters smaller
+  than a minimum size; their members are freed and may join neighbouring
+  clusters in the next iteration.
+
+Figure 4 compares no reclustering, join, and join & remove.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from repro.clustering.cluster import Cluster
+from repro.clustering.distance import ClusteringDistance
+from repro.errors import ClusteringError
+from repro.utils.counters import CounterSet
+
+
+class ReclusteringStrategy(abc.ABC):
+    """Transforms the cluster list once per k-means iteration."""
+
+    name: str = "reclustering"
+
+    @abc.abstractmethod
+    def recluster(
+        self,
+        clusters: List[Cluster],
+        distance: ClusteringDistance,
+        counters: CounterSet,
+    ) -> List[Cluster]:
+        """Return the (possibly modified) cluster list."""
+
+
+class NoReclustering(ReclusteringStrategy):
+    """Standard k-means behaviour: clusters are left untouched."""
+
+    name = "none"
+
+    def recluster(
+        self,
+        clusters: List[Cluster],
+        distance: ClusteringDistance,
+        counters: CounterSet,
+    ) -> List[Cluster]:
+        return clusters
+
+
+class JoinReclustering(ReclusteringStrategy):
+    """Merge clusters whose centroids are within ``distance_threshold`` of each other.
+
+    Joining is applied transitively within one pass (union-find over the
+    "centroids are near" relation), so a chain of close centroids collapses
+    into a single cluster.  Clusters in different trees are never joined.
+    """
+
+    name = "join"
+
+    def __init__(self, distance_threshold: float = 3.0) -> None:
+        if distance_threshold < 0:
+            raise ClusteringError(f"distance_threshold must be non-negative, got {distance_threshold}")
+        self.distance_threshold = distance_threshold
+
+    def recluster(
+        self,
+        clusters: List[Cluster],
+        distance: ClusteringDistance,
+        counters: CounterSet,
+    ) -> List[Cluster]:
+        if len(clusters) < 2:
+            return clusters
+        parent = list(range(len(clusters)))
+
+        def find(index: int) -> int:
+            while parent[index] != index:
+                parent[index] = parent[parent[index]]
+                index = parent[index]
+            return index
+
+        def union(first: int, second: int) -> None:
+            first_root, second_root = find(first), find(second)
+            if first_root != second_root:
+                parent[second_root] = first_root
+
+        by_tree: Dict[int, List[int]] = {}
+        for index, cluster in enumerate(clusters):
+            by_tree.setdefault(cluster.tree_id, []).append(index)
+
+        for tree_id, indexes in by_tree.items():
+            for position, first_index in enumerate(indexes):
+                first = clusters[first_index]
+                if first.centroid is None:
+                    continue
+                for second_index in indexes[position + 1 :]:
+                    second = clusters[second_index]
+                    if second.centroid is None:
+                        continue
+                    if distance.distance(first.centroid, second.centroid) <= self.distance_threshold:
+                        union(first_index, second_index)
+
+        merged: Dict[int, Cluster] = {}
+        joins = 0
+        for index, cluster in enumerate(clusters):
+            root = find(index)
+            if root not in merged:
+                merged[root] = Cluster(
+                    cluster_id=clusters[root].cluster_id,
+                    tree_id=clusters[root].tree_id,
+                    members=set(),
+                    centroid=clusters[root].centroid,
+                )
+            else:
+                joins += 1
+            merged[root].members.update(cluster.members)
+        counters.increment("joined_clusters", joins)
+        return list(merged.values())
+
+
+class RemoveReclustering(ReclusteringStrategy):
+    """Drop clusters with fewer than ``min_size`` members.
+
+    The freed mapping elements are simply no longer assigned; in the next
+    iteration they gravitate to the nearest surviving centroid (or stay
+    unclustered if none shares their tree), exactly as described in the paper.
+    """
+
+    name = "remove"
+
+    def __init__(self, min_size: int = 2) -> None:
+        if min_size < 1:
+            raise ClusteringError(f"min_size must be at least 1, got {min_size}")
+        self.min_size = min_size
+
+    def recluster(
+        self,
+        clusters: List[Cluster],
+        distance: ClusteringDistance,
+        counters: CounterSet,
+    ) -> List[Cluster]:
+        kept = [cluster for cluster in clusters if cluster.size >= self.min_size]
+        removed = len(clusters) - len(kept)
+        if removed:
+            counters.increment("removed_clusters", removed)
+            counters.increment(
+                "freed_members",
+                sum(cluster.size for cluster in clusters if cluster.size < self.min_size),
+            )
+        return kept
+
+
+class CompositeReclustering(ReclusteringStrategy):
+    """Apply several strategies in sequence (e.g. the paper's *join & remove*)."""
+
+    name = "composite"
+
+    def __init__(self, strategies: Sequence[ReclusteringStrategy]) -> None:
+        if not strategies:
+            raise ClusteringError("a composite reclustering needs at least one strategy")
+        self.strategies = list(strategies)
+        self.name = "+".join(strategy.name for strategy in strategies)
+
+    def recluster(
+        self,
+        clusters: List[Cluster],
+        distance: ClusteringDistance,
+        counters: CounterSet,
+    ) -> List[Cluster]:
+        for strategy in self.strategies:
+            clusters = strategy.recluster(clusters, distance, counters)
+        return clusters
+
+
+def join_and_remove(distance_threshold: float = 3.0, min_size: int = 2) -> CompositeReclustering:
+    """The paper's *join & remove* combination with the given parameters."""
+    return CompositeReclustering([JoinReclustering(distance_threshold), RemoveReclustering(min_size)])

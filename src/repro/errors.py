@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro (Bellflower) library.
+
+All library errors derive from :class:`ReproError` so callers can catch a single
+base class.  Each subsystem raises the most specific subclass available; error
+messages always name the offending entity (node id, schema name, parameter) so
+that failures in large repositories remain diagnosable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised for malformed or inconsistent schema graphs."""
+
+
+class SchemaParseError(SchemaError):
+    """Raised when an XSD or DTD document cannot be parsed into a schema tree."""
+
+
+class UnknownNodeError(SchemaError):
+    """Raised when a node id is not present in a graph or repository."""
+
+    def __init__(self, node_id: int, context: str = "schema graph") -> None:
+        super().__init__(f"node id {node_id!r} is not part of the {context}")
+        self.node_id = node_id
+
+
+class LabelingError(ReproError):
+    """Raised when a distance/ancestry query cannot be answered from labels."""
+
+
+class MatcherError(ReproError):
+    """Raised for invalid matcher configuration or inputs."""
+
+
+class ObjectiveError(ReproError):
+    """Raised for invalid objective-function configuration or evaluation."""
+
+
+class MappingError(ReproError):
+    """Raised for invalid schema mappings or mapping-generator configuration."""
+
+
+class ClusteringError(ReproError):
+    """Raised for invalid clustering configuration or internal clustering state."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system-level configuration object is inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a synthetic workload cannot be generated as requested."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment harness is asked to run an unknown experiment."""

@@ -1,0 +1,50 @@
+"""Experiment harness: regenerate every table and figure of the paper's evaluation.
+
+Each module reproduces one artefact:
+
+* :mod:`repro.experiments.table1`  — Table 1a (properties of clusters) and
+  Table 1b (mapping-generator performance) for the small / medium / large /
+  tree clustering variants;
+* :mod:`repro.experiments.figure4` — cluster-size distributions under the three
+  reclustering strategies (no reclustering, join, join & remove);
+* :mod:`repro.experiments.figure5` — percentage of preserved mappings per
+  objective-function threshold for the clustering variants;
+* :mod:`repro.experiments.figure6` — preserved-mapping curves for objective
+  functions with α ∈ {0.25, 0.50, 0.75};
+* :mod:`repro.experiments.ablations` — the design-choice ablations listed in
+  DESIGN.md (centroid seeding, distance measure, generator, cluster ordering).
+
+Every module exposes a ``run(config)`` function returning a plain-data result
+object and can be executed directly (``python -m repro.experiments.table1``) to
+print the corresponding table.  ``ExperimentConfig.paper_scale()`` mirrors the
+paper's workload (a ~9 750-element repository and the *name/address/email*
+personal schema); ``ExperimentConfig.quick()`` is a smaller configuration used
+by the test suite and the default benchmark profile.
+"""
+
+from repro.experiments.config import ExperimentConfig, ExperimentWorkload, build_workload
+from repro.experiments.harness import ExperimentRegistry, registry, run_experiment
+from repro.experiments.table1 import Table1Result, run as run_table1
+from repro.experiments.figure4 import Figure4Result, run as run_figure4
+from repro.experiments.figure5 import Figure5Result, run as run_figure5
+from repro.experiments.figure6 import Figure6Result, run as run_figure6
+from repro.experiments.ablations import AblationResult, run_all as run_ablations
+
+__all__ = [
+    "AblationResult",
+    "ExperimentConfig",
+    "ExperimentRegistry",
+    "ExperimentWorkload",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "Table1Result",
+    "build_workload",
+    "registry",
+    "run_ablations",
+    "run_experiment",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_table1",
+]

@@ -1,0 +1,104 @@
+"""Experiment configuration and shared workload construction.
+
+All experiment modules share one configuration object so that Table 1 and
+Figures 4-6 run against the *same* repository, personal schema and element
+matching result — exactly as in the paper, where a single matching problem is
+analysed from several angles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.matchers.name import FuzzyNameMatcher
+from repro.matchers.selection import MappingElementSelector, MappingElementSets
+from repro.objective.bellflower import BellflowerObjective
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+from repro.workload.personal import paper_personal_schema
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by all experiments.
+
+    The defaults of :meth:`paper_scale` mirror the paper's main experiment: a
+    repository of roughly 9 750 elements, the three-node *name / address /
+    email* personal schema, δ = 0.75 and α = 0.5.
+    """
+
+    repository_nodes: int = 9750
+    min_tree_size: int = 20
+    max_tree_size: int = 220
+    max_tree_depth: int = 8
+    element_threshold: float = 0.4
+    delta: float = 0.75
+    alpha: float = 0.5
+    path_normalization: float = 4.0
+    seed: int = 20060403
+    variant_names: Sequence[str] = ("small", "medium", "large", "tree")
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The configuration used to regenerate the paper's numbers."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A scaled-down configuration for tests and fast benchmark runs."""
+        return cls(repository_nodes=2500, min_tree_size=15, max_tree_size=120)
+
+    def repository_profile(self) -> RepositoryProfile:
+        return RepositoryProfile(
+            target_node_count=self.repository_nodes,
+            min_tree_size=self.min_tree_size,
+            max_tree_size=self.max_tree_size,
+            max_depth=self.max_tree_depth,
+            seed=self.seed,
+            name=f"experiment-repository-{self.repository_nodes}",
+        )
+
+    def objective(self, alpha: Optional[float] = None) -> BellflowerObjective:
+        return BellflowerObjective(
+            alpha=self.alpha if alpha is None else alpha,
+            path_normalization=self.path_normalization,
+        )
+
+
+@dataclass
+class ExperimentWorkload:
+    """The materialized workload every experiment runs against.
+
+    Building the repository and running the element-matching stage are the two
+    expensive setup steps; the workload caches both so that each experiment
+    (and each clustering variant within an experiment) reuses them.
+    """
+
+    config: ExperimentConfig
+    repository: SchemaRepository
+    personal_schema: SchemaTree
+    candidates: MappingElementSets
+
+    @property
+    def mapping_element_count(self) -> int:
+        return self.candidates.total()
+
+
+def build_workload(
+    config: Optional[ExperimentConfig] = None,
+    personal_schema: Optional[SchemaTree] = None,
+) -> ExperimentWorkload:
+    """Generate the repository and run element matching once."""
+    config = config or ExperimentConfig.paper_scale()
+    repository = RepositoryGenerator(config.repository_profile()).generate()
+    schema = personal_schema or paper_personal_schema()
+    selector = MappingElementSelector(FuzzyNameMatcher(), threshold=config.element_threshold)
+    candidates = selector.select(schema, repository)
+    return ExperimentWorkload(
+        config=config,
+        repository=repository,
+        personal_schema=schema,
+        candidates=candidates,
+    )

@@ -1,0 +1,101 @@
+"""Figure 4: cluster-size distribution for different reclustering techniques.
+
+The experiment clusters one matching problem's mapping elements three times —
+with no reclustering, with join reclustering, and with join & remove — and
+reports the number of clusters falling into the exponential size buckets
+[1,1], [2,3], [4,7], ... that the paper's bar chart uses.  The headline
+qualitative result: join eliminates most tiny clusters, join & remove
+eliminates them entirely, and the total cluster count drops accordingly
+(paper: 579 → 333 → 243).
+
+Run standalone with ``python -m repro.experiments.figure4``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.clustering.convergence import RelaxedConvergence
+from repro.clustering.initialization import MEminInitializer
+from repro.clustering.kmeans import KMeansClusterer
+from repro.clustering.reclustering import (
+    JoinReclustering,
+    NoReclustering,
+    ReclusteringStrategy,
+    join_and_remove,
+)
+from repro.experiments.config import ExperimentConfig, ExperimentWorkload, build_workload
+from repro.utils.histogram import Histogram, exponential_buckets
+from repro.utils.tables import AsciiTable
+
+
+@dataclass
+class Figure4Series:
+    """One bar series of Figure 4."""
+
+    strategy_name: str
+    cluster_count: int
+    histogram: Dict[str, int]
+
+
+@dataclass
+class Figure4Result:
+    config: ExperimentConfig
+    series: List[Figure4Series]
+
+    def render(self) -> str:
+        labels = list(self.series[0].histogram) if self.series else []
+        table = AsciiTable(
+            ["cluster size"] + [f"{s.strategy_name} ({s.cluster_count})" for s in self.series],
+            title="Figure 4 — cluster size distribution per reclustering technique",
+        )
+        for label in labels:
+            table.add_row([label] + [series.histogram.get(label, 0) for series in self.series])
+        return table.render()
+
+
+def _strategies(join_threshold: float) -> Dict[str, ReclusteringStrategy]:
+    return {
+        "no reclustering": NoReclustering(),
+        "join": JoinReclustering(distance_threshold=join_threshold),
+        "join & remove": join_and_remove(distance_threshold=join_threshold, min_size=2),
+    }
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[ExperimentWorkload] = None,
+    join_threshold: float = 3.0,
+    max_bucket: int = 255,
+) -> Figure4Result:
+    """Cluster the shared workload under each reclustering strategy."""
+    config = config or ExperimentConfig.paper_scale()
+    workload = workload or build_workload(config)
+
+    series: List[Figure4Series] = []
+    for strategy_name, strategy in _strategies(join_threshold).items():
+        clusterer = KMeansClusterer(
+            initializer=MEminInitializer(),
+            reclustering=strategy,
+            convergence=RelaxedConvergence(),
+        )
+        clustering = clusterer.cluster(workload.candidates, workload.repository)
+        histogram = Histogram(exponential_buckets(max_bucket))
+        histogram.add_all(clustering.clusters.mapping_element_sizes(workload.candidates))
+        series.append(
+            Figure4Series(
+                strategy_name=strategy_name,
+                cluster_count=clustering.clusters.cluster_count,
+                histogram=histogram.as_dict(),
+            )
+        )
+    return Figure4Result(config=config, series=series)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(ExperimentConfig.paper_scale()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,87 @@
+"""Figure 5: percentage of preserved mappings per objective threshold.
+
+The non-clustered ("tree clusters") run finds every mapping with ``Δ >= δ``;
+clustered runs lose some of them.  The experiment measures, for thresholds
+δ' ∈ [0.75, 1.0], the fraction of the non-clustered mappings with ``Δ >= δ'``
+that each clustering variant also discovers.  The paper's qualitative claims,
+which the assertions in the test suite check:
+
+* the tree-cluster line is constant at 100 %;
+* every clustered variant preserves a larger fraction at higher thresholds
+  (high-ranked mappings are preserved preferentially);
+* smaller clusters (larger search-space reductions) preserve less.
+
+Run standalone with ``python -m repro.experiments.figure5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig, ExperimentWorkload, build_workload
+from repro.experiments.table1 import Table1Result, run as run_table1
+from repro.system.metrics import PreservationPoint, preservation_curve
+from repro.utils.tables import AsciiTable, format_percent
+
+DEFAULT_THRESHOLDS: Sequence[float] = (0.75, 0.80, 0.85, 0.90, 0.95, 1.00)
+
+
+@dataclass
+class Figure5Result:
+    config: ExperimentConfig
+    thresholds: List[float]
+    curves: Dict[str, List[PreservationPoint]]
+    table1: Table1Result
+
+    def fractions(self, variant: str) -> List[float]:
+        return [point.fraction for point in self.curves[variant]]
+
+    def render(self) -> str:
+        table = AsciiTable(
+            ["delta threshold"] + list(self.curves),
+            title="Figure 5 — percentage of preserved mappings per clustering variant",
+        )
+        for index, threshold in enumerate(self.thresholds):
+            table.add_row(
+                [f"{threshold:.2f}"]
+                + [format_percent(self.curves[variant][index].fraction) for variant in self.curves]
+            )
+        return table.render()
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[ExperimentWorkload] = None,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    table1: Optional[Table1Result] = None,
+) -> Figure5Result:
+    """Compute preservation curves for every clustering variant.
+
+    Reuses a Table 1 run when provided (the matching runs are identical), which
+    is how the benchmark harness avoids repeating the expensive searches.
+    """
+    config = config or ExperimentConfig.paper_scale()
+    workload = workload or build_workload(config)
+    table1 = table1 or run_table1(config, workload)
+
+    reference = table1.results["tree"]
+    curves: Dict[str, List[PreservationPoint]] = {}
+    for variant_name in config.variant_names:
+        curves[variant_name] = preservation_curve(
+            reference.mappings, table1.results[variant_name].mappings, thresholds
+        )
+    return Figure5Result(
+        config=config,
+        thresholds=sorted(thresholds),
+        curves=curves,
+        table1=table1,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run(ExperimentConfig.paper_scale()).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,118 @@
+"""A small registry that maps experiment ids to their runners.
+
+The registry lets scripts, the README and the benchmark harness refer to
+experiments by the paper's artefact name (``table1``, ``figure5`` ...), and is
+the basis of ``python -m repro.experiments.harness`` which runs everything and
+prints every table in one go — the closest thing to "reproduce the evaluation
+section" in a single command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments import ablations, figure4, figure5, figure6, table1
+from repro.experiments.config import ExperimentConfig, ExperimentWorkload, build_workload
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A registered experiment: id, description, and a runner."""
+
+    experiment_id: str
+    description: str
+    runner: Callable[[ExperimentConfig, ExperimentWorkload], object]
+
+
+class ExperimentRegistry:
+    """Registry of paper artefacts to experiment runners."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> None:
+        if spec.experiment_id in self._specs:
+            raise ExperimentError(f"experiment {spec.experiment_id!r} is already registered")
+        self._specs[spec.experiment_id] = spec
+
+    def get(self, experiment_id: str) -> ExperimentSpec:
+        try:
+            return self._specs[experiment_id]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"unknown experiment {experiment_id!r}; available: {sorted(self._specs)}"
+            ) from exc
+
+    def ids(self) -> List[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, experiment_id: str) -> bool:
+        return experiment_id in self._specs
+
+
+registry = ExperimentRegistry()
+registry.register(
+    ExperimentSpec(
+        experiment_id="table1",
+        description="Table 1a/1b: cluster properties and mapping-generator performance",
+        runner=lambda config, workload: table1.run(config, workload),
+    )
+)
+registry.register(
+    ExperimentSpec(
+        experiment_id="figure4",
+        description="Figure 4: cluster-size distribution per reclustering technique",
+        runner=lambda config, workload: figure4.run(config, workload),
+    )
+)
+registry.register(
+    ExperimentSpec(
+        experiment_id="figure5",
+        description="Figure 5: preserved mappings per threshold and clustering variant",
+        runner=lambda config, workload: figure5.run(config, workload),
+    )
+)
+registry.register(
+    ExperimentSpec(
+        experiment_id="figure6",
+        description="Figure 6: preservation for objective functions with different alpha",
+        runner=lambda config, workload: figure6.run(config, workload),
+    )
+)
+registry.register(
+    ExperimentSpec(
+        experiment_id="ablations",
+        description="Design-choice ablations (seeding, distance, generator, cluster ordering)",
+        runner=lambda config, workload: ablations.run_all(config, workload),
+    )
+)
+
+
+def run_experiment(
+    experiment_id: str,
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[ExperimentWorkload] = None,
+) -> object:
+    """Run one registered experiment and return its result object."""
+    config = config or ExperimentConfig.paper_scale()
+    workload = workload or build_workload(config)
+    return registry.get(experiment_id).runner(config, workload)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    config = ExperimentConfig.paper_scale()
+    workload = build_workload(config)
+    for experiment_id in registry.ids():
+        spec = registry.get(experiment_id)
+        print(f"=== {experiment_id}: {spec.description}")
+        result = spec.runner(config, workload)
+        render = getattr(result, "render", None)
+        if callable(render):
+            print(render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,42 @@
+"""Schema-mapping model and mapping generators.
+
+The mapping generator (step 4 of the paper's architecture) combines mapping
+elements into complete schema mappings ``s -> t`` and ranks them by the
+objective function.  The search space grows as ``O(|MEn|^|Ns|)``, so generators
+matter: the paper's Bellflower uses Branch-and-Bound; related systems use beam
+search (iMap) or A* (LSD).  All of them are implemented here behind one
+interface, together with the exhaustive baseline used to verify completeness.
+"""
+
+from repro.mapping.model import MappingProblem, SchemaMapping
+from repro.mapping.base import GenerationResult, MappingGenerator
+from repro.mapping.exhaustive import ExhaustiveGenerator
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.beam import BeamSearchGenerator
+from repro.mapping.astar import AStarGenerator
+from repro.mapping.partial import PartialMappingGenerator, PartialSchemaMapping, partial_mappings_for_cluster
+from repro.mapping.ranking import merge_ranked, top_n
+from repro.mapping.search_space import (
+    clustered_search_space,
+    search_space_size,
+    theoretical_reduction_factor,
+)
+
+__all__ = [
+    "AStarGenerator",
+    "BeamSearchGenerator",
+    "BranchAndBoundGenerator",
+    "ExhaustiveGenerator",
+    "GenerationResult",
+    "MappingGenerator",
+    "MappingProblem",
+    "PartialMappingGenerator",
+    "PartialSchemaMapping",
+    "SchemaMapping",
+    "partial_mappings_for_cluster",
+    "clustered_search_space",
+    "merge_ranked",
+    "search_space_size",
+    "theoretical_reduction_factor",
+    "top_n",
+]

@@ -1,0 +1,60 @@
+"""The mapping-generator interface and its result type.
+
+All generators consume a :class:`~repro.mapping.model.MappingProblem` and
+return every schema mapping whose score clears the threshold ``δ`` (Definition
+3), sorted by score.  They also report the counters the paper uses to compare
+efficiency — most importantly ``partial_mappings``, the number of partial
+schema mappings created during the search (Table 1b).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.mapping.model import MappingProblem, SchemaMapping
+from repro.utils.counters import CounterSet
+
+
+@dataclass
+class GenerationResult:
+    """Mappings found by a generator plus its efficiency counters."""
+
+    mappings: List[SchemaMapping] = field(default_factory=list)
+    counters: CounterSet = field(default_factory=CounterSet)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def partial_mappings(self) -> int:
+        """Number of partial schema mappings the generator created."""
+        return self.counters.get("partial_mappings")
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self.mappings)
+
+    def merge(self, other: "GenerationResult") -> "GenerationResult":
+        """Fold another result (e.g. from another cluster) into this one."""
+        self.mappings.extend(other.mappings)
+        self.counters.merge(other.counters)
+        self.elapsed_seconds += other.elapsed_seconds
+        return self
+
+    def sort(self) -> None:
+        """Order mappings by descending score with a deterministic tie-break."""
+        self.mappings.sort(key=lambda mapping: (-mapping.score, mapping.signature()))
+
+
+class MappingGenerator(abc.ABC):
+    """Base class for schema-mapping generators."""
+
+    #: Name used in experiment reports and ablation tables.
+    name: str = "generator"
+
+    @abc.abstractmethod
+    def generate(self, problem: MappingProblem) -> GenerationResult:
+        """Produce all mappings with ``Δ(s, t) >= δ`` for the given problem."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,187 @@
+"""Schema mappings and mapping problems.
+
+A :class:`SchemaMapping` is a complete assignment of one repository node to
+every personal-schema node (Definition 2's "1 to 1" element mappings), together
+with the induced mapping subtree's edge count and the objective-function score.
+A :class:`MappingProblem` bundles everything a generator needs: the personal
+schema, the candidate sets (possibly restricted to one cluster), the distance
+oracle over the repository, the objective function and the threshold ``δ``
+(Definition 3's quadruple ``P = (s, R, Δ, δ)`` with the repository represented
+by its candidate sets and oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import MappingError
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.matchers.selection import MappingElement, MappingElementSets
+from repro.objective.base import ObjectiveFunction
+from repro.schema.repository import RepositoryNodeRef
+from repro.schema.tree import SchemaTree
+
+
+@dataclass(frozen=True)
+class SchemaMapping:
+    """A complete schema mapping ``s -> t`` with its evaluation.
+
+    Attributes
+    ----------
+    assignment:
+        One :class:`MappingElement` per personal node id.
+    score:
+        The objective-function value ``Δ(s, t)``.
+    components:
+        Per-hint breakdown of the score (e.g. ``sim`` and ``path``).
+    target_edge_count:
+        ``|Et|`` of the mapping subtree (union of the paths the personal
+        schema's edges map to).
+    tree_id:
+        Repository tree the mapping lives in.
+    cluster_id:
+        Identifier of the cluster the mapping was generated from, or ``None``
+        for non-clustered matching.
+    """
+
+    assignment: Mapping[int, MappingElement]
+    score: float
+    components: Mapping[str, float]
+    target_edge_count: int
+    tree_id: int
+    cluster_id: Optional[int] = None
+
+    def element_pairs(self) -> List[Tuple[int, RepositoryNodeRef]]:
+        """(personal node id, repository ref) pairs, sorted by personal node id."""
+        return [(node_id, element.ref) for node_id, element in sorted(self.assignment.items())]
+
+    def repository_global_ids(self) -> Tuple[int, ...]:
+        """Global ids of the mapped repository nodes, ordered by personal node id."""
+        return tuple(element.ref.global_id for _, element in sorted(self.assignment.items()))
+
+    def signature(self) -> Tuple[int, ...]:
+        """A canonical identity for deduplication across clusters."""
+        return self.repository_global_ids()
+
+    def describe(self, personal_schema: SchemaTree, repository=None) -> str:
+        """A human-readable one-line description used by the examples."""
+        parts = []
+        for node_id, element in sorted(self.assignment.items()):
+            personal_name = personal_schema.node(node_id).name
+            if repository is not None:
+                target_name = repository.node(element.ref).name
+                parts.append(f"{personal_name}->{target_name}")
+            else:
+                parts.append(f"{personal_name}->g{element.ref.global_id}")
+        return f"Δ={self.score:.3f} [{', '.join(parts)}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchemaMapping(score={self.score:.3f}, tree={self.tree_id}, nodes={self.repository_global_ids()})"
+
+
+@dataclass
+class MappingProblem:
+    """Input to a mapping generator.
+
+    ``candidates`` usually describes a single cluster (or, for the non-clustered
+    baseline, a single repository tree); the generator enforces that every
+    produced mapping stays within one repository tree regardless.
+    """
+
+    personal_schema: SchemaTree
+    candidates: MappingElementSets
+    oracle: RepositoryDistanceOracle
+    objective: ObjectiveFunction
+    delta: float
+    cluster_id: Optional[int] = None
+    require_injective: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delta <= 1.0:
+            raise MappingError(f"threshold delta must be in [0, 1], got {self.delta}")
+        personal_ids = set(self.personal_schema.node_ids())
+        candidate_ids = set(self.candidates.personal_node_ids)
+        if candidate_ids != personal_ids:
+            raise MappingError(
+                "candidate sets do not cover the personal schema: "
+                f"expected nodes {sorted(personal_ids)}, got {sorted(candidate_ids)}"
+            )
+
+    # -- helpers shared by the generators --------------------------------------
+
+    def assignment_order(self) -> List[int]:
+        """Personal node ids in breadth-first order.
+
+        Assigning parents before children guarantees that, when a node is
+        assigned, the personal edge towards its (already assigned) parent can
+        immediately contribute its repository path to the partial ``|Et|``,
+        which keeps the Branch-and-Bound path bound tight.  Among siblings the
+        node with fewer candidates comes first (fail-first ordering).
+        """
+        sizes = self.candidates.sizes()
+        order = list(self.personal_schema.breadth_first())
+        root = order[0]
+        rest = sorted(
+            order[1:],
+            key=lambda node_id: (self.personal_schema.depth(node_id), sizes.get(node_id, 0), node_id),
+        )
+        return [root, *rest]
+
+    def personal_edges(self) -> List[Tuple[int, int]]:
+        """The personal schema's edges as (parent id, child id) pairs."""
+        edges = []
+        for node_id in self.personal_schema.node_ids():
+            parent = self.personal_schema.parent_id(node_id)
+            if parent is not None:
+                edges.append((parent, node_id))
+        return edges
+
+    def path_edges(self, first: RepositoryNodeRef, second: RepositoryNodeRef) -> Set[int]:
+        """Edges (child node ids) of the repository path between two mapped nodes."""
+        edges = self.oracle.path_edge_ids(first, second)
+        if edges is None:
+            raise MappingError(
+                f"nodes {first.global_id} and {second.global_id} are in different trees; "
+                "a schema mapping cannot span repository trees"
+            )
+        return edges
+
+    def target_edge_count(self, assignment: Mapping[int, MappingElement]) -> int:
+        """``|Et|`` for a (partial or complete) assignment.
+
+        Only personal edges with both endpoints assigned contribute; the union
+        over their repository paths is the mapping subtree built so far.
+        """
+        union: Set[int] = set()
+        for parent_id, child_id in self.personal_edges():
+            if parent_id in assignment and child_id in assignment:
+                union |= self.path_edges(assignment[parent_id].ref, assignment[child_id].ref)
+        return len(union)
+
+    def best_similarity_per_node(self) -> Dict[int, float]:
+        """The maximum candidate similarity available for each personal node."""
+        best: Dict[int, float] = {}
+        for node_id, elements in self.candidates:
+            best[node_id] = max((element.similarity for element in elements), default=0.0)
+        return best
+
+    def evaluate(self, assignment: Mapping[int, MappingElement]) -> SchemaMapping:
+        """Score a complete assignment and wrap it as a :class:`SchemaMapping`."""
+        if len(assignment) != self.personal_schema.node_count:
+            raise MappingError(
+                f"assignment covers {len(assignment)} of {self.personal_schema.node_count} personal nodes"
+            )
+        tree_ids = {element.ref.tree_id for element in assignment.values()}
+        if len(tree_ids) != 1:
+            raise MappingError(f"assignment spans repository trees {sorted(tree_ids)}")
+        edge_count = self.target_edge_count(assignment)
+        evaluation = self.objective.evaluate(self.personal_schema, assignment, edge_count)
+        return SchemaMapping(
+            assignment=dict(assignment),
+            score=evaluation.score,
+            components=dict(evaluation.components),
+            target_edge_count=evaluation.target_edge_count,
+            tree_id=next(iter(tree_ids)),
+            cluster_id=self.cluster_id,
+        )

@@ -1,0 +1,58 @@
+"""Element matchers: localized and structural similarity between schema elements.
+
+The paper's architecture (Fig. 2) compares every personal-schema element with
+every repository element using one or more *element matchers*, each producing a
+similarity index in ``[0, 1]``; the indexes are combined (e.g. by weighted
+average) and element pairs with a sufficiently high combined index become
+*mapping elements*.
+
+Bellflower itself uses a single name matcher based on the commercial
+``CompareStringFuzzy`` routine; this package provides an open reimplementation
+(:func:`~repro.matchers.string_metrics.fuzzy_similarity`, a normalized
+Damerau–Levenshtein similarity over the same edit operations) plus the other
+matcher families the paper's survey of related systems describes, so the full
+Fig. 2 architecture is available: token/synonym name matching (COMA-style),
+data-type compatibility, and structural context matching (Cupid-style).
+"""
+
+from repro.matchers.base import ElementMatcher, MatchContext
+from repro.matchers.combiner import AverageCombiner, MatcherCombination, MaxCombiner, WeightedCombiner
+from repro.matchers.datatype import DataTypeMatcher
+from repro.matchers.name import FuzzyNameMatcher, TokenNameMatcher
+from repro.matchers.selection import MappingElement, MappingElementSelector, MappingElementSets
+from repro.matchers.string_metrics import (
+    damerau_levenshtein_distance,
+    fuzzy_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    ngram_similarity,
+)
+from repro.matchers.structure import StructuralContextMatcher
+from repro.matchers.synonyms import SynonymDictionary, default_synonyms
+from repro.matchers.tokenize import expand_abbreviations, normalize_name, tokenize_name
+
+__all__ = [
+    "AverageCombiner",
+    "DataTypeMatcher",
+    "ElementMatcher",
+    "FuzzyNameMatcher",
+    "MappingElement",
+    "MappingElementSelector",
+    "MappingElementSets",
+    "MatchContext",
+    "MatcherCombination",
+    "MaxCombiner",
+    "StructuralContextMatcher",
+    "SynonymDictionary",
+    "TokenNameMatcher",
+    "WeightedCombiner",
+    "damerau_levenshtein_distance",
+    "default_synonyms",
+    "expand_abbreviations",
+    "fuzzy_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "ngram_similarity",
+    "normalize_name",
+    "tokenize_name",
+]

@@ -1,0 +1,80 @@
+"""The element-matcher interface.
+
+An element matcher computes ``sim(n, n') -> [0, 1]`` for a personal-schema node
+``n`` and a repository node ``n'``.  Localized matchers only look at the two
+nodes' own properties; structural matchers may also consult the surrounding
+trees, which they receive through :class:`MatchContext`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.schema.node import SchemaNode
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.schema.tree import SchemaTree
+
+
+@dataclass(frozen=True)
+class MatchContext:
+    """Everything a structural matcher may need besides the two nodes.
+
+    Attributes
+    ----------
+    personal_schema:
+        The personal schema tree that ``personal_node_id`` belongs to.
+    repository:
+        The repository the candidate node comes from.
+    personal_node_id:
+        Node id of the personal-schema element being matched.
+    repository_ref:
+        Repository reference of the candidate element.
+    """
+
+    personal_schema: SchemaTree
+    repository: SchemaRepository
+    personal_node_id: int
+    repository_ref: RepositoryNodeRef
+
+
+class ElementMatcher(abc.ABC):
+    """Base class for all element matchers.
+
+    Subclasses implement :meth:`similarity`; scores outside ``[0, 1]`` are a
+    programming error and are clamped (with an assertion in tests).
+    """
+
+    #: Human-readable matcher name used in reports and combiner weights.
+    name: str = "matcher"
+
+    #: Localized matchers only inspect the two nodes; structural matchers also
+    #: consult the context.  The clustered matching variant that splits matchers
+    #: around the clusterer (Sec. 2.3) uses this flag.
+    is_structural: bool = False
+
+    @abc.abstractmethod
+    def similarity(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        """Similarity index of the two elements in ``[0, 1]``."""
+
+    def __call__(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        score = self.similarity(personal_node, repository_node, context)
+        if score < 0.0:
+            return 0.0
+        if score > 1.0:
+            return 1.0
+        return score
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

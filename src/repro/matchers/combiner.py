@@ -1,0 +1,112 @@
+"""Combining several element matchers into one similarity index.
+
+Systems like COMA and LSD run many matchers per element pair and combine the
+individual indexes into one — most commonly by weighted average, sometimes by
+max.  :class:`MatcherCombination` bundles a set of matchers with a combiner and
+behaves like a single :class:`~repro.matchers.base.ElementMatcher`, so the rest
+of the pipeline does not care how many hints are in play.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import MatcherError
+from repro.matchers.base import ElementMatcher, MatchContext
+from repro.schema.node import SchemaNode
+
+
+class ScoreCombiner(abc.ABC):
+    """Reduces a list of per-matcher scores into a single similarity index."""
+
+    @abc.abstractmethod
+    def combine(self, scores: Sequence[Tuple[str, float]]) -> float:
+        """Combine ``(matcher name, score)`` pairs into one index in [0, 1]."""
+
+
+class AverageCombiner(ScoreCombiner):
+    """Unweighted mean of all matcher scores."""
+
+    def combine(self, scores: Sequence[Tuple[str, float]]) -> float:
+        if not scores:
+            return 0.0
+        return sum(score for _, score in scores) / len(scores)
+
+
+class MaxCombiner(ScoreCombiner):
+    """Maximum matcher score (optimistic combination)."""
+
+    def combine(self, scores: Sequence[Tuple[str, float]]) -> float:
+        if not scores:
+            return 0.0
+        return max(score for _, score in scores)
+
+
+class WeightedCombiner(ScoreCombiner):
+    """Weighted average with per-matcher weights.
+
+    Weights need not sum to 1; they are normalized.  Matchers missing from the
+    weight table get weight 0 (i.e. are ignored), which makes it easy to switch
+    hints on and off in ablations without rebuilding the matcher list.
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        if not weights:
+            raise MatcherError("WeightedCombiner requires at least one weight")
+        if any(weight < 0 for weight in weights.values()):
+            raise MatcherError("matcher weights must be non-negative")
+        if sum(weights.values()) <= 0:
+            raise MatcherError("at least one matcher weight must be positive")
+        self.weights = dict(weights)
+
+    def combine(self, scores: Sequence[Tuple[str, float]]) -> float:
+        weighted = [(self.weights.get(name, 0.0), score) for name, score in scores]
+        total_weight = sum(weight for weight, _ in weighted)
+        if total_weight <= 0:
+            return 0.0
+        return sum(weight * score for weight, score in weighted) / total_weight
+
+
+class MatcherCombination(ElementMatcher):
+    """A set of element matchers fused by a :class:`ScoreCombiner`.
+
+    The combination reports itself as structural when any member matcher is
+    structural, so the pipeline knows whether tree context must be supplied.
+    """
+
+    name = "combination"
+
+    def __init__(self, matchers: Sequence[ElementMatcher], combiner: Optional[ScoreCombiner] = None) -> None:
+        if not matchers:
+            raise MatcherError("a matcher combination needs at least one matcher")
+        names = [matcher.name for matcher in matchers]
+        if len(set(names)) != len(names):
+            raise MatcherError(f"matcher names must be unique within a combination, got {names}")
+        self.matchers = list(matchers)
+        self.combiner = combiner or AverageCombiner()
+        self.is_structural = any(matcher.is_structural for matcher in matchers)
+
+    def similarity(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        scores = [
+            (matcher.name, matcher(personal_node, repository_node, context))
+            for matcher in self.matchers
+        ]
+        return self.combiner.combine(scores)
+
+    def breakdown(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> Dict[str, float]:
+        """Per-matcher scores for one element pair (useful in reports and debugging)."""
+        return {
+            matcher.name: matcher(personal_node, repository_node, context)
+            for matcher in self.matchers
+        }

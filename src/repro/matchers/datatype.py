@@ -1,0 +1,81 @@
+"""Data-type compatibility matcher.
+
+COMA and Cupid use data-type compatibility as a cheap localized hint: an
+element declared ``xs:int`` is more likely to correspond to another numeric
+element than to a date.  The matcher scores pairs of coarse
+:class:`~repro.schema.node.DataType` values with a symmetric compatibility
+table; unknown types contribute a neutral score so that purely structural
+schemas are not penalized.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.matchers.base import ElementMatcher, MatchContext
+from repro.schema.node import DataType, SchemaNode
+
+#: Symmetric compatibility scores between type families.  Missing pairs score 0.
+_COMPATIBILITY: Dict[FrozenSet[DataType], float] = {}
+
+
+def _set_compatibility(first: DataType, second: DataType, score: float) -> None:
+    _COMPATIBILITY[frozenset((first, second))] = score
+
+
+for _type in DataType:
+    _set_compatibility(_type, _type, 1.0)
+
+_set_compatibility(DataType.INTEGER, DataType.DECIMAL, 0.9)
+_set_compatibility(DataType.INTEGER, DataType.STRING, 0.4)
+_set_compatibility(DataType.DECIMAL, DataType.STRING, 0.4)
+_set_compatibility(DataType.BOOLEAN, DataType.STRING, 0.3)
+_set_compatibility(DataType.BOOLEAN, DataType.INTEGER, 0.5)
+_set_compatibility(DataType.DATE, DataType.DATETIME, 0.9)
+_set_compatibility(DataType.TIME, DataType.DATETIME, 0.8)
+_set_compatibility(DataType.DATE, DataType.TIME, 0.4)
+_set_compatibility(DataType.DATE, DataType.STRING, 0.4)
+_set_compatibility(DataType.DATETIME, DataType.STRING, 0.4)
+_set_compatibility(DataType.TIME, DataType.STRING, 0.4)
+_set_compatibility(DataType.ANY_URI, DataType.STRING, 0.6)
+_set_compatibility(DataType.ID, DataType.IDREF, 0.7)
+_set_compatibility(DataType.ID, DataType.STRING, 0.4)
+_set_compatibility(DataType.IDREF, DataType.STRING, 0.4)
+_set_compatibility(DataType.ID, DataType.INTEGER, 0.5)
+
+
+class DataTypeMatcher(ElementMatcher):
+    """Scores the compatibility of two elements' declared simple types.
+
+    Parameters
+    ----------
+    unknown_score:
+        Score used when either side's type is :attr:`DataType.UNKNOWN` (complex
+        content or undeclared).  A neutral 0.5 keeps the matcher from vetoing
+        pairs it has no information about.
+    """
+
+    name = "datatype"
+    is_structural = False
+
+    def __init__(self, unknown_score: float = 0.5) -> None:
+        if not 0.0 <= unknown_score <= 1.0:
+            raise ValueError(f"unknown_score must be in [0, 1], got {unknown_score}")
+        self.unknown_score = unknown_score
+
+    def similarity(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        first = personal_node.datatype
+        second = repository_node.datatype
+        if first is DataType.UNKNOWN or second is DataType.UNKNOWN:
+            return self.unknown_score
+        return _COMPATIBILITY.get(frozenset((first, second)), 0.0)
+
+
+def compatibility(first: DataType, second: DataType) -> float:
+    """The raw compatibility score between two data types (symmetric)."""
+    return _COMPATIBILITY.get(frozenset((first, second)), 0.0)

@@ -1,0 +1,175 @@
+"""Element matching stage: producing *mapping elements*.
+
+Step 2-3 of the paper's architecture: every personal-schema element is compared
+against every repository element; pairs whose similarity index clears a
+threshold become *mapping elements*.  :class:`MappingElementSets` is the data
+structure handed to the clusterer (step c) and to the mapping generator (step
+4): for each personal node it stores the candidate repository nodes with their
+similarity indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import MatcherError
+from repro.matchers.base import ElementMatcher, MatchContext
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.schema.tree import SchemaTree
+from repro.utils.counters import CounterSet
+
+
+@dataclass(frozen=True, order=True)
+class MappingElement:
+    """One candidate element mapping ``n -> n'`` with its similarity index.
+
+    Ordering is by (personal node, global repository id) so sorted collections
+    of mapping elements are deterministic regardless of discovery order.
+    """
+
+    personal_node_id: int
+    ref: RepositoryNodeRef
+    similarity: float = field(compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MappingElement(n={self.personal_node_id}, n'={self.ref.global_id}, "
+            f"sim={self.similarity:.3f})"
+        )
+
+
+class MappingElementSets:
+    """Mapping elements grouped by personal-schema node (the paper's ``MEn`` sets)."""
+
+    def __init__(self, personal_node_ids: Sequence[int]) -> None:
+        if not personal_node_ids:
+            raise MatcherError("a mapping-element collection needs at least one personal node")
+        self._sets: Dict[int, List[MappingElement]] = {node_id: [] for node_id in personal_node_ids}
+
+    def add(self, element: MappingElement) -> None:
+        if element.personal_node_id not in self._sets:
+            raise MatcherError(
+                f"personal node {element.personal_node_id} is not part of this matching problem"
+            )
+        self._sets[element.personal_node_id].append(element)
+
+    @property
+    def personal_node_ids(self) -> List[int]:
+        return list(self._sets)
+
+    def elements_for(self, personal_node_id: int) -> List[MappingElement]:
+        if personal_node_id not in self._sets:
+            raise MatcherError(f"personal node {personal_node_id} is not part of this matching problem")
+        return list(self._sets[personal_node_id])
+
+    def all_elements(self) -> List[MappingElement]:
+        return [element for elements in self._sets.values() for element in elements]
+
+    def sizes(self) -> Dict[int, int]:
+        """Number of mapping elements per personal node (``|MEn|``)."""
+        return {node_id: len(elements) for node_id, elements in self._sets.items()}
+
+    def total(self) -> int:
+        return sum(len(elements) for elements in self._sets.values())
+
+    def smallest_set_node(self) -> int:
+        """The personal node with the fewest mapping elements (``MEmin``).
+
+        Used by the paper's centroid initialization heuristic: every element of
+        the smallest set is declared an initial centroid.
+        """
+        return min(self._sets, key=lambda node_id: (len(self._sets[node_id]), node_id))
+
+    def restrict_to_refs(self, global_ids: set[int]) -> "MappingElementSets":
+        """A copy containing only mapping elements whose repository node is in ``global_ids``.
+
+        The mapping generator calls this once per cluster: the cluster's member
+        set restricts the candidate lists.
+        """
+        restricted = MappingElementSets(self.personal_node_ids)
+        for node_id, elements in self._sets.items():
+            for element in elements:
+                if element.ref.global_id in global_ids:
+                    restricted.add(element)
+        return restricted
+
+    def is_complete(self) -> bool:
+        """True when every personal node has at least one candidate (a *useful* set)."""
+        return all(self._sets.values())
+
+    def __iter__(self) -> Iterator[Tuple[int, List[MappingElement]]]:
+        return iter(self._sets.items())
+
+    def __len__(self) -> int:
+        return len(self._sets)
+
+
+class MappingElementSelector:
+    """Runs an element matcher over (personal schema × repository) and selects candidates.
+
+    Parameters
+    ----------
+    matcher:
+        The element matcher (or combination) producing similarity indexes.
+    threshold:
+        Minimum similarity index for a pair to become a mapping element.  The
+        paper keeps pairs with a "non-zero" index; a small positive threshold is
+        the practical equivalent and keeps candidate lists (and thus the search
+        space) meaningful.
+    top_k:
+        Optional cap on the number of candidates kept per personal node (best
+        ``k`` by similarity).  ``None`` keeps everything above the threshold.
+    """
+
+    def __init__(
+        self,
+        matcher: ElementMatcher,
+        threshold: float = 0.5,
+        top_k: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise MatcherError(f"selection threshold must be in [0, 1], got {threshold}")
+        if top_k is not None and top_k < 1:
+            raise MatcherError(f"top_k must be positive when given, got {top_k}")
+        self.matcher = matcher
+        self.threshold = threshold
+        self.top_k = top_k
+
+    def select(
+        self,
+        personal_schema: SchemaTree,
+        repository: SchemaRepository,
+        counters: Optional[CounterSet] = None,
+    ) -> MappingElementSets:
+        """Compare every personal node with every repository node and keep candidates."""
+        counters = counters if counters is not None else CounterSet()
+        personal_ids = list(personal_schema.node_ids())
+        sets = MappingElementSets(personal_ids)
+
+        needs_context = getattr(self.matcher, "is_structural", False)
+        for personal_id in personal_ids:
+            personal_node = personal_schema.node(personal_id)
+            candidates: List[MappingElement] = []
+            for ref, repository_node in repository.iter_nodes():
+                context = None
+                if needs_context:
+                    context = MatchContext(
+                        personal_schema=personal_schema,
+                        repository=repository,
+                        personal_node_id=personal_id,
+                        repository_ref=ref,
+                    )
+                score = self.matcher(personal_node, repository_node, context)
+                counters.increment("element_comparisons")
+                if score >= self.threshold and score > 0.0:
+                    candidates.append(
+                        MappingElement(personal_node_id=personal_id, ref=ref, similarity=score)
+                    )
+            if self.top_k is not None and len(candidates) > self.top_k:
+                candidates.sort(key=lambda element: (-element.similarity, element.ref.global_id))
+                candidates = candidates[: self.top_k]
+            for element in sorted(candidates):
+                sets.add(element)
+            counters.increment("mapping_elements", len(candidates))
+        return sets

@@ -1,0 +1,203 @@
+"""String similarity metrics.
+
+Bellflower's only element matcher compares element names with the commercial
+``CompareStringFuzzy`` function, described in the paper as "a normalized string
+similarity based on character substitution, insertion, exclusion, and
+transposition".  That operation set is exactly the Damerau–Levenshtein edit
+distance; :func:`fuzzy_similarity` normalizes it to ``[0, 1]``.
+
+Additional metrics (plain Levenshtein, Jaro–Winkler, character n-grams) are
+provided because the token-based name matcher and the ablation benchmarks use
+them, and because schema matching systems commonly combine several string
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+
+def levenshtein_distance(first: str, second: str) -> int:
+    """Classic edit distance (substitution, insertion, deletion)."""
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    # Keep the shorter string in the inner dimension to minimize memory.
+    if len(second) > len(first):
+        first, second = second, first
+    previous = list(range(len(second) + 1))
+    for i, first_char in enumerate(first, start=1):
+        current = [i] + [0] * len(second)
+        for j, second_char in enumerate(second, start=1):
+            cost = 0 if first_char == second_char else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost,  # substitution
+            )
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(first: str, second: str) -> int:
+    """Edit distance with substitution, insertion, deletion and transposition.
+
+    This is the unrestricted Damerau–Levenshtein distance (transpositions of
+    adjacent characters count as one operation even when further edits occur
+    between them), matching the operation set of ``CompareStringFuzzy``.
+    """
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+
+    alphabet: Dict[str, int] = {}
+    for char in first + second:
+        alphabet.setdefault(char, 0)
+
+    infinity = len(first) + len(second)
+    # Matrix with an extra border row/column for the transposition recurrence.
+    height = len(first) + 2
+    width = len(second) + 2
+    table: List[List[int]] = [[0] * width for _ in range(height)]
+    table[0][0] = infinity
+    for i in range(len(first) + 1):
+        table[i + 1][1] = i
+        table[i + 1][0] = infinity
+    for j in range(len(second) + 1):
+        table[1][j + 1] = j
+        table[0][j + 1] = infinity
+
+    last_row: Dict[str, int] = dict.fromkeys(alphabet, 0)
+    for i in range(1, len(first) + 1):
+        last_match_column = 0
+        for j in range(1, len(second) + 1):
+            row_of_last_match = last_row[second[j - 1]]
+            column_of_last_match = last_match_column
+            if first[i - 1] == second[j - 1]:
+                cost = 0
+                last_match_column = j
+            else:
+                cost = 1
+            table[i + 1][j + 1] = min(
+                table[i][j] + cost,                      # substitution / match
+                table[i + 1][j] + 1,                     # insertion
+                table[i][j + 1] + 1,                     # deletion (exclusion)
+                table[row_of_last_match][column_of_last_match]
+                + (i - row_of_last_match - 1)
+                + 1
+                + (j - column_of_last_match - 1),        # transposition
+            )
+        last_row[first[i - 1]] = i
+    return table[len(first) + 1][len(second) + 1]
+
+
+def fuzzy_similarity(first: str, second: str, case_sensitive: bool = False) -> float:
+    """Normalized Damerau–Levenshtein similarity in ``[0, 1]``.
+
+    ``1.0`` means identical strings (after optional case folding); ``0.0`` means
+    the edit distance equals the longer string's length (no shared structure).
+    This is the library's stand-in for the paper's ``CompareStringFuzzy``.
+    """
+    if not case_sensitive:
+        first = first.lower()
+        second = second.lower()
+    if not first and not second:
+        return 1.0
+    longest = max(len(first), len(second))
+    if longest == 0:
+        return 1.0
+    distance = damerau_levenshtein_distance(first, second)
+    return max(0.0, 1.0 - distance / longest)
+
+
+def jaro_similarity(first: str, second: str) -> float:
+    """Jaro similarity in ``[0, 1]``."""
+    if first == second:
+        return 1.0
+    if not first or not second:
+        return 0.0
+    match_window = max(len(first), len(second)) // 2 - 1
+    match_window = max(match_window, 0)
+    first_matches = [False] * len(first)
+    second_matches = [False] * len(second)
+
+    matches = 0
+    for i, char in enumerate(first):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(second))
+        for j in range(start, end):
+            if second_matches[j] or second[j] != char:
+                continue
+            first_matches[i] = True
+            second_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(first_matches):
+        if not matched:
+            continue
+        while not second_matches[j]:
+            j += 1
+        if first[i] != second[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(first) + matches / len(second) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(first: str, second: str, prefix_scale: float = 0.1) -> float:
+    """Jaro–Winkler similarity: Jaro boosted by the length of the common prefix."""
+    if not 0.0 <= prefix_scale <= 0.25:
+        raise ValueError(f"prefix_scale must be in [0, 0.25], got {prefix_scale}")
+    jaro = jaro_similarity(first, second)
+    prefix = 0
+    for a, b in zip(first, second):
+        if a != b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def _ngrams(text: str, size: int) -> Set[str]:
+    padded = f"{'#' * (size - 1)}{text}{'#' * (size - 1)}" if size > 1 else text
+    return {padded[i : i + size] for i in range(len(padded) - size + 1)} if padded else set()
+
+
+def ngram_similarity(first: str, second: str, size: int = 3, case_sensitive: bool = False) -> float:
+    """Dice coefficient over character n-grams (default trigrams)."""
+    if size < 1:
+        raise ValueError(f"n-gram size must be positive, got {size}")
+    if not case_sensitive:
+        first = first.lower()
+        second = second.lower()
+    if first == second:
+        return 1.0
+    first_grams = _ngrams(first, size)
+    second_grams = _ngrams(second, size)
+    if not first_grams or not second_grams:
+        return 0.0
+    overlap = len(first_grams & second_grams)
+    return 2.0 * overlap / (len(first_grams) + len(second_grams))
+
+
+def longest_common_prefix(first: str, second: str) -> int:
+    """Length of the longest common prefix of two strings."""
+    length = 0
+    for a, b in zip(first, second):
+        if a != b:
+            break
+        length += 1
+    return length

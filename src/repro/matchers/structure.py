@@ -1,0 +1,122 @@
+"""Structural-context element matcher.
+
+A simplified Cupid-style ``TreeMatch``: the structural context of an element is
+approximated by the names of its parent, its children and its root path, and
+two elements are similar when these neighborhoods are similar.  The matcher is
+*structural* — it needs the surrounding trees, which it obtains from the
+:class:`~repro.matchers.base.MatchContext` — and is used by the non-generic
+clustered-matching variant discussed in Sec. 2.3 of the paper (localized
+matchers before clustering, structural matchers after) and by the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import MatcherError
+from repro.matchers.base import ElementMatcher, MatchContext
+from repro.matchers.string_metrics import fuzzy_similarity
+from repro.schema.node import SchemaNode
+from repro.schema.tree import SchemaTree
+
+
+def _best_alignment_score(first: Sequence[str], second: Sequence[str]) -> float:
+    """Greedy best-pair alignment of two name lists, averaged over the shorter list."""
+    if not first or not second:
+        return 0.0
+    shorter, longer = (first, second) if len(first) <= len(second) else (second, first)
+    available = [name.lower() for name in longer]
+    total = 0.0
+    for name in shorter:
+        lowered = name.lower()
+        best_index = -1
+        best_score = 0.0
+        for index, candidate in enumerate(available):
+            score = fuzzy_similarity(lowered, candidate, case_sensitive=True)
+            if score > best_score:
+                best_score = score
+                best_index = index
+        total += best_score
+        if best_index >= 0:
+            available.pop(best_index)
+    return total / len(shorter)
+
+
+class StructuralContextMatcher(ElementMatcher):
+    """Compares the tree neighborhoods of two elements.
+
+    The score is a weighted mix of three components:
+
+    * parent-name similarity (weight ``parent_weight``),
+    * greedy alignment of children names (weight ``children_weight``),
+    * greedy alignment of root-path names (weight ``path_weight``).
+
+    Weights must sum to 1.  Elements lacking a component (e.g. the root has no
+    parent) redistribute its weight over the remaining components.
+    """
+
+    name = "structure"
+    is_structural = True
+
+    def __init__(self, parent_weight: float = 0.3, children_weight: float = 0.4, path_weight: float = 0.3) -> None:
+        total = parent_weight + children_weight + path_weight
+        if abs(total - 1.0) > 1e-9:
+            raise MatcherError(
+                f"structure matcher weights must sum to 1.0, got {total:.4f}"
+            )
+        if min(parent_weight, children_weight, path_weight) < 0:
+            raise MatcherError("structure matcher weights must be non-negative")
+        self.parent_weight = parent_weight
+        self.children_weight = children_weight
+        self.path_weight = path_weight
+
+    @staticmethod
+    def _parent_name(tree: SchemaTree, node_id: int) -> Optional[str]:
+        parent_id = tree.parent_id(node_id)
+        return None if parent_id is None else tree.node(parent_id).name
+
+    @staticmethod
+    def _children_names(tree: SchemaTree, node_id: int) -> List[str]:
+        return [tree.node(child_id).name for child_id in tree.children_ids(node_id)]
+
+    def similarity(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        if context is None:
+            # Without tree context the matcher can only fall back to comparing
+            # the two names, which at least keeps it usable standalone.
+            return fuzzy_similarity(personal_node.name, repository_node.name)
+
+        personal_tree = context.personal_schema
+        repository_tree = context.repository.tree(context.repository_ref.tree_id)
+        personal_id = context.personal_node_id
+        repository_id = context.repository_ref.node_id
+
+        components: List[tuple[float, float]] = []  # (weight, score)
+
+        personal_parent = self._parent_name(personal_tree, personal_id)
+        repository_parent = self._parent_name(repository_tree, repository_id)
+        if personal_parent is not None and repository_parent is not None:
+            components.append((self.parent_weight, fuzzy_similarity(personal_parent, repository_parent)))
+
+        personal_children = self._children_names(personal_tree, personal_id)
+        repository_children = self._children_names(repository_tree, repository_id)
+        if personal_children and repository_children:
+            components.append((self.children_weight, _best_alignment_score(personal_children, repository_children)))
+        elif not personal_children and not repository_children:
+            # Both leaves: structurally compatible.
+            components.append((self.children_weight, 1.0))
+
+        personal_path = personal_tree.root_path_names(personal_id)[:-1]
+        repository_path = repository_tree.root_path_names(repository_id)[:-1]
+        if personal_path and repository_path:
+            components.append((self.path_weight, _best_alignment_score(personal_path, repository_path)))
+
+        if not components:
+            return 0.0
+        total_weight = sum(weight for weight, _ in components)
+        return sum(weight * score for weight, score in components) / total_weight

@@ -1,0 +1,106 @@
+"""A small synonym dictionary for element-name matching.
+
+COMA and similar systems consult synonym dictionaries as one of their name
+hints.  This module provides a symmetric, group-based dictionary with a default
+vocabulary tuned to the domains used by the workload generator (bibliographic,
+commerce, contact data), plus lookup helpers used by the token name matcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set
+
+#: Groups of mutually synonymous tokens.  Kept lowercase; tokens are compared
+#: after :func:`repro.matchers.tokenize.normalize_name` style normalization.
+_DEFAULT_GROUPS: List[Set[str]] = [
+    {"author", "writer", "creator"},
+    {"book", "publication", "title", "volume"},
+    {"name", "label", "designation"},
+    {"address", "location", "residence"},
+    {"email", "mail", "e-mail", "electronicmail"},
+    {"phone", "telephone", "tel"},
+    {"price", "cost", "amount", "charge"},
+    {"customer", "client", "buyer", "purchaser"},
+    {"order", "purchase"},
+    {"item", "product", "article", "good"},
+    {"quantity", "count", "number", "amount"},
+    {"shipment", "delivery", "shipping"},
+    {"person", "individual", "people"},
+    {"company", "organization", "firm", "business"},
+    {"employee", "worker", "staff"},
+    {"date", "day"},
+    {"identifier", "id", "key", "code"},
+    {"city", "town"},
+    {"country", "nation", "state"},
+    {"zipcode", "postcode", "postalcode", "zip"},
+    {"publisher", "press"},
+    {"journal", "magazine", "periodical"},
+    {"library", "repository", "collection", "archive"},
+    {"chapter", "section"},
+    {"summary", "abstract", "description"},
+    {"subject", "topic", "category", "genre"},
+    {"page", "sheet"},
+    {"first", "given"},
+    {"last", "family", "sur"},
+    {"street", "road", "avenue"},
+    {"department", "division", "unit"},
+    {"salary", "wage", "pay"},
+    {"invoice", "bill", "receipt"},
+]
+
+
+class SynonymDictionary:
+    """A symmetric synonym lookup built from groups of equivalent tokens."""
+
+    def __init__(self, groups: Iterable[Iterable[str]] = ()) -> None:
+        self._group_of: Dict[str, int] = {}
+        self._groups: List[Set[str]] = []
+        for group in groups:
+            self.add_group(group)
+
+    def add_group(self, tokens: Iterable[str]) -> None:
+        """Register a group of mutually synonymous tokens (merged if overlapping)."""
+        normalized = {token.strip().lower() for token in tokens if token and token.strip()}
+        if len(normalized) < 2:
+            return
+        overlapping = {self._group_of[token] for token in normalized if token in self._group_of}
+        if overlapping:
+            # Merge all touched groups plus the new tokens into one.
+            merged: Set[str] = set(normalized)
+            for index in overlapping:
+                merged |= self._groups[index]
+                self._groups[index] = set()
+            self._groups.append(merged)
+        else:
+            self._groups.append(normalized)
+        new_index = len(self._groups) - 1
+        for token in self._groups[new_index]:
+            self._group_of[token] = new_index
+
+    def are_synonyms(self, first: str, second: str) -> bool:
+        """True when the two tokens belong to the same synonym group."""
+        first = first.strip().lower()
+        second = second.strip().lower()
+        if first == second:
+            return True
+        first_group = self._group_of.get(first)
+        return first_group is not None and first_group == self._group_of.get(second)
+
+    def synonyms_of(self, token: str) -> FrozenSet[str]:
+        """All synonyms of a token (excluding the token itself)."""
+        token = token.strip().lower()
+        index = self._group_of.get(token)
+        if index is None:
+            return frozenset()
+        return frozenset(self._groups[index] - {token})
+
+    def __contains__(self, token: str) -> bool:
+        return token.strip().lower() in self._group_of
+
+    def __len__(self) -> int:
+        return sum(1 for group in self._groups if group)
+
+
+def default_synonyms() -> SynonymDictionary:
+    """The built-in synonym dictionary used by examples and the token matcher."""
+    return SynonymDictionary(_DEFAULT_GROUPS)

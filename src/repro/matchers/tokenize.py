@@ -1,0 +1,98 @@
+"""Element-name tokenization and normalization.
+
+Schema element names harvested from the web mix naming conventions:
+``authorName``, ``author_name``, ``AUTHOR-NAME``, ``authname``.  The token
+matcher and the synonym dictionary operate on normalized token lists so that
+these spellings compare as equal or near-equal.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+_DIGIT_BOUNDARY = re.compile(r"(?<=[a-zA-Z])(?=\d)|(?<=\d)(?=[a-zA-Z])")
+
+#: Common abbreviations seen in real-world schema element names.  The table is
+#: intentionally small and conservative; it can be extended per deployment.
+DEFAULT_ABBREVIATIONS: Dict[str, str] = {
+    "addr": "address",
+    "amt": "amount",
+    "auth": "author",
+    "cat": "category",
+    "cfg": "configuration",
+    "cnt": "count",
+    "cust": "customer",
+    "desc": "description",
+    "dept": "department",
+    "dob": "birthdate",
+    "doc": "document",
+    "emp": "employee",
+    "fname": "firstname",
+    "id": "identifier",
+    "img": "image",
+    "info": "information",
+    "lang": "language",
+    "lname": "lastname",
+    "loc": "location",
+    "msg": "message",
+    "no": "number",
+    "num": "number",
+    "org": "organization",
+    "pub": "publisher",
+    "qty": "quantity",
+    "ref": "reference",
+    "tel": "telephone",
+    "uid": "identifier",
+    "zip": "zipcode",
+}
+
+
+def split_camel_case(name: str) -> List[str]:
+    """Split ``camelCase``/``PascalCase`` boundaries without lowercasing."""
+    if not name:
+        return []
+    return [part for part in _CAMEL_BOUNDARY.split(name) if part]
+
+
+def tokenize_name(name: str) -> List[str]:
+    """Split an element name into lowercase tokens.
+
+    Handles delimiter characters (``_``, ``-``, ``.``, whitespace), camelCase
+    boundaries and letter/digit boundaries:
+
+    >>> tokenize_name("authorFirstName")
+    ['author', 'first', 'name']
+    >>> tokenize_name("ship_to-address2")
+    ['ship', 'to', 'address', '2']
+    """
+    if not name:
+        return []
+    pieces = [piece for piece in _NON_ALNUM.split(name) if piece]
+    tokens: List[str] = []
+    for piece in pieces:
+        for camel_part in split_camel_case(piece):
+            for part in _DIGIT_BOUNDARY.split(camel_part):
+                if part:
+                    tokens.append(part.lower())
+    return tokens
+
+
+def expand_abbreviations(tokens: Sequence[str], table: Dict[str, str] | None = None) -> List[str]:
+    """Replace known abbreviations in a token list with their expansions."""
+    mapping = DEFAULT_ABBREVIATIONS if table is None else table
+    return [mapping.get(token, token) for token in tokens]
+
+
+def normalize_name(name: str, expand: bool = True) -> str:
+    """Canonical single-string form of a name: tokenized, expanded, joined.
+
+    >>> normalize_name("custAddr")
+    'customer address'
+    """
+    tokens = tokenize_name(name)
+    if expand:
+        tokens = expand_abbreviations(tokens)
+    return " ".join(tokens)

@@ -1,0 +1,20 @@
+"""Objective functions for schema mappings.
+
+The objective function ``Δ(s, t) -> [0, 1]`` approximates the semantic
+correctness of a schema mapping.  Bellflower combines a name-similarity hint
+(Eq. 1) with a path-length hint (Eq. 2) through a weighted sum controlled by
+``α`` (Eq. 3).  The package also provides the admissible *bounding function*
+that the Branch-and-Bound mapping generator uses to prune partial mappings
+early.
+"""
+
+from repro.objective.base import MappingEvaluation, ObjectiveFunction
+from repro.objective.bellflower import BellflowerObjective, NameOnlyObjective, PathOnlyObjective
+
+__all__ = [
+    "BellflowerObjective",
+    "MappingEvaluation",
+    "NameOnlyObjective",
+    "ObjectiveFunction",
+    "PathOnlyObjective",
+]

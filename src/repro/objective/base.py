@@ -1,0 +1,88 @@
+"""The objective-function interface.
+
+An objective function evaluates complete schema mappings and — crucially for
+Branch-and-Bound — provides an *optimistic bound* for partial mappings: an
+upper bound on the similarity index any completion of the partial mapping can
+reach.  A bound that is not admissible (i.e. that can underestimate) would make
+B&B silently drop valid mappings, so the property-based tests check admissibility
+explicitly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.matchers.selection import MappingElement
+from repro.schema.tree import SchemaTree
+
+
+@dataclass(frozen=True)
+class MappingEvaluation:
+    """The result of evaluating a (complete) schema mapping.
+
+    Attributes
+    ----------
+    score:
+        The combined similarity index ``Δ(s, t)``.
+    components:
+        Per-hint scores (e.g. ``{"sim": 0.92, "path": 0.85}``) for reports.
+    target_edge_count:
+        ``|Et|`` — the number of edges of the mapping subtree ``t``.
+    """
+
+    score: float
+    components: Dict[str, float]
+    target_edge_count: int
+
+
+class ObjectiveFunction(abc.ABC):
+    """Evaluates schema mappings and bounds partial ones."""
+
+    #: Name used in experiment reports.
+    name: str = "objective"
+
+    @abc.abstractmethod
+    def evaluate(
+        self,
+        personal_schema: SchemaTree,
+        assignment: Mapping[int, MappingElement],
+        target_edge_count: int,
+    ) -> MappingEvaluation:
+        """Score a complete mapping.
+
+        Parameters
+        ----------
+        personal_schema:
+            The personal schema ``s``.
+        assignment:
+            One mapping element per personal node id (a complete assignment).
+        target_edge_count:
+            ``|Et|`` of the induced mapping subtree, computed by the caller via
+            the distance oracle (the objective function itself stays oblivious
+            to how paths were obtained).
+        """
+
+    @abc.abstractmethod
+    def bound(
+        self,
+        personal_schema: SchemaTree,
+        assignment: Mapping[int, MappingElement],
+        best_remaining_similarity: Mapping[int, float],
+        partial_target_edge_count: int,
+    ) -> float:
+        """Optimistic upper bound on the score of any completion of ``assignment``.
+
+        Parameters
+        ----------
+        assignment:
+            The partial assignment built so far.
+        best_remaining_similarity:
+            For every still-unassigned personal node, the maximum element
+            similarity available among its remaining candidates.
+        partial_target_edge_count:
+            ``|Et|`` of the union of paths between already-assigned nodes.  The
+            final ``|Et|`` can only be larger or equal, which is what makes a
+            bound based on it admissible.
+        """

@@ -1,0 +1,47 @@
+"""Schema data model: nodes, edges, graphs, trees, repositories and parsers.
+
+This package implements Definition 1 of the paper (the *schema graph*
+``PS = (N, E, I, H)``) together with the tree specialization that the rest of
+the system operates on, the repository (a forest of schema trees), a fluent
+builder, XSD and DTD ingestion, JSON serialization and structural statistics.
+"""
+
+from repro.schema.node import DataType, NodeKind, SchemaNode
+from repro.schema.graph import SchemaEdge, SchemaGraph
+from repro.schema.tree import SchemaTree
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.schema.builder import TreeBuilder
+from repro.schema.xsd_parser import parse_xsd, parse_xsd_file
+from repro.schema.dtd_parser import parse_dtd, parse_dtd_file
+from repro.schema.serialization import (
+    repository_from_dict,
+    repository_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.schema.stats import RepositoryStatistics, TreeStatistics
+from repro.schema.validation import validate_repository, validate_tree
+
+__all__ = [
+    "DataType",
+    "NodeKind",
+    "RepositoryNodeRef",
+    "RepositoryStatistics",
+    "SchemaEdge",
+    "SchemaGraph",
+    "SchemaNode",
+    "SchemaRepository",
+    "SchemaTree",
+    "TreeBuilder",
+    "TreeStatistics",
+    "parse_dtd",
+    "parse_dtd_file",
+    "parse_xsd",
+    "parse_xsd_file",
+    "repository_from_dict",
+    "repository_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+    "validate_repository",
+    "validate_tree",
+]

@@ -1,0 +1,117 @@
+"""A fluent builder for schema trees.
+
+Personal schemas in the paper are small hand-written trees (e.g. ``book`` with
+``title`` and ``author`` children).  ``TreeBuilder`` makes such trees trivial to
+express in code and in tests, including a nested-dictionary shorthand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import SchemaError
+from repro.schema.node import DataType, NodeKind, SchemaNode, parse_datatype
+from repro.schema.tree import SchemaTree
+
+NestedSpec = Union[str, Mapping[str, Any], Sequence[Any]]
+
+
+class TreeBuilder:
+    """Incrementally build a :class:`SchemaTree`.
+
+    Example
+    -------
+    >>> builder = TreeBuilder("personal")
+    >>> root = builder.root("book")
+    >>> _ = builder.child(root, "title", datatype="string")
+    >>> _ = builder.child(root, "author")
+    >>> tree = builder.build()
+    >>> tree.node_count
+    3
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self._tree = SchemaTree(name=name)
+        self._built = False
+
+    def root(self, name: str, *, kind: NodeKind | str = NodeKind.ELEMENT, datatype: DataType | str | None = None, **properties: Any) -> int:
+        """Create the root node and return its node id."""
+        node = self._make_node(name, kind, datatype, properties)
+        return self._tree.add_root(node).node_id
+
+    def child(self, parent_id: int, name: str, *, kind: NodeKind | str = NodeKind.ELEMENT, datatype: DataType | str | None = None, **properties: Any) -> int:
+        """Create a child of ``parent_id`` and return its node id."""
+        node = self._make_node(name, kind, datatype, properties)
+        return self._tree.add_child(parent_id, node).node_id
+
+    def attribute(self, parent_id: int, name: str, *, datatype: DataType | str | None = None, **properties: Any) -> int:
+        """Shorthand for adding an attribute node."""
+        return self.child(parent_id, name, kind=NodeKind.ATTRIBUTE, datatype=datatype, **properties)
+
+    def build(self) -> SchemaTree:
+        """Finalize and return the tree.  The builder cannot be reused afterwards."""
+        if self._built:
+            raise SchemaError("TreeBuilder.build() may only be called once")
+        if self._tree.node_count == 0:
+            raise SchemaError("cannot build an empty schema tree")
+        self._built = True
+        return self._tree
+
+    @staticmethod
+    def _make_node(name: str, kind: NodeKind | str, datatype: DataType | str | None, properties: Mapping[str, Any]) -> SchemaNode:
+        if isinstance(datatype, DataType):
+            resolved_type = datatype
+        else:
+            resolved_type = parse_datatype(datatype) if datatype else DataType.UNKNOWN
+        resolved_kind = kind if isinstance(kind, NodeKind) else NodeKind(kind)
+        return SchemaNode(name=name, kind=resolved_kind, datatype=resolved_type, properties=dict(properties))
+
+    # -- declarative construction ------------------------------------------------
+
+    @classmethod
+    def from_nested(cls, spec: Mapping[str, NestedSpec], name: str = "schema") -> SchemaTree:
+        """Build a tree from a nested-dictionary specification.
+
+        The specification maps the root name to its children.  Children can be a
+        string (leaf), a list of specs, or a mapping for deeper nesting:
+
+        >>> tree = TreeBuilder.from_nested({"book": ["title", {"author": ["name"]}]})
+        >>> sorted(tree.names())
+        ['author', 'book', 'name', 'title']
+        """
+        if len(spec) != 1:
+            raise SchemaError("a nested tree specification must have exactly one root")
+        builder = cls(name=name)
+        (root_name, children), = spec.items()
+        root_id = builder.root(root_name)
+        builder._add_nested_children(root_id, children)
+        return builder.build()
+
+    def _add_nested_children(self, parent_id: int, children: NestedSpec | None) -> None:
+        if children is None:
+            return
+        if isinstance(children, str):
+            self.child(parent_id, children)
+            return
+        if isinstance(children, Mapping):
+            for child_name, grandchildren in children.items():
+                child_id = self.child(parent_id, child_name)
+                self._add_nested_children(child_id, grandchildren)
+            return
+        if isinstance(children, Sequence):
+            for entry in children:
+                if isinstance(entry, str):
+                    self.child(parent_id, entry)
+                elif isinstance(entry, Mapping):
+                    for child_name, grandchildren in entry.items():
+                        child_id = self.child(parent_id, child_name)
+                        self._add_nested_children(child_id, grandchildren)
+                else:
+                    raise SchemaError(f"unsupported nested specification entry: {entry!r}")
+            return
+        raise SchemaError(f"unsupported nested specification: {children!r}")
+
+
+def personal_schema(spec: Mapping[str, NestedSpec], name: str = "personal") -> SchemaTree:
+    """Convenience wrapper used by examples: build a personal schema from a dict."""
+    return TreeBuilder.from_nested(spec, name=name)

@@ -1,0 +1,166 @@
+"""DTD ingestion.
+
+Most of the schemas in the paper's web-harvested repository are DTDs.  This is
+a small, dependency-free DTD parser covering the declarations that matter for
+schema matching:
+
+* ``<!ELEMENT name (content-model)>`` — children extracted from the content
+  model (sequence/choice/occurrence markers are irrelevant for matching, only
+  the set of child element names matters);
+* ``<!ATTLIST name attr TYPE default ...>`` — attributes attached to their
+  element;
+* comments and parameter entities are tolerated (entities are expanded when
+  declared inline, otherwise ignored).
+
+Each element that is never used as a child of another element is considered a
+possible document root and yields one schema tree, mirroring the paper's note
+that "one schema can have multiple roots, each represented with one tree".
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchemaParseError
+from repro.schema.node import DataType, NodeKind, SchemaNode, parse_datatype
+from repro.schema.tree import SchemaTree
+
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([\w.:-]+)\s+(.*?)>", re.DOTALL)
+_ATTLIST_RE = re.compile(r"<!ATTLIST\s+([\w.:-]+)\s+(.*?)>", re.DOTALL)
+_ENTITY_RE = re.compile(r"<!ENTITY\s+%\s+([\w.:-]+)\s+\"(.*?)\"\s*>", re.DOTALL)
+_NAME_RE = re.compile(r"[\w.:-]+")
+_ATTDEF_RE = re.compile(
+    r"([\w.:-]+)\s+"                                   # attribute name
+    r"(CDATA|ID|IDREF|IDREFS|NMTOKEN|NMTOKENS|ENTITY|ENTITIES|NOTATION|\([^)]*\))\s+"
+    r"(#REQUIRED|#IMPLIED|#FIXED\s+\"[^\"]*\"|\"[^\"]*\"|'[^']*')",
+    re.DOTALL,
+)
+
+_RESERVED_CONTENT_WORDS = {"EMPTY", "ANY", "#PCDATA"}
+
+
+class DtdParser:
+    """Convert a DTD document into a list of :class:`SchemaTree` objects."""
+
+    def __init__(self, max_depth: int = 12) -> None:
+        if max_depth < 1:
+            raise SchemaParseError("max_depth must be at least 1")
+        self.max_depth = max_depth
+
+    def parse(self, text: str, schema_name: str = "dtd") -> List[SchemaTree]:
+        text = _COMMENT_RE.sub("", text)
+        text = self._expand_entities(text)
+
+        elements: Dict[str, List[str]] = {}
+        for match in _ELEMENT_RE.finditer(text):
+            name, content = match.group(1), match.group(2)
+            elements[name] = self._children_from_content(content)
+
+        if not elements:
+            raise SchemaParseError(f"DTD {schema_name!r} declares no elements")
+
+        attributes: Dict[str, List[Tuple[str, DataType]]] = {}
+        for match in _ATTLIST_RE.finditer(text):
+            owner, body = match.group(1), match.group(2)
+            declared = attributes.setdefault(owner, [])
+            for attr in _ATTDEF_RE.finditer(body):
+                attr_name, attr_type = attr.group(1), attr.group(2)
+                datatype = DataType.STRING if attr_type.startswith("(") else parse_datatype(attr_type)
+                declared.append((attr_name, datatype))
+
+        roots = self._find_roots(elements)
+        trees = []
+        for root_name in roots:
+            tree = SchemaTree(name=f"{schema_name}#{root_name}")
+            self._build(tree, None, root_name, elements, attributes, depth=0, lineage=set())
+            trees.append(tree)
+        return trees
+
+    # -- helpers ------------------------------------------------------------------
+
+    @staticmethod
+    def _expand_entities(text: str) -> str:
+        entities = {name: value for name, value in _ENTITY_RE.findall(text)}
+        if not entities:
+            return text
+        # Expand up to a fixed number of rounds to resolve nested entities
+        # without risking infinite loops on malicious input.
+        for _ in range(5):
+            changed = False
+            for name, value in entities.items():
+                token = f"%{name};"
+                if token in text:
+                    text = text.replace(token, value)
+                    changed = True
+            if not changed:
+                break
+        return text
+
+    @staticmethod
+    def _children_from_content(content: str) -> List[str]:
+        """Element names referenced in a content model, in order of appearance."""
+        children: List[str] = []
+        seen: Set[str] = set()
+        for token in _NAME_RE.findall(content):
+            if token in _RESERVED_CONTENT_WORDS or token == "PCDATA":
+                continue
+            if token not in seen:
+                seen.add(token)
+                children.append(token)
+        return children
+
+    @staticmethod
+    def _find_roots(elements: Dict[str, List[str]]) -> List[str]:
+        """Declared elements that never occur as a child of another element."""
+        referenced: Set[str] = set()
+        for children in elements.values():
+            referenced.update(children)
+        roots = [name for name in elements if name not in referenced]
+        # A fully cyclic DTD has no unreferenced element; fall back to the first
+        # declaration so we still produce one tree.
+        return roots or [next(iter(elements))]
+
+    def _build(
+        self,
+        tree: SchemaTree,
+        parent_id: Optional[int],
+        name: str,
+        elements: Dict[str, List[str]],
+        attributes: Dict[str, List[Tuple[str, DataType]]],
+        depth: int,
+        lineage: Set[str],
+    ) -> None:
+        has_children = bool(elements.get(name))
+        datatype = DataType.UNKNOWN if has_children else DataType.STRING
+        node = SchemaNode(name=name, kind=NodeKind.ELEMENT, datatype=datatype)
+        if parent_id is None:
+            node_id = tree.add_root(node).node_id
+        else:
+            node_id = tree.add_child(parent_id, node).node_id
+
+        for attr_name, attr_type in attributes.get(name, []):
+            tree.add_child(node_id, SchemaNode(name=attr_name, kind=NodeKind.ATTRIBUTE, datatype=attr_type))
+
+        if depth >= self.max_depth or name in lineage:
+            return
+        for child_name in elements.get(name, []):
+            if child_name in elements:
+                self._build(tree, node_id, child_name, elements, attributes, depth + 1, lineage | {name})
+            else:
+                # Child referenced but never declared: keep it as a leaf so the
+                # name still participates in matching.
+                tree.add_child(node_id, SchemaNode(name=child_name, kind=NodeKind.ELEMENT, datatype=DataType.STRING))
+
+
+def parse_dtd(text: str, schema_name: str = "dtd", max_depth: int = 12) -> List[SchemaTree]:
+    """Parse a DTD document (string) into schema trees, one per root element."""
+    return DtdParser(max_depth=max_depth).parse(text, schema_name=schema_name)
+
+
+def parse_dtd_file(path: str | Path, max_depth: int = 12) -> List[SchemaTree]:
+    """Parse a DTD file into schema trees."""
+    path = Path(path)
+    return parse_dtd(path.read_text(encoding="utf-8"), schema_name=path.stem, max_depth=max_depth)

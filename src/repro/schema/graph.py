@@ -1,0 +1,218 @@
+"""The general schema graph of the paper's Definition 1.
+
+``SchemaGraph`` implements the quadruple ``PS = (N, E, I, H)``: a set of nodes,
+a set of edges, an incidence function associating each edge with its source and
+target node, and property bags on nodes and edges.  The rest of the library
+works on the :class:`~repro.schema.tree.SchemaTree` specialization (the paper
+restricts its experiments to trees), but the graph class is the common
+foundation and provides generic path utilities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownNodeError
+from repro.schema.node import SchemaNode
+
+
+@dataclass
+class SchemaEdge:
+    """A directed edge between two schema nodes (parent → child in trees).
+
+    The incidence function ``I`` of Definition 1 is realised by the
+    ``source_id``/``target_id`` pair.
+    """
+
+    edge_id: int
+    source_id: int
+    target_id: int
+    properties: Dict[str, Any] = field(default_factory=dict)
+
+    def endpoints(self) -> Tuple[int, int]:
+        return (self.source_id, self.target_id)
+
+    def other(self, node_id: int) -> int:
+        """The endpoint that is not ``node_id`` (undirected view of the edge)."""
+        if node_id == self.source_id:
+            return self.target_id
+        if node_id == self.target_id:
+            return self.source_id
+        raise SchemaError(f"node {node_id} is not an endpoint of edge {self.edge_id}")
+
+
+class SchemaGraph:
+    """A schema graph: nodes, edges, incidence and property functions.
+
+    Nodes are added first and receive consecutive integer ids; edges connect
+    existing nodes.  The graph view is *undirected* for path purposes (the
+    paper's paths are alternating node/edge sequences irrespective of edge
+    direction) while each edge still remembers its source and target.
+    """
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._nodes: List[SchemaNode] = []
+        self._edges: List[SchemaEdge] = []
+        self._adjacency: Dict[int, List[int]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_node(self, node: SchemaNode) -> SchemaNode:
+        """Attach ``node`` to the graph, assigning the next node id."""
+        if node.node_id != -1 and node.node_id < len(self._nodes):
+            existing = self._nodes[node.node_id] if node.node_id < len(self._nodes) else None
+            if existing is node:
+                return node
+        node.node_id = len(self._nodes)
+        self._nodes.append(node)
+        self._adjacency[node.node_id] = []
+        return node
+
+    def add_edge(self, source_id: int, target_id: int, **properties: Any) -> SchemaEdge:
+        """Connect two existing nodes; returns the new :class:`SchemaEdge`."""
+        for node_id in (source_id, target_id):
+            if not self.has_node(node_id):
+                raise UnknownNodeError(node_id, context=f"schema graph {self.name!r}")
+        if source_id == target_id:
+            raise SchemaError(f"self-loop on node {source_id} is not a valid schema edge")
+        edge = SchemaEdge(edge_id=len(self._edges), source_id=source_id, target_id=target_id, properties=dict(properties))
+        self._edges.append(edge)
+        self._adjacency[source_id].append(edge.edge_id)
+        self._adjacency[target_id].append(edge.edge_id)
+        return edge
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def has_node(self, node_id: int) -> bool:
+        return 0 <= node_id < len(self._nodes)
+
+    def node(self, node_id: int) -> SchemaNode:
+        if not self.has_node(node_id):
+            raise UnknownNodeError(node_id, context=f"schema graph {self.name!r}")
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[SchemaNode]:
+        return iter(self._nodes)
+
+    def edge(self, edge_id: int) -> SchemaEdge:
+        if not 0 <= edge_id < len(self._edges):
+            raise SchemaError(f"edge id {edge_id} is not part of schema graph {self.name!r}")
+        return self._edges[edge_id]
+
+    def edges(self) -> Iterator[SchemaEdge]:
+        return iter(self._edges)
+
+    def incident_edges(self, node_id: int) -> List[SchemaEdge]:
+        if not self.has_node(node_id):
+            raise UnknownNodeError(node_id, context=f"schema graph {self.name!r}")
+        return [self._edges[eid] for eid in self._adjacency[node_id]]
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return [edge.other(node_id) for edge in self.incident_edges(node_id)]
+
+    def degree(self, node_id: int) -> int:
+        return len(self._adjacency.get(node_id, []))
+
+    def nodes_by_name(self, name: str) -> List[SchemaNode]:
+        """All nodes whose name equals ``name`` exactly (case-sensitive)."""
+        return [node for node in self._nodes if node.name == name]
+
+    # -- paths ---------------------------------------------------------------
+
+    def shortest_path(self, source_id: int, target_id: int) -> Optional[List[int]]:
+        """Node-id sequence of a shortest path, or ``None`` if disconnected.
+
+        Breadth-first search over the undirected view; adequate for the graph
+        sizes handled here (the tree specialization overrides distance queries
+        with the O(1) labeling oracle).
+        """
+        for node_id in (source_id, target_id):
+            if not self.has_node(node_id):
+                raise UnknownNodeError(node_id, context=f"schema graph {self.name!r}")
+        if source_id == target_id:
+            return [source_id]
+        previous: Dict[int, int] = {source_id: source_id}
+        queue = deque([source_id])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor in previous:
+                    continue
+                previous[neighbor] = current
+                if neighbor == target_id:
+                    path = [neighbor]
+                    while path[-1] != source_id:
+                        path.append(previous[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
+        return None
+
+    def path_length(self, source_id: int, target_id: int) -> Optional[int]:
+        """Number of edges on a shortest path, or ``None`` if disconnected."""
+        path = self.shortest_path(source_id, target_id)
+        if path is None:
+            return None
+        return len(path) - 1
+
+    def connected_components(self) -> List[List[int]]:
+        """Node-id lists of the graph's connected components (undirected)."""
+        seen: set[int] = set()
+        components: List[List[int]] = []
+        for node in self._nodes:
+            if node.node_id in seen:
+                continue
+            component: List[int] = []
+            queue = deque([node.node_id])
+            seen.add(node.node_id)
+            while queue:
+                current = queue.popleft()
+                component.append(current)
+                for neighbor in self.neighbors(current):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        queue.append(neighbor)
+            components.append(sorted(component))
+        return components
+
+    def is_tree(self) -> bool:
+        """True when the graph is connected and acyclic (|E| = |N| - 1)."""
+        if self.node_count == 0:
+            return False
+        return self.edge_count == self.node_count - 1 and len(self.connected_components()) == 1
+
+    # -- misc ----------------------------------------------------------------
+
+    def subgraph_nodes(self, node_ids: Iterable[int]) -> "SchemaGraph":
+        """A new graph induced by ``node_ids`` (edges with both endpoints inside)."""
+        wanted = set(node_ids)
+        for node_id in wanted:
+            if not self.has_node(node_id):
+                raise UnknownNodeError(node_id, context=f"schema graph {self.name!r}")
+        sub = SchemaGraph(name=f"{self.name}:subgraph")
+        id_map: Dict[int, int] = {}
+        for node_id in sorted(wanted):
+            clone = self._nodes[node_id].copy()
+            sub.add_node(clone)
+            id_map[node_id] = clone.node_id
+        for edge in self._edges:
+            if edge.source_id in wanted and edge.target_id in wanted:
+                sub.add_edge(id_map[edge.source_id], id_map[edge.target_id], **edge.properties)
+        return sub
+
+    def __len__(self) -> int:
+        return self.node_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchemaGraph(name={self.name!r}, nodes={self.node_count}, edges={self.edge_count})"

@@ -1,0 +1,147 @@
+"""Schema nodes (the paper's *elements*) and their local properties.
+
+A node carries the localized properties used by element matchers: its ``name``,
+its ``kind`` (XML element vs. attribute), an optional simple ``datatype`` and a
+free-form property bag (the paper's ``H`` function assigning (property, value)
+pairs to particles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+
+class NodeKind(str, Enum):
+    """The syntactic kind of a schema particle."""
+
+    ELEMENT = "element"
+    ATTRIBUTE = "attribute"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class DataType(str, Enum):
+    """Simplified XSD datatypes understood by the data-type matcher.
+
+    The set is intentionally coarse: schema matching only needs a compatibility
+    signal between types (e.g. ``int`` is close to ``decimal`` but far from
+    ``date``), not full XSD facet semantics.
+    """
+
+    STRING = "string"
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    DATETIME = "dateTime"
+    TIME = "time"
+    ANY_URI = "anyURI"
+    ID = "ID"
+    IDREF = "IDREF"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_XSD_TYPE_ALIASES: Dict[str, DataType] = {
+    "string": DataType.STRING,
+    "normalizedstring": DataType.STRING,
+    "token": DataType.STRING,
+    "nmtoken": DataType.STRING,
+    "cdata": DataType.STRING,
+    "pcdata": DataType.STRING,
+    "int": DataType.INTEGER,
+    "integer": DataType.INTEGER,
+    "long": DataType.INTEGER,
+    "short": DataType.INTEGER,
+    "byte": DataType.INTEGER,
+    "nonnegativeinteger": DataType.INTEGER,
+    "positiveinteger": DataType.INTEGER,
+    "unsignedint": DataType.INTEGER,
+    "unsignedlong": DataType.INTEGER,
+    "decimal": DataType.DECIMAL,
+    "float": DataType.DECIMAL,
+    "double": DataType.DECIMAL,
+    "boolean": DataType.BOOLEAN,
+    "date": DataType.DATE,
+    "datetime": DataType.DATETIME,
+    "time": DataType.TIME,
+    "gyear": DataType.DATE,
+    "anyuri": DataType.ANY_URI,
+    "id": DataType.ID,
+    "idref": DataType.IDREF,
+    "idrefs": DataType.IDREF,
+}
+
+
+def parse_datatype(raw: Optional[str]) -> DataType:
+    """Map a raw XSD/DTD type name (possibly prefixed, e.g. ``xs:int``) to a DataType."""
+    if not raw:
+        return DataType.UNKNOWN
+    name = raw.strip()
+    if ":" in name:
+        name = name.rsplit(":", 1)[1]
+    name = name.replace("#", "").lower()
+    return _XSD_TYPE_ALIASES.get(name, DataType.UNKNOWN)
+
+
+@dataclass
+class SchemaNode:
+    """A single schema particle (XML element or attribute declaration).
+
+    Attributes
+    ----------
+    name:
+        The element/attribute name as written in the schema document.
+    kind:
+        Whether the particle is an element or an attribute.
+    datatype:
+        Coarse simple type of the particle's content; ``UNKNOWN`` for complex
+        content.
+    properties:
+        Free-form (property, value) pairs — the paper's ``H`` function.  The
+        parsers store things like ``minOccurs``/``maxOccurs`` and documentation
+        strings here; matchers may exploit them.
+    node_id:
+        Identifier assigned by the owning :class:`~repro.schema.tree.SchemaTree`
+        (preorder position).  ``-1`` until the node is attached to a tree.
+    """
+
+    name: str
+    kind: NodeKind = NodeKind.ELEMENT
+    datatype: DataType = DataType.UNKNOWN
+    properties: Dict[str, Any] = field(default_factory=dict)
+    node_id: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.name or not str(self.name).strip():
+            raise ValueError("a schema node requires a non-empty name")
+        self.name = str(self.name)
+        if isinstance(self.kind, str) and not isinstance(self.kind, NodeKind):
+            self.kind = NodeKind(self.kind)
+        if isinstance(self.datatype, str) and not isinstance(self.datatype, DataType):
+            self.datatype = DataType(self.datatype)
+
+    @property
+    def is_attribute(self) -> bool:
+        return self.kind is NodeKind.ATTRIBUTE
+
+    def property(self, name: str, default: Any = None) -> Any:
+        """Return a property value from the ``H`` bag (``None``/default if absent)."""
+        return self.properties.get(name, default)
+
+    def copy(self) -> "SchemaNode":
+        """A detached copy (node_id reset) suitable for insertion into another tree."""
+        return SchemaNode(
+            name=self.name,
+            kind=self.kind,
+            datatype=self.datatype,
+            properties=dict(self.properties),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchemaNode(id={self.node_id}, name={self.name!r}, kind={self.kind.value})"

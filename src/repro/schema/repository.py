@@ -1,0 +1,180 @@
+"""The schema repository: a forest of schema trees with global node ids.
+
+The paper's repository ``R`` is "a collection of a large number of trees, i.e.,
+a forest" harvested from the web.  ``SchemaRepository`` registers trees,
+assigns each a ``tree_id``, and exposes a *global node id* space so that
+mapping elements, clusters and mappings can refer to any repository node with a
+single integer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownNodeError
+from repro.schema.node import SchemaNode
+from repro.schema.tree import SchemaTree
+
+
+@dataclass(frozen=True, order=True)
+class RepositoryNodeRef:
+    """A reference to one repository node.
+
+    ``global_id`` is unique across the whole repository; ``tree_id`` and
+    ``node_id`` locate the node inside its tree.  Mapping elements are
+    represented as node refs throughout the matching pipeline.
+    """
+
+    global_id: int
+    tree_id: int
+    node_id: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeRef(g={self.global_id}, tree={self.tree_id}, node={self.node_id})"
+
+
+class SchemaRepository:
+    """A forest of :class:`SchemaTree` objects with a global node id space.
+
+    Global ids are assigned contiguously per tree in registration order, so the
+    repository can translate between global and (tree, node) coordinates with
+    O(log #trees) arithmetic (bisection over tree offsets).
+    """
+
+    def __init__(self, name: str = "repository") -> None:
+        self.name = name
+        self._trees: List[SchemaTree] = []
+        self._offsets: List[int] = []
+        self._total_nodes = 0
+
+    # -- construction -------------------------------------------------------
+
+    def add_tree(self, tree: SchemaTree) -> int:
+        """Register a tree and return its assigned ``tree_id``."""
+        if tree.node_count == 0:
+            raise SchemaError(f"cannot register empty tree {tree.name!r}")
+        if tree.tree_id != -1:
+            raise SchemaError(
+                f"tree {tree.name!r} is already registered (tree_id={tree.tree_id})"
+            )
+        tree.tree_id = len(self._trees)
+        self._trees.append(tree)
+        self._offsets.append(self._total_nodes)
+        self._total_nodes += tree.node_count
+        return tree.tree_id
+
+    def add_trees(self, trees: Iterable[SchemaTree]) -> List[int]:
+        return [self.add_tree(tree) for tree in trees]
+
+    # -- sizes ----------------------------------------------------------------
+
+    @property
+    def tree_count(self) -> int:
+        return len(self._trees)
+
+    @property
+    def node_count(self) -> int:
+        return self._total_nodes
+
+    def __len__(self) -> int:
+        return self._total_nodes
+
+    # -- tree access ----------------------------------------------------------
+
+    def tree(self, tree_id: int) -> SchemaTree:
+        if not 0 <= tree_id < len(self._trees):
+            raise SchemaError(f"tree id {tree_id} is not part of repository {self.name!r}")
+        return self._trees[tree_id]
+
+    def trees(self) -> Iterator[SchemaTree]:
+        return iter(self._trees)
+
+    def tree_offset(self, tree_id: int) -> int:
+        """Global id of the first node of ``tree_id``."""
+        self.tree(tree_id)
+        return self._offsets[tree_id]
+
+    # -- node addressing -------------------------------------------------------
+
+    def global_id(self, tree_id: int, node_id: int) -> int:
+        tree = self.tree(tree_id)
+        if not tree.has_node(node_id):
+            raise UnknownNodeError(node_id, context=f"tree {tree_id} of repository {self.name!r}")
+        return self._offsets[tree_id] + node_id
+
+    def ref(self, tree_id: int, node_id: int) -> RepositoryNodeRef:
+        return RepositoryNodeRef(
+            global_id=self.global_id(tree_id, node_id), tree_id=tree_id, node_id=node_id
+        )
+
+    def locate(self, global_id: int) -> RepositoryNodeRef:
+        """Translate a global node id back into a (tree, node) reference."""
+        if not 0 <= global_id < self._total_nodes:
+            raise UnknownNodeError(global_id, context=f"repository {self.name!r}")
+        low, high = 0, len(self._offsets) - 1
+        while low < high:
+            middle = (low + high + 1) // 2
+            if self._offsets[middle] <= global_id:
+                low = middle
+            else:
+                high = middle - 1
+        tree_id = low
+        node_id = global_id - self._offsets[tree_id]
+        return RepositoryNodeRef(global_id=global_id, tree_id=tree_id, node_id=node_id)
+
+    def node(self, ref_or_global_id: RepositoryNodeRef | int) -> SchemaNode:
+        ref = self.locate(ref_or_global_id) if isinstance(ref_or_global_id, int) else ref_or_global_id
+        return self.tree(ref.tree_id).node(ref.node_id)
+
+    def node_refs(self) -> Iterator[RepositoryNodeRef]:
+        """Iterate over every node of the repository as a :class:`RepositoryNodeRef`."""
+        for tree in self._trees:
+            offset = self._offsets[tree.tree_id]
+            for node_id in tree.node_ids():
+                yield RepositoryNodeRef(global_id=offset + node_id, tree_id=tree.tree_id, node_id=node_id)
+
+    def iter_nodes(self) -> Iterator[Tuple[RepositoryNodeRef, SchemaNode]]:
+        for tree in self._trees:
+            offset = self._offsets[tree.tree_id]
+            for node_id in tree.node_ids():
+                yield (
+                    RepositoryNodeRef(global_id=offset + node_id, tree_id=tree.tree_id, node_id=node_id),
+                    tree.node(node_id),
+                )
+
+    # -- queries ----------------------------------------------------------------
+
+    def find_by_name(self, name: str, case_sensitive: bool = False) -> List[RepositoryNodeRef]:
+        """All repository nodes with the given name."""
+        matches: List[RepositoryNodeRef] = []
+        target = name if case_sensitive else name.lower()
+        for ref, node in self.iter_nodes():
+            value = node.name if case_sensitive else node.name.lower()
+            if value == target:
+                matches.append(ref)
+        return matches
+
+    def distance(self, first: RepositoryNodeRef, second: RepositoryNodeRef) -> Optional[int]:
+        """Tree distance between two repository nodes, ``None`` across trees.
+
+        Nodes in different trees are unreachable from each other — the paper's
+        clustering distance treats them as infinitely far apart, so clusters can
+        never span trees.
+        """
+        if first.tree_id != second.tree_id:
+            return None
+        return self.tree(first.tree_id).distance(first.node_id, second.node_id)
+
+    def summary(self) -> Dict[str, int]:
+        """Headline sizes used by reports (trees, nodes, max tree size)."""
+        sizes = [tree.node_count for tree in self._trees]
+        return {
+            "trees": self.tree_count,
+            "nodes": self.node_count,
+            "largest_tree": max(sizes) if sizes else 0,
+            "smallest_tree": min(sizes) if sizes else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SchemaRepository(name={self.name!r}, trees={self.tree_count}, nodes={self.node_count})"

@@ -1,0 +1,90 @@
+"""JSON-friendly serialization of schema trees and repositories.
+
+Large synthetic repositories can be generated once, persisted, and reloaded by
+benchmarks so every clustering variant runs against byte-identical input.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.errors import SchemaError
+from repro.schema.node import DataType, NodeKind, SchemaNode
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+
+_FORMAT_VERSION = 1
+
+
+def tree_to_dict(tree: SchemaTree) -> Dict[str, Any]:
+    """Serialize a tree into plain dictionaries (node order = node id order)."""
+    nodes: List[Dict[str, Any]] = []
+    for node_id in tree.node_ids():
+        node = tree.node(node_id)
+        nodes.append(
+            {
+                "name": node.name,
+                "kind": node.kind.value,
+                "datatype": node.datatype.value,
+                "parent": tree.parent_id(node_id) if tree.parent_id(node_id) is not None else -1,
+                "properties": dict(node.properties),
+            }
+        )
+    return {"version": _FORMAT_VERSION, "name": tree.name, "nodes": nodes}
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> SchemaTree:
+    """Rebuild a tree serialized by :func:`tree_to_dict`."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SchemaError(f"unsupported schema tree format version: {payload.get('version')!r}")
+    tree = SchemaTree(name=payload.get("name", "schema"))
+    for index, node_payload in enumerate(payload.get("nodes", [])):
+        node = SchemaNode(
+            name=node_payload["name"],
+            kind=NodeKind(node_payload.get("kind", "element")),
+            datatype=DataType(node_payload.get("datatype", "unknown")),
+            properties=dict(node_payload.get("properties", {})),
+        )
+        parent = node_payload.get("parent", -1)
+        if parent == -1:
+            if index != 0:
+                raise SchemaError("serialized tree has a non-first root node")
+            tree.add_root(node)
+        else:
+            if parent >= index:
+                raise SchemaError("serialized tree references a parent that does not precede the child")
+            tree.add_child(parent, node)
+    if tree.node_count == 0:
+        raise SchemaError("serialized tree contains no nodes")
+    return tree
+
+
+def repository_to_dict(repository: SchemaRepository) -> Dict[str, Any]:
+    """Serialize a repository (forest) into plain dictionaries."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": repository.name,
+        "trees": [tree_to_dict(tree) for tree in repository.trees()],
+    }
+
+
+def repository_from_dict(payload: Dict[str, Any]) -> SchemaRepository:
+    """Rebuild a repository serialized by :func:`repository_to_dict`."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise SchemaError(f"unsupported repository format version: {payload.get('version')!r}")
+    repository = SchemaRepository(name=payload.get("name", "repository"))
+    for tree_payload in payload.get("trees", []):
+        repository.add_tree(tree_from_dict(tree_payload))
+    return repository
+
+
+def save_repository(repository: SchemaRepository, path: str | Path) -> None:
+    """Write a repository to a JSON file."""
+    Path(path).write_text(json.dumps(repository_to_dict(repository)), encoding="utf-8")
+
+
+def load_repository(path: str | Path) -> SchemaRepository:
+    """Load a repository from a JSON file written by :func:`save_repository`."""
+    return repository_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

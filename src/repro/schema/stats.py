@@ -1,0 +1,109 @@
+"""Structural statistics over schema trees and repositories.
+
+The experiment reports describe their workloads in the same vocabulary the
+paper uses (number of trees, number of elements, average/maximum tree size,
+depth distribution), and the workload generator uses these statistics in its
+own tests to demonstrate that synthetic repositories have realistic shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.schema.node import NodeKind
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """Shape summary of one schema tree."""
+
+    name: str
+    node_count: int
+    element_count: int
+    attribute_count: int
+    leaf_count: int
+    height: int
+    max_fanout: int
+    average_fanout: float
+    average_depth: float
+
+    @classmethod
+    def of(cls, tree: SchemaTree) -> "TreeStatistics":
+        elements = sum(1 for node in tree.nodes() if node.kind is NodeKind.ELEMENT)
+        attributes = tree.node_count - elements
+        fanouts = [len(tree.children_ids(node_id)) for node_id in tree.node_ids()]
+        internal_fanouts = [f for f in fanouts if f > 0]
+        depths = [tree.depth(node_id) for node_id in tree.node_ids()]
+        return cls(
+            name=tree.name,
+            node_count=tree.node_count,
+            element_count=elements,
+            attribute_count=attributes,
+            leaf_count=len(tree.leaves()),
+            height=tree.height(),
+            max_fanout=max(fanouts) if fanouts else 0,
+            average_fanout=(sum(internal_fanouts) / len(internal_fanouts)) if internal_fanouts else 0.0,
+            average_depth=(sum(depths) / len(depths)) if depths else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class RepositoryStatistics:
+    """Shape summary of a repository (forest)."""
+
+    name: str
+    tree_count: int
+    node_count: int
+    element_count: int
+    attribute_count: int
+    min_tree_size: int
+    max_tree_size: int
+    average_tree_size: float
+    max_height: int
+    distinct_names: int
+
+    @classmethod
+    def of(cls, repository: SchemaRepository) -> "RepositoryStatistics":
+        tree_sizes: List[int] = []
+        elements = 0
+        attributes = 0
+        max_height = 0
+        names = set()
+        for tree in repository.trees():
+            tree_sizes.append(tree.node_count)
+            max_height = max(max_height, tree.height())
+            for node in tree.nodes():
+                names.add(node.name.lower())
+                if node.kind is NodeKind.ELEMENT:
+                    elements += 1
+                else:
+                    attributes += 1
+        return cls(
+            name=repository.name,
+            tree_count=repository.tree_count,
+            node_count=repository.node_count,
+            element_count=elements,
+            attribute_count=attributes,
+            min_tree_size=min(tree_sizes) if tree_sizes else 0,
+            max_tree_size=max(tree_sizes) if tree_sizes else 0,
+            average_tree_size=(sum(tree_sizes) / len(tree_sizes)) if tree_sizes else 0.0,
+            max_height=max_height,
+            distinct_names=len(names),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "trees": self.tree_count,
+            "nodes": self.node_count,
+            "elements": self.element_count,
+            "attributes": self.attribute_count,
+            "min_tree_size": self.min_tree_size,
+            "max_tree_size": self.max_tree_size,
+            "average_tree_size": round(self.average_tree_size, 2),
+            "max_height": self.max_height,
+            "distinct_names": self.distinct_names,
+        }

@@ -1,0 +1,95 @@
+"""Structural validation of schema trees and repositories.
+
+These checks are invariants that the rest of the system silently relies on
+(contiguous node ids, acyclic parent pointers, consistent depths, registered
+tree ids).  They are cheap enough to run in tests and in property-based checks
+over generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SchemaError
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+
+
+def validate_tree(tree: SchemaTree) -> None:
+    """Raise :class:`SchemaError` if the tree violates any structural invariant."""
+    if tree.node_count == 0:
+        raise SchemaError(f"tree {tree.name!r} is empty")
+
+    root_id = tree.root_id
+    if tree.parent_id(root_id) is not None:
+        raise SchemaError(f"root {root_id} of tree {tree.name!r} has a parent")
+
+    seen_roots = [node_id for node_id in tree.node_ids() if tree.parent_id(node_id) is None]
+    if seen_roots != [root_id]:
+        raise SchemaError(f"tree {tree.name!r} has {len(seen_roots)} parentless nodes, expected exactly 1")
+
+    for node_id in tree.node_ids():
+        node = tree.node(node_id)
+        if node.node_id != node_id:
+            raise SchemaError(
+                f"node at position {node_id} of tree {tree.name!r} carries node_id {node.node_id}"
+            )
+        parent = tree.parent_id(node_id)
+        if parent is not None:
+            if parent >= node_id:
+                raise SchemaError(
+                    f"node {node_id} of tree {tree.name!r} has parent {parent} that does not precede it"
+                )
+            if node_id not in tree.children_ids(parent):
+                raise SchemaError(
+                    f"node {node_id} of tree {tree.name!r} is missing from its parent's child list"
+                )
+            if tree.depth(node_id) != tree.depth(parent) + 1:
+                raise SchemaError(
+                    f"node {node_id} of tree {tree.name!r} has inconsistent depth"
+                )
+        for child_id in tree.children_ids(node_id):
+            if tree.parent_id(child_id) != node_id:
+                raise SchemaError(
+                    f"child {child_id} of node {node_id} in tree {tree.name!r} has a different parent"
+                )
+
+    reachable = list(tree.preorder())
+    if len(reachable) != tree.node_count or len(set(reachable)) != tree.node_count:
+        raise SchemaError(
+            f"tree {tree.name!r}: {len(set(reachable))} nodes reachable from the root, "
+            f"expected {tree.node_count}"
+        )
+
+
+def validate_repository(repository: SchemaRepository) -> None:
+    """Raise :class:`SchemaError` if the repository or any of its trees is invalid."""
+    if repository.tree_count == 0:
+        raise SchemaError(f"repository {repository.name!r} contains no trees")
+
+    expected_offset = 0
+    for expected_tree_id, tree in enumerate(repository.trees()):
+        if tree.tree_id != expected_tree_id:
+            raise SchemaError(
+                f"tree {tree.name!r} carries tree_id {tree.tree_id}, expected {expected_tree_id}"
+            )
+        if repository.tree_offset(tree.tree_id) != expected_offset:
+            raise SchemaError(
+                f"tree {tree.name!r} has offset {repository.tree_offset(tree.tree_id)}, expected {expected_offset}"
+            )
+        validate_tree(tree)
+        expected_offset += tree.node_count
+
+    if expected_offset != repository.node_count:
+        raise SchemaError(
+            f"repository {repository.name!r} reports {repository.node_count} nodes, trees sum to {expected_offset}"
+        )
+
+    # Round-trip a sample of global ids through locate() to check addressing.
+    sample: List[int] = [0, repository.node_count - 1]
+    step = max(1, repository.node_count // 997)
+    sample.extend(range(0, repository.node_count, step))
+    for global_id in sample:
+        ref = repository.locate(global_id)
+        if repository.global_id(ref.tree_id, ref.node_id) != global_id:
+            raise SchemaError(f"global id {global_id} does not round-trip through locate()")

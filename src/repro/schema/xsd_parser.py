@@ -1,0 +1,235 @@
+"""XML Schema (XSD) ingestion.
+
+The paper's repository was built by harvesting DTDs and XML Schemas from the
+web and flattening each into one or more schema trees (one tree per global
+element declaration, i.e. per possible document root).  This module performs
+the same flattening with the standard library's ``xml.etree`` parser:
+
+* global ``xs:element`` declarations become tree roots;
+* ``xs:complexType`` content (sequences, choices, groups — order semantics are
+  irrelevant for matching) contributes child elements;
+* ``xs:attribute`` declarations become attribute nodes;
+* named complex types are resolved by reference;
+* element references (``ref=``) are expanded with cycle protection, and
+  recursion is cut at a configurable depth because the paper only uses
+  non-recursive schemas.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import SchemaParseError
+from repro.schema.node import DataType, NodeKind, SchemaNode, parse_datatype
+from repro.schema.tree import SchemaTree
+
+_XS = "{http://www.w3.org/2001/XMLSchema}"
+
+
+def _local(tag: str) -> str:
+    """Strip the namespace prefix from an ElementTree tag."""
+    return tag.split("}", 1)[1] if "}" in tag else tag
+
+
+def _strip_prefix(name: Optional[str]) -> Optional[str]:
+    if name is None:
+        return None
+    return name.rsplit(":", 1)[-1]
+
+
+class _XsdDocument:
+    """Indexes the global declarations of one XSD document."""
+
+    def __init__(self, root: ET.Element) -> None:
+        if _local(root.tag) != "schema":
+            raise SchemaParseError(f"expected an xs:schema document, found <{_local(root.tag)}>")
+        self.root = root
+        self.global_elements: Dict[str, ET.Element] = {}
+        self.complex_types: Dict[str, ET.Element] = {}
+        self.groups: Dict[str, ET.Element] = {}
+        self.attribute_groups: Dict[str, ET.Element] = {}
+        for child in root:
+            tag = _local(child.tag)
+            name = child.get("name")
+            if not name:
+                continue
+            if tag == "element":
+                self.global_elements[name] = child
+            elif tag == "complexType":
+                self.complex_types[name] = child
+            elif tag == "group":
+                self.groups[name] = child
+            elif tag == "attributeGroup":
+                self.attribute_groups[name] = child
+
+
+class XsdParser:
+    """Convert an XSD document into a list of :class:`SchemaTree` objects.
+
+    Parameters
+    ----------
+    max_depth:
+        Hard limit on element nesting, protecting against recursive type
+        definitions (the paper restricts itself to non-recursive schemas).
+    """
+
+    def __init__(self, max_depth: int = 12) -> None:
+        if max_depth < 1:
+            raise SchemaParseError("max_depth must be at least 1")
+        self.max_depth = max_depth
+
+    def parse(self, text: str, schema_name: str = "xsd") -> List[SchemaTree]:
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise SchemaParseError(f"invalid XML in schema {schema_name!r}: {exc}") from exc
+        document = _XsdDocument(root)
+        if not document.global_elements:
+            raise SchemaParseError(f"schema {schema_name!r} declares no global elements")
+        trees = []
+        for element_name, declaration in document.global_elements.items():
+            tree = SchemaTree(name=f"{schema_name}#{element_name}")
+            self._build_element(document, declaration, tree, parent_id=None, depth=0, expanding=set())
+            trees.append(tree)
+        return trees
+
+    # -- recursive construction -------------------------------------------------
+
+    def _build_element(
+        self,
+        document: _XsdDocument,
+        declaration: ET.Element,
+        tree: SchemaTree,
+        parent_id: Optional[int],
+        depth: int,
+        expanding: set,
+    ) -> None:
+        ref = _strip_prefix(declaration.get("ref"))
+        if ref is not None:
+            target = document.global_elements.get(ref)
+            if target is None or ref in expanding or depth >= self.max_depth:
+                # Unknown or recursive reference: keep a leaf placeholder node so
+                # the name still participates in matching.
+                self._attach(tree, parent_id, ref or "element", DataType.UNKNOWN, {})
+                return
+            self._build_element(document, target, tree, parent_id, depth, expanding | {ref})
+            return
+
+        name = declaration.get("name")
+        if not name:
+            raise SchemaParseError("element declaration without a name or ref attribute")
+        properties = {}
+        for occurs in ("minOccurs", "maxOccurs"):
+            if declaration.get(occurs) is not None:
+                properties[occurs] = declaration.get(occurs)
+
+        type_name = _strip_prefix(declaration.get("type"))
+        inline_complex = declaration.find(f"{_XS}complexType")
+        datatype = DataType.UNKNOWN
+        complex_type: Optional[ET.Element] = None
+        if inline_complex is not None:
+            complex_type = inline_complex
+        elif type_name is not None and type_name in document.complex_types:
+            complex_type = document.complex_types[type_name]
+        else:
+            datatype = parse_datatype(type_name)
+            inline_simple = declaration.find(f"{_XS}simpleType")
+            if inline_simple is not None:
+                restriction = inline_simple.find(f"{_XS}restriction")
+                if restriction is not None:
+                    datatype = parse_datatype(restriction.get("base"))
+
+        node_id = self._attach(tree, parent_id, name, datatype, properties)
+        if complex_type is not None and depth < self.max_depth:
+            guard = type_name or f"~inline:{name}"
+            if guard in expanding:
+                return
+            self._build_complex_type(document, complex_type, tree, node_id, depth + 1, expanding | {guard})
+
+    def _build_complex_type(
+        self,
+        document: _XsdDocument,
+        complex_type: ET.Element,
+        tree: SchemaTree,
+        parent_id: int,
+        depth: int,
+        expanding: set,
+    ) -> None:
+        for child in complex_type:
+            tag = _local(child.tag)
+            if tag in ("sequence", "choice", "all"):
+                self._build_particle(document, child, tree, parent_id, depth, expanding)
+            elif tag == "attribute":
+                self._build_attribute(child, tree, parent_id)
+            elif tag == "attributeGroup":
+                group_name = _strip_prefix(child.get("ref"))
+                group = document.attribute_groups.get(group_name or "")
+                if group is not None:
+                    for attribute in group.findall(f"{_XS}attribute"):
+                        self._build_attribute(attribute, tree, parent_id)
+            elif tag in ("complexContent", "simpleContent"):
+                extension = child.find(f"{_XS}extension") or child.find(f"{_XS}restriction")
+                if extension is not None:
+                    base_name = _strip_prefix(extension.get("base"))
+                    base = document.complex_types.get(base_name or "")
+                    if base is not None and (base_name or "") not in expanding:
+                        self._build_complex_type(
+                            document, base, tree, parent_id, depth, expanding | {base_name or ""}
+                        )
+                    self._build_complex_type(document, extension, tree, parent_id, depth, expanding)
+
+    def _build_particle(
+        self,
+        document: _XsdDocument,
+        particle: ET.Element,
+        tree: SchemaTree,
+        parent_id: int,
+        depth: int,
+        expanding: set,
+    ) -> None:
+        for child in particle:
+            tag = _local(child.tag)
+            if tag == "element":
+                self._build_element(document, child, tree, parent_id, depth, expanding)
+            elif tag in ("sequence", "choice", "all"):
+                self._build_particle(document, child, tree, parent_id, depth, expanding)
+            elif tag == "group":
+                group_name = _strip_prefix(child.get("ref"))
+                group = document.groups.get(group_name or "")
+                if group is not None and (group_name or "") not in expanding:
+                    self._build_particle(
+                        document, group, tree, parent_id, depth, expanding | {group_name or ""}
+                    )
+            elif tag == "any":
+                self._attach(tree, parent_id, "any", DataType.UNKNOWN, {})
+
+    def _build_attribute(self, declaration: ET.Element, tree: SchemaTree, parent_id: int) -> None:
+        name = declaration.get("name") or _strip_prefix(declaration.get("ref"))
+        if not name:
+            return
+        properties = {}
+        if declaration.get("use"):
+            properties["use"] = declaration.get("use")
+        datatype = parse_datatype(declaration.get("type"))
+        node = SchemaNode(name=name, kind=NodeKind.ATTRIBUTE, datatype=datatype, properties=properties)
+        tree.add_child(parent_id, node)
+
+    @staticmethod
+    def _attach(tree: SchemaTree, parent_id: Optional[int], name: str, datatype: DataType, properties: Dict[str, str]) -> int:
+        node = SchemaNode(name=name, kind=NodeKind.ELEMENT, datatype=datatype, properties=properties)
+        if parent_id is None:
+            return tree.add_root(node).node_id
+        return tree.add_child(parent_id, node).node_id
+
+
+def parse_xsd(text: str, schema_name: str = "xsd", max_depth: int = 12) -> List[SchemaTree]:
+    """Parse an XSD document (string) into schema trees, one per global element."""
+    return XsdParser(max_depth=max_depth).parse(text, schema_name=schema_name)
+
+
+def parse_xsd_file(path: str | Path, max_depth: int = 12) -> List[SchemaTree]:
+    """Parse an XSD file into schema trees."""
+    path = Path(path)
+    return parse_xsd(path.read_text(encoding="utf-8"), schema_name=path.stem, max_depth=max_depth)

@@ -1,0 +1,32 @@
+"""The Bellflower matching system: pipeline, configuration presets and metrics.
+
+This package wires the substrates together into the two architectures of the
+paper: the non-clustered pipeline of Fig. 2 (element matching → mapping
+generation) and the clustered pipeline of Fig. 3 (element matching →
+clustering → per-cluster mapping generation → merged ranked list).
+"""
+
+from repro.system.bellflower import Bellflower
+from repro.system.results import ClusterReport, MatchResult
+from repro.system.variants import ClusteringVariant, clustering_variant, standard_variants
+from repro.system.metrics import (
+    PreservationPoint,
+    efficiency_summary,
+    preservation_curve,
+    preserved_fraction,
+    search_space_reduction,
+)
+
+__all__ = [
+    "Bellflower",
+    "ClusterReport",
+    "ClusteringVariant",
+    "MatchResult",
+    "PreservationPoint",
+    "clustering_variant",
+    "efficiency_summary",
+    "preservation_curve",
+    "preserved_fraction",
+    "search_space_reduction",
+    "standard_variants",
+]

@@ -1,0 +1,201 @@
+"""The Bellflower matching system (Figs. 2 and 3 of the paper).
+
+:class:`Bellflower` wires the stages together:
+
+1. **element matching** — the element matcher compares every personal-schema
+   node with every repository node; pairs above the element threshold become
+   mapping elements;
+2. **clustering** (optional) — the clusterer groups the mapping elements into
+   clusters; without a clusterer every repository tree acts as one cluster
+   (the paper's "tree clusters" / non-clustered configuration);
+3. **mapping generation** — the generator searches every *useful* cluster for
+   complete schema mappings with ``Δ(s, t) >= δ``;
+4. **ranking** — per-cluster mappings are merged into one list ordered by
+   similarity index.
+
+The facade exposes the intermediate products (candidate sets, clusters) so the
+experiment harness can reuse one element-matching pass across many clustering
+variants, exactly as the paper's experiments do.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.clustering.baselines import TreeClusterer
+from repro.clustering.kmeans import Clusterer, ClusteringResult
+from repro.errors import ConfigurationError
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.mapping.base import GenerationResult, MappingGenerator
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.model import MappingProblem
+from repro.mapping.ranking import merge_ranked
+from repro.mapping.search_space import candidate_search_space
+from repro.matchers.base import ElementMatcher
+from repro.matchers.name import FuzzyNameMatcher
+from repro.matchers.selection import MappingElementSelector, MappingElementSets
+from repro.objective.base import ObjectiveFunction
+from repro.objective.bellflower import BellflowerObjective
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+from repro.system.results import ClusterReport, MatchResult
+from repro.utils.counters import CounterSet
+from repro.utils.timers import StageTimer
+
+
+class Bellflower:
+    """An experimental clustered schema matching system.
+
+    Parameters
+    ----------
+    repository:
+        The repository schema ``R`` (a forest of schema trees).
+    matcher:
+        Element matcher; defaults to the paper's fuzzy name matcher.
+    objective:
+        Objective function; defaults to :class:`BellflowerObjective` with
+        ``α = 0.5``.
+    generator:
+        Mapping generator; defaults to Branch-and-Bound.
+    clusterer:
+        The clustering component.  ``None`` selects the non-clustered baseline
+        (one cluster per repository tree).
+    element_threshold:
+        Minimum element similarity for a pair to become a mapping element.
+    delta:
+        Default objective-function threshold ``δ`` for :meth:`match`.
+    """
+
+    def __init__(
+        self,
+        repository: SchemaRepository,
+        matcher: Optional[ElementMatcher] = None,
+        objective: Optional[ObjectiveFunction] = None,
+        generator: Optional[MappingGenerator] = None,
+        clusterer: Optional[Clusterer] = None,
+        element_threshold: float = 0.6,
+        delta: float = 0.75,
+        variant_name: Optional[str] = None,
+    ) -> None:
+        if repository.tree_count == 0:
+            raise ConfigurationError("Bellflower needs a non-empty schema repository")
+        if not 0.0 <= delta <= 1.0:
+            raise ConfigurationError(f"delta must be in [0, 1], got {delta}")
+        self.repository = repository
+        self.matcher = matcher or FuzzyNameMatcher()
+        self.objective = objective or BellflowerObjective(alpha=0.5)
+        self.generator = generator or BranchAndBoundGenerator()
+        self.clusterer = clusterer or TreeClusterer()
+        self.element_threshold = element_threshold
+        self.delta = delta
+        self.variant_name = variant_name or self.clusterer.name
+        self.oracle = RepositoryDistanceOracle(repository)
+
+    # -- stage 1: element matching -------------------------------------------------
+
+    def element_matching(
+        self, personal_schema: SchemaTree, counters: Optional[CounterSet] = None
+    ) -> MappingElementSets:
+        """Run the element matcher over (personal schema × repository)."""
+        selector = MappingElementSelector(self.matcher, threshold=self.element_threshold)
+        return selector.select(personal_schema, self.repository, counters=counters)
+
+    # -- stage 2: clustering ---------------------------------------------------------
+
+    def cluster_candidates(self, candidates: MappingElementSets) -> ClusteringResult:
+        """Group mapping elements into clusters using the configured clusterer."""
+        return self.clusterer.cluster(candidates, self.repository, oracle=self.oracle)
+
+    # -- stage 3 + 4: mapping generation and ranking -----------------------------------
+
+    def generate_mappings(
+        self,
+        personal_schema: SchemaTree,
+        candidates: MappingElementSets,
+        clustering: ClusteringResult,
+        delta: float,
+    ) -> tuple[GenerationResult, List[ClusterReport]]:
+        """Search every useful cluster and merge the per-cluster results."""
+        merged = GenerationResult()
+        reports: List[ClusterReport] = []
+        per_cluster_mappings = []
+        for cluster in clustering.clusters:
+            restricted = cluster.restricted_candidates(candidates)
+            if not restricted.is_complete():
+                continue
+            problem = MappingProblem(
+                personal_schema=personal_schema,
+                candidates=restricted,
+                oracle=self.oracle,
+                objective=self.objective,
+                delta=delta,
+                cluster_id=cluster.cluster_id,
+            )
+            result = self.generator.generate(problem)
+            reports.append(
+                ClusterReport(
+                    cluster_id=cluster.cluster_id,
+                    tree_id=cluster.tree_id,
+                    member_count=cluster.size,
+                    mapping_element_count=restricted.total(),
+                    search_space=candidate_search_space(restricted),
+                )
+            )
+            per_cluster_mappings.append(result.mappings)
+            merged.counters.merge(result.counters)
+            merged.elapsed_seconds += result.elapsed_seconds
+        merged.mappings = merge_ranked(per_cluster_mappings)
+        return merged, reports
+
+    # -- the full pipeline --------------------------------------------------------------
+
+    def match(
+        self,
+        personal_schema: SchemaTree,
+        delta: Optional[float] = None,
+        candidates: Optional[MappingElementSets] = None,
+    ) -> MatchResult:
+        """Run the full pipeline and return a :class:`MatchResult`.
+
+        ``candidates`` allows the caller to supply a precomputed element-matching
+        result, which the experiment harness uses to hold the element stage
+        constant while varying the clusterer.
+        """
+        if personal_schema.node_count == 0:
+            raise ConfigurationError("cannot match an empty personal schema")
+        effective_delta = self.delta if delta is None else delta
+        timers = StageTimer()
+        counters = CounterSet()
+
+        if candidates is None:
+            with timers.measure("element_matching"):
+                candidates = self.element_matching(personal_schema, counters=counters)
+        counters.set("mapping_elements", candidates.total())
+
+        with timers.measure("clustering"):
+            clustering = self.cluster_candidates(candidates)
+
+        with timers.measure("generation"):
+            generation, reports = self.generate_mappings(
+                personal_schema, candidates, clustering, effective_delta
+            )
+
+        counters.merge(generation.counters)
+        counters.merge(clustering.counters)
+
+        return MatchResult(
+            variant_name=self.variant_name,
+            mappings=generation.mappings,
+            candidates=candidates,
+            clustering=clustering,
+            generation=generation,
+            timers=timers,
+            cluster_reports=reports,
+            counters=counters,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Bellflower(repository={self.repository.name!r}, clusterer={self.clusterer.name!r}, "
+            f"generator={self.generator.name!r}, delta={self.delta})"
+        )

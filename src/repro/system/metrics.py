@@ -1,0 +1,101 @@
+"""Effectiveness and efficiency metrics for clustered schema matching.
+
+Two families of metrics reproduce the paper's evaluation:
+
+* **preservation** (Figures 5 and 6): the percentage of the mappings found by
+  the exhaustive, non-clustered run that a clustered run also finds, measured
+  at increasing objective-function thresholds — the key effectiveness claim is
+  that highly ranked mappings are preserved preferentially;
+* **efficiency** (Table 1): search-space reduction, partial-mapping counts and
+  stage times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.mapping.model import SchemaMapping
+from repro.system.results import MatchResult
+
+
+@dataclass(frozen=True)
+class PreservationPoint:
+    """One point of a preservation curve."""
+
+    threshold: float
+    reference_count: int
+    preserved_count: int
+
+    @property
+    def fraction(self) -> float:
+        if self.reference_count == 0:
+            return 1.0
+        return self.preserved_count / self.reference_count
+
+
+def preserved_fraction(
+    reference: Sequence[SchemaMapping],
+    clustered: Sequence[SchemaMapping],
+    threshold: float,
+) -> PreservationPoint:
+    """Fraction of reference mappings with score >= threshold also found by the clustered run."""
+    reference_above = [mapping for mapping in reference if mapping.score >= threshold]
+    clustered_signatures = {mapping.signature() for mapping in clustered if mapping.score >= threshold}
+    preserved = sum(1 for mapping in reference_above if mapping.signature() in clustered_signatures)
+    return PreservationPoint(
+        threshold=threshold,
+        reference_count=len(reference_above),
+        preserved_count=preserved,
+    )
+
+
+def preservation_curve(
+    reference: Sequence[SchemaMapping],
+    clustered: Sequence[SchemaMapping],
+    thresholds: Iterable[float] = (0.75, 0.80, 0.85, 0.90, 0.95, 1.00),
+) -> List[PreservationPoint]:
+    """The Figure 5 / Figure 6 series: preservation per objective threshold."""
+    return [preserved_fraction(reference, clustered, threshold) for threshold in sorted(thresholds)]
+
+
+def search_space_reduction(clustered: MatchResult, reference: MatchResult) -> float:
+    """Clustered search space as a fraction of the non-clustered search space."""
+    if reference.search_space == 0:
+        return 0.0
+    return clustered.search_space / reference.search_space
+
+
+def partial_mapping_reduction(clustered: MatchResult, reference: MatchResult) -> float:
+    """Ratio of partial mappings generated (reference / clustered): the paper's factor 6.8."""
+    if clustered.partial_mappings == 0:
+        return float("inf") if reference.partial_mappings else 1.0
+    return reference.partial_mappings / clustered.partial_mappings
+
+
+def efficiency_summary(results: Sequence[MatchResult]) -> List[Dict[str, object]]:
+    """Table 1 rows (properties of clusters + generator performance) for several runs.
+
+    The reference for the percentage column is the run with the largest search
+    space — in the paper's setup that is always the non-clustered "tree" run.
+    """
+    if not results:
+        return []
+    reference_space = max(result.search_space for result in results)
+    rows = []
+    for result in results:
+        rows.append(
+            {
+                "variant": result.variant_name,
+                "useful_clusters": result.useful_cluster_count,
+                "avg_mapping_elements": round(result.average_mapping_elements_per_cluster, 1),
+                "search_space": result.search_space,
+                "search_space_pct": (result.search_space / reference_space) if reference_space else 0.0,
+                "partial_mappings": result.partial_mappings,
+                "mappings": result.mapping_count,
+                "clustering_seconds": round(result.clustering_seconds, 3),
+                "generation_seconds": round(result.generation_seconds, 3),
+                "total_seconds": round(result.clustering_seconds + result.generation_seconds, 3),
+            }
+        )
+    return rows

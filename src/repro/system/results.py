@@ -1,0 +1,109 @@
+"""Result objects returned by a Bellflower matching run.
+
+A :class:`MatchResult` carries everything the paper's Table 1 reports for one
+(clustering variant, matching problem) pair: the ranked mappings, the
+properties of the useful clusters, the search-space size, the partial-mapping
+counters of the generator, and per-stage wall-clock times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.clustering.kmeans import ClusteringResult
+from repro.mapping.base import GenerationResult
+from repro.mapping.model import SchemaMapping
+from repro.matchers.selection import MappingElementSets
+from repro.utils.counters import CounterSet
+from repro.utils.timers import StageTimer
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Summary of one useful cluster (used by reports and Figure 4's histogram)."""
+
+    cluster_id: int
+    tree_id: int
+    member_count: int
+    mapping_element_count: int
+    search_space: int
+
+
+@dataclass
+class MatchResult:
+    """The outcome of one matching run (one variant, one personal schema)."""
+
+    variant_name: str
+    mappings: List[SchemaMapping]
+    candidates: MappingElementSets
+    clustering: Optional[ClusteringResult]
+    generation: GenerationResult
+    timers: StageTimer = field(default_factory=StageTimer)
+    cluster_reports: List[ClusterReport] = field(default_factory=list)
+    counters: CounterSet = field(default_factory=CounterSet)
+
+    # -- Table 1a style properties -------------------------------------------------
+
+    @property
+    def useful_cluster_count(self) -> int:
+        return len(self.cluster_reports)
+
+    @property
+    def average_mapping_elements_per_cluster(self) -> float:
+        if not self.cluster_reports:
+            return 0.0
+        return sum(report.mapping_element_count for report in self.cluster_reports) / len(self.cluster_reports)
+
+    @property
+    def search_space(self) -> int:
+        """Total number of complete mappings the generator would have to consider."""
+        return sum(report.search_space for report in self.cluster_reports)
+
+    # -- Table 1b style properties -------------------------------------------------
+
+    @property
+    def partial_mappings(self) -> int:
+        return self.generation.partial_mappings
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self.mappings)
+
+    @property
+    def clustering_seconds(self) -> float:
+        return self.timers.elapsed().get("clustering", 0.0)
+
+    @property
+    def generation_seconds(self) -> float:
+        return self.timers.elapsed().get("generation", 0.0)
+
+    @property
+    def element_matching_seconds(self) -> float:
+        return self.timers.elapsed().get("element_matching", 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timers.total()
+
+    def mappings_above(self, delta: float) -> List[SchemaMapping]:
+        """Mappings whose score clears ``delta`` (the result already honours the run's δ)."""
+        return [mapping for mapping in self.mappings if mapping.score >= delta]
+
+    def signatures(self) -> set:
+        """Canonical identities of all discovered mappings (for preservation metrics)."""
+        return {mapping.signature() for mapping in self.mappings}
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary used by reports and benchmark output."""
+        return {
+            "variant": self.variant_name,
+            "useful_clusters": self.useful_cluster_count,
+            "avg_mapping_elements": round(self.average_mapping_elements_per_cluster, 1),
+            "search_space": self.search_space,
+            "partial_mappings": self.partial_mappings,
+            "mappings": self.mapping_count,
+            "clustering_seconds": round(self.clustering_seconds, 3),
+            "generation_seconds": round(self.generation_seconds, 3),
+            "total_seconds": round(self.total_seconds, 3),
+        }

@@ -1,0 +1,118 @@
+"""Clustering-variant presets used throughout the experiments.
+
+The paper's evaluation compares four configurations that differ only in the
+clusterer:
+
+* ``small``  — k-means with join reclustering at distance threshold 2,
+* ``medium`` — k-means with join reclustering at distance threshold 3,
+* ``large``  — k-means with join reclustering at distance threshold 4,
+* ``tree``   — no clustering: every repository tree is one cluster.
+
+Each preset also removes clusters with fewer than 2 members (the paper applies
+remove reclustering or drops tiny clusters manually), so the three k-means
+variants correspond to the *join & remove* configuration of Figure 4 with
+different join thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.clustering.baselines import FragmentClusterer, TreeClusterer
+from repro.clustering.convergence import RelaxedConvergence
+from repro.clustering.initialization import MEminInitializer
+from repro.clustering.kmeans import Clusterer, KMeansClusterer
+from repro.clustering.reclustering import (
+    JoinReclustering,
+    NoReclustering,
+    RemoveReclustering,
+    join_and_remove,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ClusteringVariant:
+    """A named clusterer factory (factories keep variants stateless and reusable)."""
+
+    name: str
+    description: str
+    factory: Callable[[], Clusterer]
+
+    def make_clusterer(self) -> Clusterer:
+        return self.factory()
+
+
+def _kmeans_variant(join_threshold: float, min_size: int = 2) -> Clusterer:
+    return KMeansClusterer(
+        initializer=MEminInitializer(),
+        reclustering=join_and_remove(distance_threshold=join_threshold, min_size=min_size),
+        convergence=RelaxedConvergence(),
+    )
+
+
+_VARIANTS: Dict[str, ClusteringVariant] = {
+    "small": ClusteringVariant(
+        name="small",
+        description="k-means, join threshold 2 (many small clusters)",
+        factory=lambda: _kmeans_variant(join_threshold=2.0),
+    ),
+    "medium": ClusteringVariant(
+        name="medium",
+        description="k-means, join threshold 3",
+        factory=lambda: _kmeans_variant(join_threshold=3.0),
+    ),
+    "large": ClusteringVariant(
+        name="large",
+        description="k-means, join threshold 4 (fewer, larger clusters)",
+        factory=lambda: _kmeans_variant(join_threshold=4.0),
+    ),
+    "tree": ClusteringVariant(
+        name="tree",
+        description="no clustering: one cluster per repository tree",
+        factory=TreeClusterer,
+    ),
+    "fragments": ClusteringVariant(
+        name="fragments",
+        description="offline fragments of at most 20 nodes (Rahm-style baseline)",
+        factory=lambda: FragmentClusterer(max_fragment_size=20),
+    ),
+    "no-reclustering": ClusteringVariant(
+        name="no-reclustering",
+        description="k-means without any reclustering (Figure 4 baseline)",
+        factory=lambda: KMeansClusterer(
+            initializer=MEminInitializer(),
+            reclustering=NoReclustering(),
+            convergence=RelaxedConvergence(),
+        ),
+    ),
+    "join-only": ClusteringVariant(
+        name="join-only",
+        description="k-means with join reclustering only (Figure 4 middle series)",
+        factory=lambda: KMeansClusterer(
+            initializer=MEminInitializer(),
+            reclustering=JoinReclustering(distance_threshold=3.0),
+            convergence=RelaxedConvergence(),
+        ),
+    ),
+}
+
+
+def clustering_variant(name: str) -> ClusteringVariant:
+    """Look up a preset by name (raises :class:`ConfigurationError` for unknown names)."""
+    try:
+        return _VARIANTS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown clustering variant {name!r}; available: {sorted(_VARIANTS)}"
+        ) from exc
+
+
+def standard_variants() -> List[ClusteringVariant]:
+    """The four variants of the paper's Table 1, in the paper's order."""
+    return [clustering_variant(name) for name in ("small", "medium", "large", "tree")]
+
+
+def available_variant_names() -> List[str]:
+    return sorted(_VARIANTS)

@@ -1,0 +1,20 @@
+"""Shared utilities: timers, counters, RNG helpers, ASCII tables and histograms."""
+
+from repro.utils.counters import CounterSet
+from repro.utils.histogram import Histogram, exponential_buckets
+from repro.utils.rng import SeededRandom, derive_seed
+from repro.utils.tables import AsciiTable, format_number, format_percent
+from repro.utils.timers import StageTimer, Timer
+
+__all__ = [
+    "AsciiTable",
+    "CounterSet",
+    "Histogram",
+    "SeededRandom",
+    "StageTimer",
+    "Timer",
+    "derive_seed",
+    "exponential_buckets",
+    "format_number",
+    "format_percent",
+]

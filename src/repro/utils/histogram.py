@@ -1,0 +1,100 @@
+"""Bucketed histograms.
+
+Figure 4 of the paper reports cluster sizes in exponentially growing buckets
+([1,1], [2,3], [4,7], [8,15], ... [128,255]).  :class:`Histogram` reproduces the
+same bucketing so the figure's series can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def exponential_buckets(max_value: int) -> List[Tuple[int, int]]:
+    """Build the paper's power-of-two buckets covering ``[1, max_value]``.
+
+    >>> exponential_buckets(20)
+    [(1, 1), (2, 3), (4, 7), (8, 15), (16, 31)]
+    """
+    if max_value < 1:
+        raise ValueError("max_value must be at least 1")
+    buckets: List[Tuple[int, int]] = []
+    low = 1
+    while low <= max_value:
+        high = low * 2 - 1
+        buckets.append((low, high))
+        low *= 2
+    return buckets
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    low: int
+    high: int
+    count: int
+
+    @property
+    def label(self) -> str:
+        return f"[{self.low},{self.high}]"
+
+
+class Histogram:
+    """Counts of integer observations grouped into fixed buckets."""
+
+    def __init__(self, buckets: Sequence[Tuple[int, int]]) -> None:
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket")
+        previous_high = 0
+        for low, high in buckets:
+            if low > high:
+                raise ValueError(f"bucket [{low},{high}] has low > high")
+            if low <= previous_high:
+                raise ValueError("histogram buckets must be sorted and disjoint")
+            previous_high = high
+        self._buckets = list(buckets)
+        self._counts = [0] * len(buckets)
+        self._overflow = 0
+
+    @classmethod
+    def exponential(cls, max_value: int) -> "Histogram":
+        return cls(exponential_buckets(max_value))
+
+    def add(self, value: int) -> None:
+        for index, (low, high) in enumerate(self._buckets):
+            if low <= value <= high:
+                self._counts[index] += 1
+                return
+        self._overflow += 1
+
+    def add_all(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts) + self._overflow
+
+    @property
+    def overflow(self) -> int:
+        return self._overflow
+
+    def buckets(self) -> List[HistogramBucket]:
+        return [
+            HistogramBucket(low=low, high=high, count=count)
+            for (low, high), count in zip(self._buckets, self._counts)
+        ]
+
+    def as_dict(self) -> Dict[str, int]:
+        return {bucket.label: bucket.count for bucket in self.buckets()}
+
+    def render(self, width: int = 40) -> str:
+        """Render a textual bar chart (one line per bucket)."""
+        peak = max(self._counts) if any(self._counts) else 1
+        lines = []
+        for bucket in self.buckets():
+            bar = "#" * int(round(width * bucket.count / peak)) if peak else ""
+            lines.append(f"{bucket.label:>10} {bucket.count:>6} {bar}")
+        if self._overflow:
+            lines.append(f"{'overflow':>10} {self._overflow:>6}")
+        return "\n".join(lines)

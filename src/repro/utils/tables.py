@@ -1,0 +1,74 @@
+"""ASCII table rendering for experiment reports.
+
+The experiment harness prints the same rows the paper reports (Table 1a/1b and
+the series behind Figures 4-6).  Rendering is deliberately dependency-free and
+stable so the output can be diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_number(value: float | int, decimals: int = 1) -> str:
+    """Format a number compactly: integers without decimals, floats with ``decimals``."""
+    if isinstance(value, bool):  # guard: bool is an int subclass
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value != value:  # NaN
+        return "nan"
+    return f"{value:,.{decimals}f}"
+
+
+def format_percent(fraction: float, decimals: int = 1) -> str:
+    """Format a fraction in [0, 1] as a percentage string."""
+    return f"{100.0 * fraction:.{decimals}f}%"
+
+
+class AsciiTable:
+    """A minimal, monospaced table with a header row.
+
+    Example
+    -------
+    >>> table = AsciiTable(["variant", "clusters"])
+    >>> table.add_row(["small", 251])
+    >>> print(table.render())  # doctest: +ELLIPSIS
+    variant | clusters
+    ...
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        row = [value if isinstance(value, str) else format_number(value) if isinstance(value, (int, float)) else str(value) for value in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def render_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_row(self.headers))
+        lines.append("-+-".join("-" * width for width in widths))
+        lines.extend(render_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

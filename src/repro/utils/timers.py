@@ -1,0 +1,110 @@
+"""Lightweight wall-clock timers used by the pipeline and the experiment harness.
+
+The paper reports wall-clock times for clustering and for mapping generation
+(Table 1b).  Bellflower's authors stress that absolute times on their prototype
+are unreliable, and that *counters* (partial mappings generated) are the primary
+efficiency indicator; we nevertheless measure elapsed time per stage so that the
+"clustering time + generation time < non-clustered generation time" comparison
+from Section 5 can be regenerated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+class Timer:
+    """A start/stop wall-clock timer.
+
+    The timer can be restarted; elapsed time accumulates across start/stop
+    cycles, which is what the pipeline needs when a stage is invoked once per
+    cluster.
+    """
+
+    def __init__(self) -> None:
+        self._started_at: Optional[float] = None
+        self._elapsed = 0.0
+
+    def start(self) -> "Timer":
+        if self._started_at is not None:
+            raise RuntimeError("timer is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("timer is not running")
+        self._elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds, including the current running span if any."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._elapsed + extra
+
+    def reset(self) -> None:
+        self._started_at = None
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer(elapsed={self.elapsed:.6f}s, running={self.running})"
+
+
+@dataclass
+class StageTimer:
+    """A named collection of :class:`Timer` objects, one per pipeline stage.
+
+    Example
+    -------
+    >>> stages = StageTimer()
+    >>> with stages.measure("clustering"):
+    ...     pass
+    >>> "clustering" in stages.elapsed()
+    True
+    """
+
+    timers: Dict[str, Timer] = field(default_factory=dict)
+
+    def timer(self, stage: str) -> Timer:
+        if stage not in self.timers:
+            self.timers[stage] = Timer()
+        return self.timers[stage]
+
+    @contextmanager
+    def measure(self, stage: str) -> Iterator[Timer]:
+        timer = self.timer(stage)
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def elapsed(self) -> Dict[str, float]:
+        """Elapsed seconds per stage."""
+        return {name: timer.elapsed for name, timer in self.timers.items()}
+
+    def total(self) -> float:
+        return sum(timer.elapsed for timer in self.timers.values())
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another stage timer's elapsed totals into this one."""
+        for name, timer in other.timers.items():
+            mine = self.timer(name)
+            mine._elapsed += timer.elapsed

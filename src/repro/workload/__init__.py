@@ -1,0 +1,41 @@
+"""Workload generation: synthetic schema repositories and personal schemas.
+
+The paper's repository was harvested from the web (1700 DTD/XSD documents,
+178 252 element and attribute nodes over 3 889 trees) and sub-sampled into
+experimental repositories of 2 500–10 200 elements.  That collection is not
+available, so this package provides a deterministic, seeded generator that
+produces forests with the same statistical shape — many small-to-medium trees
+drawn from overlapping real-world domains, with naming-convention noise — plus
+a small bundled corpus of hand-written DTD/XSD documents that exercises the
+real ingestion path, and builders for the personal schemas used in the
+experiments.
+"""
+
+from repro.workload.vocabulary import DOMAINS, Domain, NamePerturber, domain_by_name
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+from repro.workload.personal import (
+    book_personal_schema,
+    contact_personal_schema,
+    paper_personal_schema,
+    publication_personal_schema,
+    purchase_personal_schema,
+)
+from repro.workload.corpus import bundled_corpus_documents, load_bundled_corpus
+from repro.workload.sampling import sample_repository
+
+__all__ = [
+    "DOMAINS",
+    "Domain",
+    "NamePerturber",
+    "RepositoryGenerator",
+    "RepositoryProfile",
+    "book_personal_schema",
+    "bundled_corpus_documents",
+    "contact_personal_schema",
+    "domain_by_name",
+    "load_bundled_corpus",
+    "paper_personal_schema",
+    "publication_personal_schema",
+    "purchase_personal_schema",
+    "sample_repository",
+]

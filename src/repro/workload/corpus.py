@@ -1,0 +1,181 @@
+"""A small bundled corpus of DTD and XSD documents.
+
+The corpus exercises the real ingestion path (DTD and XSD parsing) end to end
+and gives the examples something concrete to match against without generating
+a synthetic repository.  The documents are hand-written but modelled on the
+kinds of schemas the paper's web crawl found: bibliographic data, commerce,
+contact directories.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.schema.dtd_parser import parse_dtd
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+from repro.schema.xsd_parser import parse_xsd
+
+_LIBRARY_DTD = """
+<!-- A small lending-library schema. -->
+<!ELEMENT library (book+, member*, address?)>
+<!ELEMENT book (title, data, price?)>
+<!ELEMENT data (authorName, shelf)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authorName (#PCDATA)>
+<!ELEMENT shelf (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT member (name, address, email?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT address (street, city, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+<!ATTLIST book isbn CDATA #REQUIRED>
+<!ATTLIST member id ID #REQUIRED>
+"""
+
+_BOOKSTORE_DTD = """
+<!ELEMENT bookstore (bookEntry*, owner)>
+<!ELEMENT bookEntry (heading, writer, cost, category?)>
+<!ELEMENT heading (#PCDATA)>
+<!ELEMENT writer (fname, lname)>
+<!ELEMENT fname (#PCDATA)>
+<!ELEMENT lname (#PCDATA)>
+<!ELEMENT cost (#PCDATA)>
+<!ELEMENT category (#PCDATA)>
+<!ELEMENT owner (fullName, location, mail, tel)>
+<!ELEMENT fullName (#PCDATA)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT mail (#PCDATA)>
+<!ELEMENT tel (#PCDATA)>
+"""
+
+_DIRECTORY_DTD = """
+<!ELEMENT directory (person+)>
+<!ELEMENT person (name, addr, eMail?, telephone*, employer?)>
+<!ELEMENT name (givenName, familyName)>
+<!ELEMENT givenName (#PCDATA)>
+<!ELEMENT familyName (#PCDATA)>
+<!ELEMENT addr (street, town, postcode, country)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT town (#PCDATA)>
+<!ELEMENT postcode (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT eMail (#PCDATA)>
+<!ELEMENT telephone (#PCDATA)>
+<!ELEMENT employer (companyName, department?)>
+<!ELEMENT companyName (#PCDATA)>
+<!ELEMENT department (#PCDATA)>
+"""
+
+_ORDER_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="purchaseOrder">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="customer">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="custName" type="xs:string"/>
+              <xs:element name="shipAddress" type="xs:string"/>
+              <xs:element name="emailAddress" type="xs:string" minOccurs="0"/>
+            </xs:sequence>
+            <xs:attribute name="customerId" type="xs:ID"/>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="orderLine" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="product" type="xs:string"/>
+              <xs:element name="quantity" type="xs:int"/>
+              <xs:element name="unitPrice" type="xs:decimal"/>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="orderDate" type="xs:date"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+_JOURNAL_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="journal">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="issue" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="article" maxOccurs="unbounded">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="title" type="xs:string"/>
+                    <xs:element name="creator" type="xs:string" maxOccurs="unbounded"/>
+                    <xs:element name="abstract" type="xs:string" minOccurs="0"/>
+                    <xs:element name="pages" type="xs:string"/>
+                  </xs:sequence>
+                  <xs:attribute name="doi" type="xs:anyURI"/>
+                </xs:complexType>
+              </xs:element>
+              <xs:element name="publicationYear" type="xs:int"/>
+            </xs:sequence>
+            <xs:attribute name="number" type="xs:int"/>
+          </xs:complexType>
+        </xs:element>
+        <xs:element name="publisherName" type="xs:string"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+_STAFF_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="staffList">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="employee" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="empName" type="xs:string"/>
+              <xs:element name="homeAddress" type="xs:string"/>
+              <xs:element name="workEmail" type="xs:string"/>
+              <xs:element name="salary" type="xs:decimal"/>
+              <xs:element name="hireDate" type="xs:date"/>
+            </xs:sequence>
+            <xs:attribute name="badge" type="xs:ID"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+def bundled_corpus_documents() -> Dict[str, Tuple[str, str]]:
+    """The bundled documents as ``name -> (format, text)`` (format is ``dtd`` or ``xsd``)."""
+    return {
+        "library": ("dtd", _LIBRARY_DTD),
+        "bookstore": ("dtd", _BOOKSTORE_DTD),
+        "directory": ("dtd", _DIRECTORY_DTD),
+        "purchase-order": ("xsd", _ORDER_XSD),
+        "journal": ("xsd", _JOURNAL_XSD),
+        "staff": ("xsd", _STAFF_XSD),
+    }
+
+
+def load_bundled_corpus(name: str = "bundled-corpus") -> SchemaRepository:
+    """Parse every bundled document into one :class:`SchemaRepository`."""
+    repository = SchemaRepository(name=name)
+    for document_name, (format_name, text) in bundled_corpus_documents().items():
+        trees: List[SchemaTree]
+        if format_name == "dtd":
+            trees = parse_dtd(text, schema_name=document_name)
+        else:
+            trees = parse_xsd(text, schema_name=document_name)
+        repository.add_trees(trees)
+    return repository

@@ -1,0 +1,218 @@
+"""Synthetic schema-repository generator.
+
+Generates a forest of schema trees whose statistical shape mirrors the paper's
+web-harvested repository: many small-to-medium trees (tens to a few hundred
+nodes), moderate depth, fan-out skewed towards small values, recurring domain
+vocabularies with naming noise, and localized "contact blocks" that give the
+experiment's personal schema concentrated regions of mapping elements.
+
+Generation is fully deterministic for a given :class:`RepositoryProfile` (seed
+included), so benchmark runs across clustering variants see byte-identical
+input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.schema.node import DataType, NodeKind, SchemaNode
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+from repro.utils.rng import SeededRandom
+from repro.workload.vocabulary import CONTACT_BLOCK, DOMAINS, Domain, NamePerturber
+
+_LEAF_DATATYPES = (
+    DataType.STRING,
+    DataType.STRING,
+    DataType.STRING,
+    DataType.INTEGER,
+    DataType.DECIMAL,
+    DataType.DATE,
+    DataType.BOOLEAN,
+)
+
+
+@dataclass(frozen=True)
+class RepositoryProfile:
+    """Parameters controlling the shape of a generated repository.
+
+    The defaults target the paper's main experiment: roughly 9 750 nodes spread
+    over ~260 trees of 20–80 nodes each.
+    """
+
+    target_node_count: int = 9750
+    min_tree_size: int = 12
+    max_tree_size: int = 90
+    max_depth: int = 7
+    max_fanout: int = 8
+    fanout_geometric_p: float = 0.35
+    attribute_probability: float = 0.12
+    perturbation_strength: float = 1.0
+    domains: Sequence[Domain] = field(default_factory=lambda: tuple(DOMAINS))
+    seed: int = 20060403  # ICDE 2006 started on 3 April 2006.
+    name: str = "synthetic-repository"
+
+    def __post_init__(self) -> None:
+        if self.target_node_count < 1:
+            raise WorkloadError("target_node_count must be positive")
+        if not 1 <= self.min_tree_size <= self.max_tree_size:
+            raise WorkloadError(
+                f"invalid tree size range [{self.min_tree_size}, {self.max_tree_size}]"
+            )
+        if self.max_depth < 1:
+            raise WorkloadError("max_depth must be at least 1")
+        if self.max_fanout < 1:
+            raise WorkloadError("max_fanout must be at least 1")
+        if not 0.0 < self.fanout_geometric_p <= 1.0:
+            raise WorkloadError("fanout_geometric_p must be in (0, 1]")
+        if not 0.0 <= self.attribute_probability <= 1.0:
+            raise WorkloadError("attribute_probability must be in [0, 1]")
+        if self.perturbation_strength < 0.0:
+            raise WorkloadError("perturbation_strength must be non-negative")
+        if not self.domains:
+            raise WorkloadError("at least one domain is required")
+
+    def scaled(self, target_node_count: int, name: Optional[str] = None) -> "RepositoryProfile":
+        """A copy of this profile with a different target size (same seed and shape)."""
+        return RepositoryProfile(
+            target_node_count=target_node_count,
+            min_tree_size=self.min_tree_size,
+            max_tree_size=self.max_tree_size,
+            max_depth=self.max_depth,
+            max_fanout=self.max_fanout,
+            fanout_geometric_p=self.fanout_geometric_p,
+            attribute_probability=self.attribute_probability,
+            perturbation_strength=self.perturbation_strength,
+            domains=self.domains,
+            seed=self.seed,
+            name=name or f"{self.name}-{target_node_count}",
+        )
+
+
+class RepositoryGenerator:
+    """Builds a :class:`SchemaRepository` from a :class:`RepositoryProfile`."""
+
+    def __init__(self, profile: Optional[RepositoryProfile] = None) -> None:
+        self.profile = profile or RepositoryProfile()
+
+    def generate(self) -> SchemaRepository:
+        """Generate the repository (deterministic for a fixed profile)."""
+        profile = self.profile
+        rng = SeededRandom(profile.seed)
+        strength = profile.perturbation_strength
+        perturber = NamePerturber(
+            rng.spawn("perturber"),
+            abbreviation_probability=min(1.0, 0.15 * strength),
+            synonym_probability=min(1.0, 0.15 * strength),
+            style_probability=min(1.0, 0.2 * strength),
+            suffix_probability=min(1.0, 0.08 * strength),
+            typo_probability=min(1.0, 0.03 * strength),
+        )
+
+        repository = SchemaRepository(name=profile.name)
+        generated_nodes = 0
+        tree_index = 0
+        while generated_nodes < profile.target_node_count:
+            domain = rng.choice(list(profile.domains))
+            remaining = profile.target_node_count - generated_nodes
+            size_cap = min(profile.max_tree_size, max(profile.min_tree_size, remaining))
+            target_size = rng.randint(profile.min_tree_size, size_cap)
+            tree = self._generate_tree(
+                tree_index=tree_index,
+                domain=domain,
+                target_size=target_size,
+                rng=rng.spawn("tree", tree_index),
+                perturber=perturber,
+            )
+            repository.add_tree(tree)
+            generated_nodes += tree.node_count
+            tree_index += 1
+        return repository
+
+    # -- tree construction -------------------------------------------------------
+
+    def _generate_tree(
+        self,
+        tree_index: int,
+        domain: Domain,
+        target_size: int,
+        rng: SeededRandom,
+        perturber: NamePerturber,
+    ) -> SchemaTree:
+        profile = self.profile
+        root_name = perturber.perturb(rng.choice(list(domain.roots)))
+        tree = SchemaTree(name=f"{domain.name}-{tree_index}")
+        root = tree.add_root(SchemaNode(name=root_name, kind=NodeKind.ELEMENT))
+
+        # Frontier of nodes that may still receive children, with their depth.
+        frontier: List[tuple[int, int]] = [(root.node_id, 0)]
+        while tree.node_count < target_size:
+            if not frontier:
+                # The tree died out before reaching its target size (every branch
+                # ended in leaves).  Re-seed the frontier from existing internal
+                # nodes that still have headroom, which keeps generated tree
+                # sizes close to the requested distribution.
+                candidates_to_extend = [
+                    (node_id, tree.depth(node_id))
+                    for node_id in tree.node_ids()
+                    if tree.depth(node_id) < profile.max_depth - 1 and not tree.node(node_id).is_attribute
+                ]
+                if not candidates_to_extend:
+                    break
+                frontier.append(rng.choice(candidates_to_extend))
+            parent_id, depth = frontier.pop(0)
+            if depth >= profile.max_depth:
+                continue
+            fanout = rng.geometric(profile.fanout_geometric_p, profile.max_fanout)
+            fanout = min(fanout, target_size - tree.node_count)
+            if fanout <= 0:
+                continue
+
+            # Occasionally emit a contact block instead of random children; this
+            # creates the localized regions the clustering step discovers.
+            if rng.random() < domain.contact_block_probability and fanout >= 2:
+                self._add_contact_block(tree, parent_id, rng, perturber, target_size)
+                continue
+
+            for _ in range(fanout):
+                if tree.node_count >= target_size:
+                    break
+                make_leaf = depth + 1 >= profile.max_depth or rng.random() < 0.5
+                if make_leaf:
+                    name = perturber.perturb(rng.choice(list(domain.leaves)))
+                    kind = (
+                        NodeKind.ATTRIBUTE
+                        if rng.random() < profile.attribute_probability
+                        else NodeKind.ELEMENT
+                    )
+                    datatype = rng.choice(list(_LEAF_DATATYPES))
+                    tree.add_child(parent_id, SchemaNode(name=name, kind=kind, datatype=datatype))
+                else:
+                    name = perturber.perturb(rng.choice(list(domain.containers)))
+                    child = tree.add_child(parent_id, SchemaNode(name=name, kind=NodeKind.ELEMENT))
+                    frontier.append((child.node_id, depth + 1))
+        return tree
+
+    def _add_contact_block(
+        self,
+        tree: SchemaTree,
+        parent_id: int,
+        rng: SeededRandom,
+        perturber: NamePerturber,
+        target_size: int,
+    ) -> None:
+        """Attach a small person/address group under ``parent_id``."""
+        block = list(CONTACT_BLOCK)
+        # Keep between 2 and all 4 of the block's members, in a random order.
+        keep = rng.randint(2, len(block))
+        members = rng.sample(block, keep)
+        for member in members:
+            if tree.node_count >= target_size:
+                break
+            name = perturber.perturb(member)
+            tree.add_child(
+                parent_id,
+                SchemaNode(name=name, kind=NodeKind.ELEMENT, datatype=DataType.STRING),
+            )

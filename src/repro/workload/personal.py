@@ -1,0 +1,67 @@
+"""Personal-schema builders used by the experiments and examples.
+
+A personal schema is the small tree a user writes to describe the data they
+are looking for (Sec. 1 of the paper).  The builders below cover the schemas
+the paper mentions plus a few larger ones for the scaling ablations.
+"""
+
+from __future__ import annotations
+
+from repro.schema.builder import TreeBuilder
+from repro.schema.tree import SchemaTree
+
+
+def paper_personal_schema() -> SchemaTree:
+    """The schema of the paper's main experiment (Sec. 5).
+
+    "The personal schema has nodes *name*, *address*, and *email*, and a
+    structure similar to schema *s* in Fig. 1" — i.e. three nodes, one root
+    with two children.
+    """
+    builder = TreeBuilder("personal-name-address-email")
+    root = builder.root("name", datatype="string")
+    builder.child(root, "address", datatype="string")
+    builder.child(root, "email", datatype="string")
+    return builder.build()
+
+
+def contact_personal_schema() -> SchemaTree:
+    """A four-node contact schema (root ``contact`` with name/address/email children)."""
+    builder = TreeBuilder("personal-contact")
+    root = builder.root("contact")
+    builder.child(root, "name", datatype="string")
+    builder.child(root, "address", datatype="string")
+    builder.child(root, "email", datatype="string")
+    return builder.build()
+
+
+def book_personal_schema() -> SchemaTree:
+    """The running example of the paper's Fig. 1: ``book`` with ``title`` and ``author``."""
+    builder = TreeBuilder("personal-book")
+    root = builder.root("book")
+    builder.child(root, "title", datatype="string")
+    builder.child(root, "author", datatype="string")
+    return builder.build()
+
+
+def publication_personal_schema() -> SchemaTree:
+    """A five-node bibliographic schema used by the scaling ablation."""
+    builder = TreeBuilder("personal-publication")
+    root = builder.root("publication")
+    builder.child(root, "title", datatype="string")
+    author = builder.child(root, "author")
+    builder.child(author, "name", datatype="string")
+    builder.child(root, "year", datatype="integer")
+    return builder.build()
+
+
+def purchase_personal_schema() -> SchemaTree:
+    """A six-node commerce schema (order / customer / item) for the scaling ablation."""
+    builder = TreeBuilder("personal-purchase")
+    root = builder.root("order")
+    customer = builder.child(root, "customer")
+    builder.child(customer, "name", datatype="string")
+    item = builder.child(root, "item")
+    builder.child(item, "price", datatype="decimal")
+    builder.child(item, "quantity", datatype="integer")
+    return builder.build()

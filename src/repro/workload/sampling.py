@@ -1,0 +1,52 @@
+"""Repository sub-sampling.
+
+The paper builds "several smaller repositories with sizes from 2500 to 10200
+elements, by randomly selecting schemas from the collection".  The same
+operation over our repositories: pick whole trees at random until a node budget
+is reached.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.schema.repository import SchemaRepository
+from repro.schema.serialization import tree_from_dict, tree_to_dict
+from repro.schema.tree import SchemaTree
+from repro.utils.rng import SeededRandom
+
+
+def _clone_tree(tree: SchemaTree) -> SchemaTree:
+    """A deep copy of a tree with its registration (tree_id) reset."""
+    return tree_from_dict(tree_to_dict(tree))
+
+
+def sample_repository(
+    repository: SchemaRepository,
+    target_node_count: int,
+    seed: int = 11,
+    name: Optional[str] = None,
+) -> SchemaRepository:
+    """Randomly select whole trees until roughly ``target_node_count`` nodes are collected.
+
+    Trees are cloned, so the sample is independent of the source repository.
+    The result can overshoot the target by at most one tree; it stops early if
+    the source runs out of trees.
+    """
+    if target_node_count < 1:
+        raise WorkloadError(f"target_node_count must be positive, got {target_node_count}")
+    if repository.tree_count == 0:
+        raise WorkloadError("cannot sample from an empty repository")
+
+    rng = SeededRandom(seed)
+    order: List[int] = rng.shuffle(list(range(repository.tree_count)))
+    sample = SchemaRepository(name=name or f"{repository.name}-sample-{target_node_count}")
+    collected = 0
+    for tree_id in order:
+        if collected >= target_node_count:
+            break
+        tree = repository.tree(tree_id)
+        sample.add_tree(_clone_tree(tree))
+        collected += tree.node_count
+    return sample

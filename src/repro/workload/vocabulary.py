@@ -1,0 +1,238 @@
+"""Domain vocabularies and name perturbation for the synthetic repository.
+
+Real web schema collections mix a limited set of recurring domains
+(bibliographic data, commerce, contact/person data, publishing, logistics …)
+with heavy naming-convention noise (camelCase vs. underscores, abbreviations,
+synonyms, the occasional typo).  The synthetic repository reproduces both: each
+generated tree is themed on one :class:`Domain`, and every element name passes
+through a :class:`NamePerturber` that applies the same kinds of noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import WorkloadError
+from repro.utils.rng import SeededRandom
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A vocabulary theme for generated schema trees.
+
+    Attributes
+    ----------
+    name:
+        Domain identifier (e.g. ``"library"``).
+    roots:
+        Candidate names for tree roots.
+    containers:
+        Names of elements that typically have children.
+    leaves:
+        Names of leaf elements / attributes.
+    contact_block_probability:
+        Probability that a container receives a "contact block" — a small group
+        of person/address elements.  Contact blocks are what gives the
+        experiment's personal schema (*name*, *address*, *email*) localized
+        regions of mapping elements to discover.
+    """
+
+    name: str
+    roots: Sequence[str]
+    containers: Sequence[str]
+    leaves: Sequence[str]
+    contact_block_probability: float = 0.15
+
+
+#: Element names that make up a "contact block".
+CONTACT_BLOCK: Sequence[str] = ("name", "address", "email", "phone")
+
+DOMAINS: List[Domain] = [
+    Domain(
+        name="library",
+        roots=("library", "catalog", "bookstore", "collection"),
+        containers=("book", "author", "publisher", "chapter", "section", "series", "loan", "member"),
+        leaves=(
+            "title", "isbn", "year", "price", "language", "edition", "pages", "genre",
+            "firstName", "lastName", "birthDate", "shelf", "summary", "keyword",
+        ),
+        contact_block_probability=0.25,
+    ),
+    Domain(
+        name="commerce",
+        roots=("order", "invoice", "store", "cart", "purchaseOrder"),
+        containers=("customer", "item", "shipment", "payment", "billing", "shipping", "supplier", "lineItem"),
+        leaves=(
+            "quantity", "price", "sku", "discount", "total", "currency", "orderDate",
+            "status", "tax", "weight", "description", "productName",
+        ),
+        contact_block_probability=0.35,
+    ),
+    Domain(
+        name="people",
+        roots=("people", "directory", "organization", "company", "staff"),
+        containers=("person", "employee", "contact", "department", "team", "manager", "member"),
+        leaves=(
+            "name", "firstName", "lastName", "email", "phone", "address", "city",
+            "country", "zipcode", "title", "salary", "hireDate", "birthDate",
+        ),
+        contact_block_probability=0.45,
+    ),
+    Domain(
+        name="publishing",
+        roots=("journal", "proceedings", "magazine", "articleSet"),
+        containers=("article", "issue", "volume", "editor", "reviewer", "reference", "conference"),
+        leaves=(
+            "title", "abstract", "doi", "year", "month", "pages", "keyword",
+            "affiliation", "subject", "url",
+        ),
+        contact_block_probability=0.2,
+    ),
+    Domain(
+        name="logistics",
+        roots=("warehouse", "inventory", "fleet", "shipmentManifest"),
+        containers=("location", "container", "vehicle", "route", "stop", "parcel", "carrier"),
+        leaves=(
+            "capacity", "weight", "volume", "arrivalDate", "departureDate", "status",
+            "trackingNumber", "distance", "cost",
+        ),
+        contact_block_probability=0.15,
+    ),
+    Domain(
+        name="events",
+        roots=("calendar", "schedule", "eventList", "conferenceProgram"),
+        containers=("event", "session", "speaker", "venue", "registration", "attendee", "sponsor"),
+        leaves=(
+            "title", "startTime", "endTime", "date", "room", "topic", "fee",
+            "capacity", "description",
+        ),
+        contact_block_probability=0.3,
+    ),
+]
+
+_DOMAIN_INDEX: Dict[str, Domain] = {domain.name: domain for domain in DOMAINS}
+
+#: Abbreviation table applied by the perturber (the reverse direction of the
+#: matcher-side expansion table, plus a few extras).
+_ABBREVIATIONS: Dict[str, str] = {
+    "address": "addr",
+    "author": "auth",
+    "customer": "cust",
+    "department": "dept",
+    "description": "desc",
+    "email": "mail",
+    "employee": "emp",
+    "firstname": "fname",
+    "identifier": "id",
+    "information": "info",
+    "lastname": "lname",
+    "location": "loc",
+    "number": "num",
+    "organization": "org",
+    "phone": "tel",
+    "publisher": "pub",
+    "quantity": "qty",
+    "reference": "ref",
+    "telephone": "tel",
+}
+
+#: Synonym substitutions applied by the perturber.
+_SYNONYM_SUBSTITUTIONS: Dict[str, Sequence[str]] = {
+    "name": ("label", "fullName"),
+    "address": ("location", "residence"),
+    "email": ("eMail", "electronicMail"),
+    "phone": ("telephone", "phoneNumber"),
+    "price": ("cost", "amount"),
+    "customer": ("client", "buyer"),
+    "item": ("product", "article"),
+    "author": ("writer", "creator"),
+    "title": ("heading", "caption"),
+}
+
+
+def domain_by_name(name: str) -> Domain:
+    """Look up one of the built-in domains."""
+    try:
+        return _DOMAIN_INDEX[name]
+    except KeyError as exc:
+        raise WorkloadError(f"unknown domain {name!r}; available: {sorted(_DOMAIN_INDEX)}") from exc
+
+
+class NamePerturber:
+    """Applies naming-convention noise to element names, deterministically.
+
+    Each perturbation is applied independently with its own probability:
+
+    * *abbreviation* — ``address`` → ``addr``;
+    * *synonym* — ``address`` → ``location``;
+    * *style change* — camelCase → snake_case or the reverse;
+    * *suffix* — a numeric or generic suffix (``address2``, ``addressInfo``);
+    * *typo* — one adjacent-character transposition.
+    """
+
+    def __init__(
+        self,
+        rng: SeededRandom,
+        abbreviation_probability: float = 0.15,
+        synonym_probability: float = 0.15,
+        style_probability: float = 0.2,
+        suffix_probability: float = 0.08,
+        typo_probability: float = 0.03,
+    ) -> None:
+        for label, probability in (
+            ("abbreviation", abbreviation_probability),
+            ("synonym", synonym_probability),
+            ("style", style_probability),
+            ("suffix", suffix_probability),
+            ("typo", typo_probability),
+        ):
+            if not 0.0 <= probability <= 1.0:
+                raise WorkloadError(f"{label} probability must be in [0, 1], got {probability}")
+        self._rng = rng
+        self.abbreviation_probability = abbreviation_probability
+        self.synonym_probability = synonym_probability
+        self.style_probability = style_probability
+        self.suffix_probability = suffix_probability
+        self.typo_probability = typo_probability
+
+    def perturb(self, name: str) -> str:
+        """Return a (possibly) noised version of ``name``."""
+        result = name
+        if self._rng.random() < self.synonym_probability:
+            options = _SYNONYM_SUBSTITUTIONS.get(result.lower())
+            if options:
+                result = self._rng.choice(list(options))
+        if self._rng.random() < self.abbreviation_probability:
+            result = _ABBREVIATIONS.get(result.lower(), result)
+        if self._rng.random() < self.style_probability:
+            result = self._toggle_style(result)
+        if self._rng.random() < self.suffix_probability:
+            result = f"{result}{self._rng.choice(['2', 'Info', 'Data', 'Value'])}"
+        if self._rng.random() < self.typo_probability and len(result) > 3:
+            result = self._transpose(result)
+        return result
+
+    def _toggle_style(self, name: str) -> str:
+        if "_" in name:
+            # snake_case -> camelCase
+            parts = [part for part in name.split("_") if part]
+            return parts[0] + "".join(part.capitalize() for part in parts[1:]) if parts else name
+        # camelCase (or plain) -> snake_case
+        pieces: List[str] = []
+        current = ""
+        for char in name:
+            if char.isupper() and current:
+                pieces.append(current)
+                current = char.lower()
+            else:
+                current += char.lower()
+        if current:
+            pieces.append(current)
+        return "_".join(pieces)
+
+    def _transpose(self, name: str) -> str:
+        index = self._rng.randint(1, len(name) - 2)
+        chars = list(name)
+        chars[index], chars[index + 1] = chars[index + 1], chars[index]
+        return "".join(chars)

@@ -1,0 +1,74 @@
+"""Tests for the cluster and cluster-set data structures."""
+
+import pytest
+
+from repro.clustering.cluster import Cluster, ClusterSet
+from repro.errors import ClusteringError
+from repro.matchers.selection import MappingElement, MappingElementSets
+from repro.schema.repository import RepositoryNodeRef
+
+
+def ref(global_id, tree_id=0):
+    return RepositoryNodeRef(global_id=global_id, tree_id=tree_id, node_id=global_id)
+
+
+@pytest.fixture
+def candidates():
+    sets = MappingElementSets([0, 1])
+    sets.add(MappingElement(0, ref(1), 0.9))
+    sets.add(MappingElement(0, ref(5), 0.7))
+    sets.add(MappingElement(1, ref(2), 0.8))
+    sets.add(MappingElement(1, ref(9, tree_id=1), 0.8))
+    return sets
+
+
+def test_cluster_rejects_cross_tree_members():
+    with pytest.raises(ClusteringError):
+        Cluster(cluster_id=0, tree_id=0, members={ref(3, tree_id=1)})
+    cluster = Cluster(cluster_id=0, tree_id=0)
+    with pytest.raises(ClusteringError):
+        cluster.add(ref(3, tree_id=1))
+
+
+def test_cluster_rejects_cross_tree_centroid():
+    with pytest.raises(ClusteringError):
+        Cluster(cluster_id=0, tree_id=0, members={ref(1)}, centroid=ref(9, tree_id=1))
+
+
+def test_cluster_size_and_membership(candidates):
+    cluster = Cluster(cluster_id=0, tree_id=0, members={ref(1), ref(2)})
+    assert cluster.size == 2
+    assert ref(1) in cluster
+    assert cluster.member_global_ids() == {1, 2}
+    assert cluster.mapping_element_count(candidates) == 2
+
+
+def test_useful_cluster_needs_every_personal_node(candidates):
+    useful = Cluster(cluster_id=0, tree_id=0, members={ref(1), ref(2)})
+    assert useful.is_useful(candidates)
+    not_useful = Cluster(cluster_id=1, tree_id=0, members={ref(1), ref(5)})
+    assert not not_useful.is_useful(candidates)
+
+
+def test_restricted_candidates(candidates):
+    cluster = Cluster(cluster_id=0, tree_id=0, members={ref(1), ref(2)})
+    restricted = cluster.restricted_candidates(candidates)
+    assert restricted.sizes() == {0: 1, 1: 1}
+
+
+def test_cluster_set_operations(candidates):
+    clusters = ClusterSet(
+        [
+            Cluster(cluster_id=0, tree_id=0, members={ref(1), ref(2)}),
+            Cluster(cluster_id=1, tree_id=0, members={ref(5)}),
+            Cluster(cluster_id=2, tree_id=1, members=set()),
+        ]
+    )
+    assert clusters.cluster_count == 3
+    assert len(clusters.non_empty()) == 2
+    assert clusters.sizes() == [2, 1, 0]
+    assert clusters.total_members() == 3
+    assert [c.cluster_id for c in clusters.useful_clusters(candidates)] == [0]
+    assert clusters.mapping_element_sizes(candidates) == [2, 1, 0]
+    assignment = clusters.assignment()
+    assert assignment[1] == 0 and assignment[5] == 1

@@ -1,0 +1,115 @@
+"""Tests for clustering distance measures, centroid seeding and medoid computation."""
+
+import math
+
+import pytest
+
+from repro.clustering.centroid import medoid, total_distance
+from repro.clustering.distance import BlendedDistance, PathLengthDistance
+from repro.clustering.initialization import MEminInitializer, PerTreeInitializer, RandomInitializer
+from repro.errors import ClusteringError
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.matchers.selection import MappingElement, MappingElementSets
+
+
+class TestPathLengthDistance:
+    def test_matches_tree_distance(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        a = small_repository.ref(0, 3)  # authorName
+        b = small_repository.ref(0, 5)  # title
+        assert distance.distance(a, b) == 3.0
+
+    def test_infinite_across_trees(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        assert math.isinf(distance.distance(small_repository.ref(0, 0), small_repository.ref(1, 0)))
+
+
+class TestBlendedDistance:
+    def test_blend_combines_path_and_name_terms(self, small_repository, small_oracle):
+        blended = BlendedDistance(small_oracle, small_repository, path_weight=0.5, name_scale=4.0)
+        pure = PathLengthDistance(small_oracle)
+        title = small_repository.find_by_name("title")[0]
+        author = small_repository.find_by_name("authorName")[0]
+        # Identical nodes: both terms are zero.
+        assert blended.distance(title, title) == 0.0
+        # The blend is bounded by the two extremes: pure path (weight on names 0)
+        # and pure path plus the full name penalty.
+        value = blended.distance(title, author)
+        assert 0.5 * pure.distance(title, author) <= value <= 0.5 * pure.distance(title, author) + 2.0
+        # With path_weight=1.0 the blend degenerates to the path distance.
+        pure_blend = BlendedDistance(small_oracle, small_repository, path_weight=1.0)
+        assert pure_blend.distance(title, author) == pure.distance(title, author)
+        assert math.isinf(
+            blended.distance(small_repository.ref(0, 0), small_repository.ref(1, 0))
+        )
+
+    def test_parameter_validation(self, small_repository, small_oracle):
+        with pytest.raises(ClusteringError):
+            BlendedDistance(small_oracle, small_repository, path_weight=1.5)
+        with pytest.raises(ClusteringError):
+            BlendedDistance(small_oracle, small_repository, name_scale=0.0)
+
+
+class TestInitializers:
+    def test_me_min_uses_smallest_candidate_set(self, small_repository):
+        sets = MappingElementSets([0, 1])
+        for node in (1, 2, 3):
+            sets.add(MappingElement(0, small_repository.ref(0, node), 0.8))
+        sets.add(MappingElement(1, small_repository.ref(0, 5), 0.9))
+        centroids = MEminInitializer().initial_centroids(sets, small_repository)
+        assert [c.node_id for c in centroids] == [5]
+
+    def test_me_min_deduplicates_targets(self, small_repository):
+        sets = MappingElementSets([0])
+        sets.add(MappingElement(0, small_repository.ref(0, 5), 0.9))
+        sets.add(MappingElement(0, small_repository.ref(0, 5), 0.7))
+        centroids = MEminInitializer().initial_centroids(sets, small_repository)
+        assert len(centroids) == 1
+
+    def test_random_initializer_is_deterministic_and_bounded(self, small_candidates, small_repository):
+        first = RandomInitializer(centroid_count=3, seed=5).initial_centroids(
+            small_candidates, small_repository
+        )
+        second = RandomInitializer(centroid_count=3, seed=5).initial_centroids(
+            small_candidates, small_repository
+        )
+        assert first == second
+        assert len(first) <= 3
+
+    def test_per_tree_initializer_covers_trees_with_elements(self, small_candidates, small_repository):
+        centroids = PerTreeInitializer(centroids_per_tree=1, seed=1).initial_centroids(
+            small_candidates, small_repository
+        )
+        trees_with_elements = {e.ref.tree_id for e in small_candidates.all_elements()}
+        assert {c.tree_id for c in centroids} == trees_with_elements
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ClusteringError):
+            RandomInitializer(centroid_count=0)
+        with pytest.raises(ClusteringError):
+            PerTreeInitializer(centroids_per_tree=0)
+
+
+class TestMedoid:
+    def test_single_member(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        only = small_repository.ref(0, 2)
+        assert medoid([only], distance) == only
+
+    def test_medoid_minimizes_total_distance(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        members = [small_repository.ref(0, node) for node in (1, 2, 3, 5)]  # book, data, authorName, title
+        chosen = medoid(members, distance, sample_limit=None)
+        best_total = total_distance(chosen, members, distance)
+        for member in members:
+            assert best_total <= total_distance(member, members, distance)
+
+    def test_empty_members_rejected(self, small_oracle):
+        with pytest.raises(ClusteringError):
+            medoid([], PathLengthDistance(small_oracle))
+
+    def test_sampled_medoid_still_a_member(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        members = [small_repository.ref(0, node) for node in range(7)]
+        chosen = medoid(members, distance, sample_limit=3)
+        assert chosen in members

@@ -1,0 +1,138 @@
+"""Tests for the adapted k-means clusterer and the baseline clusterers."""
+
+import pytest
+
+from repro.clustering.baselines import FragmentClusterer, TreeClusterer
+from repro.clustering.convergence import RelaxedConvergence, TotalStability
+from repro.clustering.initialization import MEminInitializer
+from repro.clustering.kmeans import KMeansClusterer
+from repro.clustering.quality import cluster_quality, order_clusters_by_quality
+from repro.clustering.reclustering import JoinReclustering, NoReclustering, join_and_remove
+from repro.errors import ClusteringError
+from repro.matchers.selection import MappingElementSets
+from repro.objective.bellflower import BellflowerObjective
+
+
+def assert_valid_partition(clustering, candidates):
+    """Clusters are disjoint, non-empty, tree-consistent, and cover a subset of the elements."""
+    seen = set()
+    element_ids = {element.ref.global_id for element in candidates.all_elements()}
+    for cluster in clustering.clusters:
+        assert cluster.size > 0
+        assert cluster.centroid is not None
+        assert cluster.centroid.tree_id == cluster.tree_id
+        for member in cluster.members:
+            assert member.tree_id == cluster.tree_id
+            assert member.global_id in element_ids
+            assert member.global_id not in seen
+            seen.add(member.global_id)
+
+
+class TestKMeansClusterer:
+    def test_produces_valid_partition(self, small_candidates, small_repository):
+        clusterer = KMeansClusterer()
+        clustering = clusterer.cluster(small_candidates, small_repository)
+        assert_valid_partition(clustering, small_candidates)
+        assert clustering.iterations >= 1
+        assert clustering.counters["clustered_items"] == len(
+            {e.ref.global_id for e in small_candidates.all_elements()}
+        )
+
+    def test_clusters_never_span_trees(self, synthetic_candidates, synthetic_repository):
+        clusterer = KMeansClusterer(reclustering=join_and_remove(3.0))
+        clustering = clusterer.cluster(synthetic_candidates, synthetic_repository)
+        assert_valid_partition(clustering, synthetic_candidates)
+
+    def test_deterministic(self, synthetic_candidates, synthetic_repository):
+        first = KMeansClusterer().cluster(synthetic_candidates, synthetic_repository)
+        second = KMeansClusterer().cluster(synthetic_candidates, synthetic_repository)
+        assert first.clusters.assignment() == second.clusters.assignment()
+
+    def test_join_threshold_controls_cluster_count(self, synthetic_candidates, synthetic_repository):
+        def count(threshold):
+            clusterer = KMeansClusterer(reclustering=JoinReclustering(distance_threshold=threshold))
+            return clusterer.cluster(synthetic_candidates, synthetic_repository).cluster_count
+
+        assert count(4.0) <= count(2.0)
+
+    def test_reclustering_reduces_tiny_clusters(self, synthetic_candidates, synthetic_repository):
+        no_reclustering = KMeansClusterer(reclustering=NoReclustering()).cluster(
+            synthetic_candidates, synthetic_repository
+        )
+        joined = KMeansClusterer(reclustering=join_and_remove(3.0, min_size=2)).cluster(
+            synthetic_candidates, synthetic_repository
+        )
+        tiny_before = sum(1 for size in no_reclustering.clusters.sizes() if size == 1)
+        tiny_after = sum(1 for size in joined.clusters.sizes() if size == 1)
+        assert tiny_after <= tiny_before
+        assert joined.cluster_count <= no_reclustering.cluster_count
+
+    def test_total_stability_converges(self, small_candidates, small_repository):
+        clusterer = KMeansClusterer(convergence=TotalStability(max_iterations=30))
+        clustering = clusterer.cluster(small_candidates, small_repository)
+        assert clustering.iterations <= 30
+        assert_valid_partition(clustering, small_candidates)
+
+    def test_empty_candidates_rejected(self, small_repository):
+        empty = MappingElementSets([0, 1, 2])
+        with pytest.raises(ClusteringError):
+            KMeansClusterer().cluster(empty, small_repository)
+
+
+class TestTreeClusterer:
+    def test_one_cluster_per_tree_with_elements(self, small_candidates, small_repository):
+        clustering = TreeClusterer().cluster(small_candidates, small_repository)
+        trees_with_elements = {e.ref.tree_id for e in small_candidates.all_elements()}
+        assert clustering.cluster_count == len(trees_with_elements)
+        assert {c.tree_id for c in clustering.clusters} == trees_with_elements
+        # Every mapping element is covered: nothing is lost in the baseline.
+        covered = set()
+        for cluster in clustering.clusters:
+            covered |= cluster.member_global_ids()
+        assert covered == {e.ref.global_id for e in small_candidates.all_elements()}
+
+    def test_iterations_counter_is_zero(self, small_candidates, small_repository):
+        clustering = TreeClusterer().cluster(small_candidates, small_repository)
+        assert clustering.iterations == 0
+
+
+class TestFragmentClusterer:
+    def test_fragments_respect_max_size(self, synthetic_candidates, synthetic_repository):
+        max_size = 15
+        clusterer = FragmentClusterer(max_fragment_size=max_size)
+        clustering = clusterer.cluster(synthetic_candidates, synthetic_repository)
+        assert_valid_partition(clustering, synthetic_candidates)
+        # Fragments contain at most max_size repository nodes, so clusters of
+        # mapping elements can never exceed that bound either.
+        assert all(size <= max_size for size in clustering.clusters.sizes())
+
+    def test_more_fragments_than_trees(self, synthetic_candidates, synthetic_repository):
+        fragments = FragmentClusterer(max_fragment_size=10).cluster(
+            synthetic_candidates, synthetic_repository
+        )
+        trees = TreeClusterer().cluster(synthetic_candidates, synthetic_repository)
+        assert fragments.cluster_count >= trees.cluster_count
+
+    def test_invalid_fragment_size(self):
+        with pytest.raises(ClusteringError):
+            FragmentClusterer(max_fragment_size=0)
+
+
+class TestClusterQuality:
+    def test_useful_clusters_score_higher_than_useless(self, small_candidates, small_repository):
+        clustering = TreeClusterer().cluster(small_candidates, small_repository)
+        objective = BellflowerObjective(alpha=0.5)
+        scored = order_clusters_by_quality(clustering.clusters.clusters(), small_candidates, objective)
+        assert scored[0][1] >= scored[-1][1]
+        for cluster, score in scored:
+            if not cluster.is_useful(small_candidates):
+                assert score == 0.0
+            else:
+                assert 0.0 < score <= 1.0
+
+    def test_quality_bounded_by_alpha_formula(self, small_candidates, small_repository):
+        clustering = TreeClusterer().cluster(small_candidates, small_repository)
+        objective = BellflowerObjective(alpha=0.5)
+        for cluster in clustering.clusters:
+            quality = cluster_quality(cluster, small_candidates, objective)
+            assert quality <= 1.0

@@ -1,0 +1,146 @@
+"""Tests for reclustering strategies and convergence criteria."""
+
+import pytest
+
+from repro.clustering.cluster import Cluster
+from repro.clustering.convergence import IterationStats, RelaxedConvergence, TotalStability
+from repro.clustering.distance import PathLengthDistance
+from repro.clustering.reclustering import (
+    CompositeReclustering,
+    JoinReclustering,
+    NoReclustering,
+    RemoveReclustering,
+    join_and_remove,
+)
+from repro.errors import ClusteringError
+from repro.utils.counters import CounterSet
+
+
+def make_cluster(repository, cluster_id, tree_id, node_ids, centroid_node):
+    members = {repository.ref(tree_id, node_id) for node_id in node_ids}
+    return Cluster(
+        cluster_id=cluster_id,
+        tree_id=tree_id,
+        members=members,
+        centroid=repository.ref(tree_id, centroid_node),
+    )
+
+
+class TestJoinReclustering:
+    def test_joins_nearby_clusters_in_same_tree(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        counters = CounterSet()
+        # Centroids authorName (3) and shelf (4) are 2 apart in the library tree.
+        clusters = [
+            make_cluster(small_repository, 0, 0, [3], 3),
+            make_cluster(small_repository, 1, 0, [4], 4),
+            make_cluster(small_repository, 2, 1, [2], 2),
+        ]
+        joined = JoinReclustering(distance_threshold=2.0).recluster(clusters, distance, counters)
+        assert len(joined) == 2
+        assert counters["joined_clusters"] == 1
+        merged = next(c for c in joined if c.tree_id == 0)
+        assert merged.member_global_ids() == {small_repository.global_id(0, 3), small_repository.global_id(0, 4)}
+
+    def test_does_not_join_distant_clusters(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        clusters = [
+            make_cluster(small_repository, 0, 0, [3], 3),       # authorName
+            make_cluster(small_repository, 1, 0, [6], 6),       # address (distance 4)
+        ]
+        joined = JoinReclustering(distance_threshold=2.0).recluster(clusters, distance, CounterSet())
+        assert len(joined) == 2
+
+    def test_join_is_transitive_within_one_pass(self, small_repository, small_oracle):
+        distance = PathLengthDistance(small_oracle)
+        # authorName(3) - data(2) - book(1): consecutive distances 1, chained join.
+        clusters = [
+            make_cluster(small_repository, 0, 0, [3], 3),
+            make_cluster(small_repository, 1, 0, [2], 2),
+            make_cluster(small_repository, 2, 0, [1], 1),
+        ]
+        joined = JoinReclustering(distance_threshold=1.0).recluster(clusters, distance, CounterSet())
+        assert len(joined) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ClusteringError):
+            JoinReclustering(distance_threshold=-1.0)
+
+
+class TestRemoveReclustering:
+    def test_removes_tiny_clusters(self, small_repository, small_oracle):
+        counters = CounterSet()
+        clusters = [
+            make_cluster(small_repository, 0, 0, [1, 2, 3], 2),
+            make_cluster(small_repository, 1, 0, [6], 6),
+        ]
+        kept = RemoveReclustering(min_size=2).recluster(
+            clusters, PathLengthDistance(small_oracle), counters
+        )
+        assert len(kept) == 1
+        assert counters["removed_clusters"] == 1
+        assert counters["freed_members"] == 1
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ClusteringError):
+            RemoveReclustering(min_size=0)
+
+
+class TestComposite:
+    def test_join_and_remove_composition(self, small_repository, small_oracle):
+        strategy = join_and_remove(distance_threshold=2.0, min_size=2)
+        assert isinstance(strategy, CompositeReclustering)
+        clusters = [
+            make_cluster(small_repository, 0, 0, [3], 3),
+            make_cluster(small_repository, 1, 0, [4], 4),   # joined with 0
+            make_cluster(small_repository, 2, 0, [6], 6),   # too far, then removed (size 1)
+        ]
+        final = strategy.recluster(clusters, PathLengthDistance(small_oracle), CounterSet())
+        assert len(final) == 1
+        assert final[0].size == 2
+
+    def test_composite_requires_strategies(self):
+        with pytest.raises(ClusteringError):
+            CompositeReclustering([])
+
+    def test_no_reclustering_is_identity(self, small_repository, small_oracle):
+        clusters = [make_cluster(small_repository, 0, 0, [1], 1)]
+        assert NoReclustering().recluster(clusters, PathLengthDistance(small_oracle), CounterSet()) == clusters
+
+
+class TestConvergence:
+    def test_total_stability(self):
+        criterion = TotalStability(max_iterations=10)
+        stable = IterationStats(iteration=3, total_elements=100, switched_elements=0, previous_cluster_count=5, cluster_count=5)
+        moving = IterationStats(iteration=3, total_elements=100, switched_elements=1, previous_cluster_count=5, cluster_count=5)
+        assert criterion.has_converged(stable)
+        assert not criterion.has_converged(moving)
+        capped = IterationStats(iteration=10, total_elements=100, switched_elements=50, previous_cluster_count=5, cluster_count=9)
+        assert criterion.has_converged(capped)
+
+    def test_relaxed_convergence_thresholds(self):
+        criterion = RelaxedConvergence(switch_threshold=0.05, cluster_change_threshold=0.05, max_iterations=20)
+        nearly_stable = IterationStats(iteration=3, total_elements=100, switched_elements=4, previous_cluster_count=100, cluster_count=98)
+        too_many_switches = IterationStats(iteration=3, total_elements=100, switched_elements=10, previous_cluster_count=100, cluster_count=100)
+        assert criterion.has_converged(nearly_stable)
+        assert not criterion.has_converged(too_many_switches)
+
+    def test_relaxed_convergence_min_iterations(self):
+        criterion = RelaxedConvergence(min_iterations=3)
+        early = IterationStats(iteration=1, total_elements=10, switched_elements=0, previous_cluster_count=5, cluster_count=5)
+        assert not criterion.has_converged(early)
+
+    def test_iteration_stats_fractions(self):
+        stats = IterationStats(iteration=1, total_elements=0, switched_elements=0, previous_cluster_count=0, cluster_count=3)
+        assert stats.switch_fraction == 0.0
+        assert stats.cluster_change_fraction == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RelaxedConvergence(switch_threshold=2.0)
+        with pytest.raises(ValueError):
+            RelaxedConvergence(max_iterations=0)
+        with pytest.raises(ValueError):
+            RelaxedConvergence(min_iterations=50, max_iterations=10)
+        with pytest.raises(ValueError):
+            TotalStability(max_iterations=0)

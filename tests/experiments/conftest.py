@@ -1,0 +1,34 @@
+"""Shared (session-scoped) workload for the experiment tests.
+
+The experiments are the most expensive tests in the suite; they all run
+against one small workload that is generated once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, build_workload
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        repository_nodes=1500,
+        min_tree_size=15,
+        max_tree_size=100,
+        element_threshold=0.45,
+        seed=1606,
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_workload(experiment_config):
+    return build_workload(experiment_config)
+
+
+@pytest.fixture(scope="session")
+def table1_result(experiment_config, experiment_workload):
+    from repro.experiments.table1 import run
+
+    return run(experiment_config, experiment_workload)

@@ -1,0 +1,57 @@
+"""Tests for the experiment configuration and the registry harness."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig, build_workload
+from repro.experiments.harness import registry, run_experiment
+
+
+class TestConfig:
+    def test_paper_scale_defaults(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.repository_nodes == 9750
+        assert config.delta == 0.75
+        assert config.alpha == 0.5
+        assert tuple(config.variant_names) == ("small", "medium", "large", "tree")
+
+    def test_quick_is_smaller(self):
+        assert ExperimentConfig.quick().repository_nodes < ExperimentConfig.paper_scale().repository_nodes
+
+    def test_objective_uses_alpha_override(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.objective().alpha == config.alpha
+        assert config.objective(alpha=0.25).alpha == 0.25
+
+    def test_repository_profile_carries_seed_and_size(self):
+        config = ExperimentConfig(repository_nodes=1234, seed=9)
+        profile = config.repository_profile()
+        assert profile.target_node_count == 1234
+        assert profile.seed == 9
+
+
+class TestWorkload:
+    def test_build_workload_produces_complete_candidates(self, experiment_workload):
+        assert experiment_workload.candidates.is_complete()
+        assert experiment_workload.mapping_element_count > 0
+        assert experiment_workload.repository.node_count >= 1500
+        assert experiment_workload.personal_schema.node_count == 3
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        assert {"table1", "figure4", "figure5", "figure6", "ablations"} <= set(registry.ids())
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            registry.get("table7")
+        with pytest.raises(ExperimentError):
+            run_experiment("table7")
+
+    def test_contains(self):
+        assert "table1" in registry
+        assert "nope" not in registry
+
+    def test_run_experiment_dispatches(self, experiment_config, experiment_workload):
+        result = run_experiment("figure4", experiment_config, experiment_workload)
+        assert hasattr(result, "series")

@@ -1,0 +1,132 @@
+"""Tests that the experiment modules regenerate the paper's artefacts with the right shape.
+
+These assertions encode the *qualitative* claims of the evaluation section —
+the relationships the paper highlights — rather than its absolute numbers,
+which depend on the authors' web-harvested repository.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_all as run_ablations
+from repro.experiments.figure4 import run as run_figure4
+from repro.experiments.figure5 import run as run_figure5
+from repro.experiments.figure6 import run as run_figure6
+
+
+class TestTable1:
+    def test_all_variants_present_with_rows(self, table1_result):
+        assert set(table1_result.results) == {"small", "medium", "large", "tree"}
+        assert len(table1_result.rows) == 4
+        assert "Table 1a" in table1_result.render()
+
+    def test_clustering_reduces_search_space_monotonically(self, table1_result):
+        spaces = {row["variant"]: row["search_space"] for row in table1_result.rows}
+        assert spaces["small"] <= spaces["medium"] <= spaces["large"] <= spaces["tree"]
+        assert spaces["small"] < spaces["tree"]
+
+    def test_clustering_reduces_partial_mappings(self, table1_result):
+        partials = {row["variant"]: row["partial_mappings"] for row in table1_result.rows}
+        assert partials["small"] <= partials["tree"]
+        assert partials["medium"] <= partials["tree"]
+
+    def test_clustered_runs_lose_some_mappings(self, table1_result):
+        mappings = {row["variant"]: row["mappings"] for row in table1_result.rows}
+        assert mappings["small"] <= mappings["medium"] <= mappings["tree"]
+
+    def test_tree_variant_has_no_clustering_cost_and_full_space(self, table1_result):
+        rows = {row["variant"]: row for row in table1_result.rows}
+        assert rows["tree"]["search_space_pct"] == pytest.approx(1.0)
+        assert rows["tree"]["clustering_seconds"] <= rows["small"]["clustering_seconds"] + 1.0
+
+    def test_clustered_variants_have_more_smaller_clusters(self, table1_result):
+        rows = {row["variant"]: row for row in table1_result.rows}
+        assert rows["small"]["useful_clusters"] >= rows["tree"]["useful_clusters"]
+        assert rows["small"]["avg_mapping_elements"] <= rows["tree"]["avg_mapping_elements"]
+
+
+class TestFigure4:
+    def test_three_series_with_paper_bucketing(self, experiment_config, experiment_workload):
+        result = run_figure4(experiment_config, experiment_workload)
+        assert [series.strategy_name for series in result.series] == [
+            "no reclustering",
+            "join",
+            "join & remove",
+        ]
+        assert "[1,1]" in result.series[0].histogram
+        assert "[128,255]" in result.series[0].histogram
+
+    def test_join_and_remove_eliminate_tiny_clusters(self, experiment_config, experiment_workload):
+        result = run_figure4(experiment_config, experiment_workload)
+        by_name = {series.strategy_name: series for series in result.series}
+        assert by_name["join"].histogram["[1,1]"] <= by_name["no reclustering"].histogram["[1,1]"]
+        assert by_name["join & remove"].histogram["[1,1]"] == 0
+        assert (
+            by_name["join & remove"].cluster_count
+            <= by_name["join"].cluster_count
+            <= by_name["no reclustering"].cluster_count
+        )
+
+    def test_render_contains_counts(self, experiment_config, experiment_workload):
+        rendered = run_figure4(experiment_config, experiment_workload).render()
+        assert "cluster size" in rendered
+
+
+class TestFigure5:
+    def test_tree_line_is_constant_100_percent(self, experiment_config, experiment_workload, table1_result):
+        result = run_figure5(experiment_config, experiment_workload, table1=table1_result)
+        assert all(point.fraction == 1.0 for point in result.curves["tree"])
+
+    def test_preservation_never_decreases_with_threshold(self, experiment_config, experiment_workload, table1_result):
+        result = run_figure5(experiment_config, experiment_workload, table1=table1_result)
+        for variant in ("small", "medium", "large"):
+            fractions = result.fractions(variant)
+            assert all(later >= earlier - 0.05 for earlier, later in zip(fractions, fractions[1:]))
+
+    def test_larger_clusters_preserve_at_least_as_much_at_delta(
+        self, experiment_config, experiment_workload, table1_result
+    ):
+        result = run_figure5(experiment_config, experiment_workload, table1=table1_result)
+        at_delta = {variant: result.fractions(variant)[0] for variant in ("small", "medium", "large")}
+        assert at_delta["small"] <= at_delta["large"] + 1e-9
+
+    def test_render(self, experiment_config, experiment_workload, table1_result):
+        rendered = run_figure5(experiment_config, experiment_workload, table1=table1_result).render()
+        assert "Figure 5" in rendered and "%" in rendered
+
+
+class TestFigure6:
+    def test_path_heavy_objective_is_preserved_best(self, experiment_config, experiment_workload):
+        result = run_figure6(experiment_config, experiment_workload)
+        assert result.mean_preservation(0.25) >= result.mean_preservation(0.75)
+
+    def test_reference_runs_use_matching_alpha(self, experiment_config, experiment_workload):
+        result = run_figure6(experiment_config, experiment_workload)
+        for alpha in result.alphas:
+            assert result.clustered_results[alpha].mapping_count <= result.reference_results[alpha].mapping_count
+
+
+class TestAblations:
+    def test_all_ablation_families_present(self, experiment_config, experiment_workload):
+        result = run_ablations(experiment_config, experiment_workload)
+        families = {row.ablation for row in result.rows}
+        assert families == {
+            "centroid seeding",
+            "clustering distance",
+            "mapping generator",
+            "cluster ordering",
+        }
+        assert "Ablation" in result.render()
+
+    def test_complete_generators_agree_and_bounding_prunes(self, experiment_config, experiment_workload):
+        result = run_ablations(experiment_config, experiment_workload)
+        rows = {row.configuration: row.metrics for row in result.rows_for("mapping generator")}
+        assert rows["branch-and-bound (paper)"]["mappings"] == rows["exhaustive"]["mappings"]
+        assert rows["a-star"]["mappings"] == rows["exhaustive"]["mappings"]
+        assert rows["branch-and-bound (paper)"]["partial_mappings"] <= rows["exhaustive"]["partial_mappings"]
+        assert rows["beam (width 50)"]["mappings"] <= rows["exhaustive"]["mappings"]
+
+    def test_cluster_ordering_reaches_best_mapping_no_later(self, experiment_config, experiment_workload):
+        result = run_ablations(experiment_config, experiment_workload)
+        rows = {row.configuration: row.metrics for row in result.rows_for("cluster ordering")}
+        assert rows["quality-ordered"]["best_score"] == rows["arbitrary order"]["best_score"]
+        assert rows["quality-ordered"]["partials_until_best"] <= rows["arbitrary order"]["partials_total"]

@@ -1,0 +1,116 @@
+"""End-to-end integration tests over the synthetic workload and the bundled corpus.
+
+These exercise the full pipeline exactly as the examples and benchmarks do, and
+encode the paper's headline claims as assertions:
+
+1. clustered matching never invents mappings (its results are a subset of the
+   exhaustive, non-clustered results);
+2. clustered matching reduces the search space and the partial-mapping count;
+3. the loss of mappings is concentrated among low-ranked mappings — the
+   preservation fraction at high thresholds dominates the fraction at δ.
+"""
+
+import pytest
+
+from repro import Bellflower, clustering_variant
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.exhaustive import ExhaustiveGenerator
+from repro.system.metrics import preservation_curve
+from repro.workload import book_personal_schema, load_bundled_corpus
+
+
+@pytest.fixture(scope="module")
+def variant_results(synthetic_repository, synthetic_personal_schema):
+    """One match result per clustering variant over the shared synthetic workload."""
+    results = {}
+    candidates = None
+    for name in ("tree", "small", "medium", "large"):
+        system = Bellflower(
+            synthetic_repository,
+            clusterer=clustering_variant(name).make_clusterer(),
+            element_threshold=0.45,
+            delta=0.75,
+            variant_name=name,
+        )
+        if candidates is None:
+            candidates = system.element_matching(synthetic_personal_schema)
+        results[name] = system.match(synthetic_personal_schema, candidates=candidates)
+    return results
+
+
+class TestPaperClaims:
+    def test_clustered_mappings_are_a_subset_of_exhaustive(self, variant_results):
+        reference = variant_results["tree"].signatures()
+        for name in ("small", "medium", "large"):
+            assert variant_results[name].signatures() <= reference
+
+    def test_search_space_and_partials_shrink_with_clustering(self, variant_results):
+        reference = variant_results["tree"]
+        for name in ("small", "medium", "large"):
+            clustered = variant_results[name]
+            assert clustered.search_space <= reference.search_space
+            assert clustered.partial_mappings <= reference.partial_mappings
+        assert variant_results["small"].search_space < reference.search_space
+
+    def test_high_ranked_mappings_preserved_preferentially(self, variant_results):
+        reference = variant_results["tree"].mappings
+        for name in ("small", "medium", "large"):
+            curve = preservation_curve(reference, variant_results[name].mappings, (0.75, 0.9))
+            at_delta, at_high = curve[0].fraction, curve[1].fraction
+            assert at_high >= at_delta - 1e-9
+
+    def test_scores_identical_for_preserved_mappings(self, variant_results):
+        reference_scores = {m.signature(): m.score for m in variant_results["tree"].mappings}
+        for name in ("small", "medium", "large"):
+            for mapping in variant_results[name].mappings:
+                assert mapping.score == pytest.approx(reference_scores[mapping.signature()])
+
+    def test_every_reported_mapping_clears_delta(self, variant_results):
+        for result in variant_results.values():
+            assert all(mapping.score >= 0.75 for mapping in result.mappings)
+
+
+class TestGeneratorsAgreeEndToEnd:
+    def test_bnb_equals_exhaustive_through_the_full_pipeline(
+        self, synthetic_repository, synthetic_personal_schema, synthetic_candidates
+    ):
+        bnb_system = Bellflower(
+            synthetic_repository,
+            generator=BranchAndBoundGenerator(),
+            element_threshold=0.45,
+            delta=0.8,
+        )
+        exhaustive_system = Bellflower(
+            synthetic_repository,
+            generator=ExhaustiveGenerator(),
+            element_threshold=0.45,
+            delta=0.8,
+        )
+        bnb = bnb_system.match(synthetic_personal_schema, candidates=synthetic_candidates)
+        exhaustive = exhaustive_system.match(synthetic_personal_schema, candidates=synthetic_candidates)
+        assert bnb.signatures() == exhaustive.signatures()
+        assert bnb.partial_mappings <= exhaustive.partial_mappings
+
+
+class TestBundledCorpusEndToEnd:
+    def test_book_query_finds_library_and_bookstore(self):
+        repository = load_bundled_corpus()
+        system = Bellflower(repository, element_threshold=0.4, delta=0.6)
+        result = system.match(book_personal_schema())
+        assert result.mapping_count >= 1
+        tree_names = {repository.tree(m.tree_id).name for m in result.mappings}
+        assert any("library" in name for name in tree_names)
+
+    def test_clustering_the_corpus_still_finds_the_best_mapping(self):
+        repository = load_bundled_corpus()
+        baseline = Bellflower(repository, element_threshold=0.4, delta=0.6)
+        reference = baseline.match(book_personal_schema())
+        clustered_system = Bellflower(
+            repository,
+            clusterer=clustering_variant("medium").make_clusterer(),
+            element_threshold=0.4,
+            delta=0.6,
+        )
+        clustered = clustered_system.match(book_personal_schema(), candidates=reference.candidates)
+        assert clustered.mappings
+        assert clustered.mappings[0].score == pytest.approx(reference.mappings[0].score)

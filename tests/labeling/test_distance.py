@@ -1,0 +1,78 @@
+"""Tests for the Euler-tour / sparse-table distance oracles."""
+
+import pytest
+
+from repro.errors import LabelingError, UnknownNodeError
+from repro.labeling.distance import RepositoryDistanceOracle, TreeDistanceOracle
+from repro.schema.tree import SchemaTree
+
+LIB, BOOK, DATA, AUTHOR_NAME, SHELF, TITLE, ADDRESS = range(7)
+
+
+def test_rejects_empty_tree():
+    with pytest.raises(LabelingError):
+        TreeDistanceOracle(SchemaTree("empty"))
+
+
+def test_oracle_distances_match_fig1_expectations(library_tree):
+    oracle = TreeDistanceOracle(library_tree)
+    assert oracle.distance(DATA, TITLE) == 2
+    assert oracle.distance(AUTHOR_NAME, SHELF) == 2
+    assert oracle.distance(AUTHOR_NAME, ADDRESS) == 4
+    assert oracle.distance(LIB, AUTHOR_NAME) == 3
+    assert oracle.distance(TITLE, TITLE) == 0
+
+
+def test_oracle_matches_naive_distance_on_all_pairs(library_tree):
+    oracle = TreeDistanceOracle(library_tree)
+    for u in library_tree.node_ids():
+        for v in library_tree.node_ids():
+            assert oracle.distance(u, v) == library_tree.distance(u, v)
+            assert oracle.lca(u, v) == library_tree.lowest_common_ancestor(u, v)
+
+
+def test_oracle_path_edges_match_tree_path_edges(library_tree):
+    oracle = TreeDistanceOracle(library_tree)
+    for u in library_tree.node_ids():
+        for v in library_tree.node_ids():
+            assert oracle.path_edge_ids(u, v) == library_tree.path_edge_ids(u, v)
+
+
+def test_unknown_node_raises(library_tree):
+    oracle = TreeDistanceOracle(library_tree)
+    with pytest.raises(UnknownNodeError):
+        oracle.distance(0, 99)
+    with pytest.raises(UnknownNodeError):
+        oracle.distance(99, 99)
+
+
+def test_repository_oracle_within_and_across_trees(small_repository):
+    oracle = RepositoryDistanceOracle(small_repository)
+    first_tree = small_repository.tree(0)
+    a = small_repository.ref(0, 1)
+    b = small_repository.ref(0, 5)
+    assert oracle.distance(a, b) == first_tree.distance(1, 5)
+    other = small_repository.ref(1, 0)
+    assert oracle.distance(a, other) is None
+    assert oracle.lca(a, other) is None
+    assert oracle.path_edge_ids(a, other) is None
+
+
+def test_repository_oracle_is_lazy(small_repository):
+    oracle = RepositoryDistanceOracle(small_repository)
+    assert oracle.built_oracle_count == 0
+    oracle.distance(small_repository.ref(1, 0), small_repository.ref(1, 2))
+    assert oracle.built_oracle_count == 1
+    # Re-querying the same tree does not build a new oracle.
+    oracle.distance(small_repository.ref(1, 1), small_repository.ref(1, 3))
+    assert oracle.built_oracle_count == 1
+
+
+def test_repository_oracle_lca_returns_ref(small_repository):
+    oracle = RepositoryDistanceOracle(small_repository)
+    a = small_repository.ref(0, 3)   # authorName
+    b = small_repository.ref(0, 5)   # title
+    lca = oracle.lca(a, b)
+    assert lca is not None
+    assert lca.tree_id == 0
+    assert small_repository.node(lca).name == "book"

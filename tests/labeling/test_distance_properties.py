@@ -1,0 +1,63 @@
+"""Property-based tests: the O(1) oracle agrees with the naive tree algorithms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.labeling.distance import TreeDistanceOracle
+from repro.labeling.interval import IntervalLabeling
+from repro.schema.node import SchemaNode
+from repro.schema.tree import SchemaTree
+
+
+@st.composite
+def random_trees(draw, max_nodes: int = 35) -> SchemaTree:
+    size = draw(st.integers(min_value=1, max_value=max_nodes))
+    tree = SchemaTree(name="random")
+    tree.add_root(SchemaNode(name="n0"))
+    for index in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        tree.add_child(parent, SchemaNode(name=f"n{index}"))
+    return tree
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_oracle_distance_equals_naive_distance(tree, data):
+    oracle = TreeDistanceOracle(tree)
+    node_ids = list(tree.node_ids())
+    u = data.draw(st.sampled_from(node_ids))
+    v = data.draw(st.sampled_from(node_ids))
+    assert oracle.distance(u, v) == tree.distance(u, v)
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_oracle_lca_equals_naive_lca(tree, data):
+    oracle = TreeDistanceOracle(tree)
+    node_ids = list(tree.node_ids())
+    u = data.draw(st.sampled_from(node_ids))
+    v = data.draw(st.sampled_from(node_ids))
+    assert oracle.lca(u, v) == tree.lowest_common_ancestor(u, v)
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_path_edges_size_equals_distance(tree, data):
+    oracle = TreeDistanceOracle(tree)
+    node_ids = list(tree.node_ids())
+    u = data.draw(st.sampled_from(node_ids))
+    v = data.draw(st.sampled_from(node_ids))
+    edges = oracle.path_edge_ids(u, v)
+    assert len(edges) == oracle.distance(u, v)
+    assert edges == tree.path_edge_ids(u, v)
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_interval_labels_agree_with_ancestor_relation(tree, data):
+    labels = IntervalLabeling(tree)
+    node_ids = list(tree.node_ids())
+    u = data.draw(st.sampled_from(node_ids))
+    v = data.draw(st.sampled_from(node_ids))
+    assert labels.is_ancestor_or_self(u, v) == tree.is_ancestor(u, v)

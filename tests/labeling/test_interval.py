@@ -1,0 +1,49 @@
+"""Tests for pre/post-order interval labels."""
+
+import pytest
+
+from repro.errors import LabelingError, UnknownNodeError
+from repro.labeling.interval import IntervalLabeling
+from repro.schema.tree import SchemaTree
+
+LIB, BOOK, DATA, AUTHOR_NAME, SHELF, TITLE, ADDRESS = range(7)
+
+
+def test_rejects_empty_tree():
+    with pytest.raises(LabelingError):
+        IntervalLabeling(SchemaTree("empty"))
+
+
+def test_root_interval_contains_everything(library_tree):
+    labels = IntervalLabeling(library_tree)
+    root_start, root_end = labels.label(LIB)
+    for node_id in library_tree.node_ids():
+        start, end = labels.label(node_id)
+        assert root_start <= start <= end <= root_end
+
+
+def test_ancestor_queries_match_tree_definition(library_tree):
+    labels = IntervalLabeling(library_tree)
+    for ancestor in library_tree.node_ids():
+        for descendant in library_tree.node_ids():
+            expected = library_tree.is_ancestor(ancestor, descendant)
+            assert labels.is_ancestor_or_self(ancestor, descendant) == expected
+
+
+def test_strict_ancestor_excludes_self(library_tree):
+    labels = IntervalLabeling(library_tree)
+    assert not labels.is_ancestor(TITLE, TITLE)
+    assert labels.is_ancestor(BOOK, TITLE)
+
+
+def test_disjointness(library_tree):
+    labels = IntervalLabeling(library_tree)
+    assert labels.are_disjoint(TITLE, SHELF)
+    assert labels.are_disjoint(ADDRESS, BOOK)
+    assert not labels.are_disjoint(BOOK, AUTHOR_NAME)
+
+
+def test_unknown_node_raises(library_tree):
+    labels = IntervalLabeling(library_tree)
+    with pytest.raises(UnknownNodeError):
+        labels.label(99)

@@ -1,0 +1,52 @@
+"""Tests for the sparse-table range-minimum-query structure."""
+
+import pytest
+
+from repro.errors import LabelingError
+from repro.labeling.sparse_table import SparseTable
+
+
+def test_rejects_empty_sequence():
+    with pytest.raises(LabelingError):
+        SparseTable([])
+
+
+def test_single_element():
+    table = SparseTable([7])
+    assert table.minimum(0, 0) == 7
+    assert table.argmin(0, 0) == 0
+
+
+def test_minimum_over_full_range():
+    values = [5, 3, 8, 1, 9, 2]
+    table = SparseTable(values)
+    assert table.minimum(0, 5) == 1
+    assert table.argmin(0, 5) == 3
+
+
+def test_minimum_over_sub_ranges_matches_builtin():
+    values = [4, 2, 7, 2, 9, 0, 5, 3]
+    table = SparseTable(values)
+    for low in range(len(values)):
+        for high in range(low, len(values)):
+            assert table.minimum(low, high) == min(values[low : high + 1])
+
+
+def test_argmin_points_at_a_minimum_value():
+    values = [3, 1, 1, 4]
+    table = SparseTable(values)
+    index = table.argmin(0, 3)
+    assert values[index] == 1
+
+
+def test_swapped_bounds_are_normalized():
+    table = SparseTable([5, 1, 2])
+    assert table.minimum(2, 0) == 1
+
+
+def test_out_of_bounds_raises():
+    table = SparseTable([1, 2, 3])
+    with pytest.raises(LabelingError):
+        table.minimum(0, 3)
+    with pytest.raises(LabelingError):
+        table.minimum(-1, 2)

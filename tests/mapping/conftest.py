@@ -1,0 +1,39 @@
+"""Fixtures shared by the mapping-generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.matchers.name import FuzzyNameMatcher
+from repro.matchers.selection import MappingElementSelector
+from repro.mapping.model import MappingProblem
+from repro.objective.bellflower import BellflowerObjective
+
+
+@pytest.fixture
+def small_problem(paper_schema, small_repository, small_oracle):
+    """A mapping problem over the whole small repository (threshold low enough to be interesting)."""
+    selector = MappingElementSelector(FuzzyNameMatcher(), threshold=0.35)
+    candidates = selector.select(paper_schema, small_repository)
+    return MappingProblem(
+        personal_schema=paper_schema,
+        candidates=candidates,
+        oracle=small_oracle,
+        objective=BellflowerObjective(alpha=0.5, path_normalization=4.0),
+        delta=0.5,
+    )
+
+
+@pytest.fixture
+def book_problem(book_schema, small_repository, small_oracle):
+    """The Fig. 1 matching problem: book(title, author) against the small repository."""
+    selector = MappingElementSelector(FuzzyNameMatcher(), threshold=0.3)
+    candidates = selector.select(book_schema, small_repository)
+    return MappingProblem(
+        personal_schema=book_schema,
+        candidates=candidates,
+        oracle=small_oracle,
+        objective=BellflowerObjective(alpha=0.5, path_normalization=4.0),
+        delta=0.4,
+    )

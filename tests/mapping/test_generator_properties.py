@@ -1,0 +1,102 @@
+"""Property-based equivalence of Branch-and-Bound / A* with exhaustive search.
+
+Random small matching problems are generated (random repository tree, random
+similarity scores, random threshold); on every instance the pruning generators
+must return exactly the mappings the exhaustive generator returns.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.matchers.selection import MappingElement, MappingElementSets
+from repro.mapping.astar import AStarGenerator
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.exhaustive import ExhaustiveGenerator
+from repro.mapping.model import MappingProblem
+from repro.objective.bellflower import BellflowerObjective
+from repro.schema.builder import TreeBuilder
+from repro.schema.node import SchemaNode
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+
+
+def _personal_schema():
+    builder = TreeBuilder("personal")
+    root = builder.root("a")
+    builder.child(root, "b")
+    builder.child(root, "c")
+    return builder.build()
+
+
+@st.composite
+def random_problems(draw):
+    # Random repository tree with 4-14 nodes.
+    size = draw(st.integers(min_value=4, max_value=14))
+    tree = SchemaTree(name="random-repo")
+    tree.add_root(SchemaNode(name="r0"))
+    for index in range(1, size):
+        parent = draw(st.integers(min_value=0, max_value=index - 1))
+        tree.add_child(parent, SchemaNode(name=f"r{index}"))
+    repository = SchemaRepository("random")
+    repository.add_tree(tree)
+
+    personal = _personal_schema()
+    candidates = MappingElementSets(list(personal.node_ids()))
+    # Each personal node gets 1-4 random candidates with random similarities.
+    for node_id in personal.node_ids():
+        count = draw(st.integers(min_value=1, max_value=4))
+        chosen = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=size - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        for repo_node in chosen:
+            similarity = draw(st.floats(min_value=0.1, max_value=1.0))
+            candidates.add(
+                MappingElement(node_id, repository.ref(0, repo_node), round(similarity, 3))
+            )
+
+    delta = draw(st.sampled_from([0.3, 0.5, 0.7, 0.85]))
+    alpha = draw(st.sampled_from([0.25, 0.5, 0.75]))
+    return MappingProblem(
+        personal_schema=personal,
+        candidates=candidates,
+        oracle=RepositoryDistanceOracle(repository),
+        objective=BellflowerObjective(alpha=alpha, path_normalization=4.0),
+        delta=delta,
+    )
+
+
+def _signatures(result):
+    return {mapping.signature() for mapping in result.mappings}
+
+
+@given(random_problems())
+@settings(max_examples=60, deadline=None)
+def test_branch_and_bound_finds_exactly_the_exhaustive_mappings(problem):
+    exhaustive = ExhaustiveGenerator().generate(problem)
+    bnb = BranchAndBoundGenerator().generate(problem)
+    assert _signatures(bnb) == _signatures(exhaustive)
+    assert bnb.partial_mappings <= exhaustive.partial_mappings
+
+
+@given(random_problems())
+@settings(max_examples=40, deadline=None)
+def test_astar_finds_exactly_the_exhaustive_mappings(problem):
+    exhaustive = ExhaustiveGenerator().generate(problem)
+    astar = AStarGenerator().generate(problem)
+    assert _signatures(astar) == _signatures(exhaustive)
+
+
+@given(random_problems())
+@settings(max_examples=40, deadline=None)
+def test_every_reported_mapping_clears_delta_and_is_injective(problem):
+    for mapping in BranchAndBoundGenerator().generate(problem).mappings:
+        assert mapping.score >= problem.delta
+        used = [element.ref.global_id for element in mapping.assignment.values()]
+        assert len(used) == len(set(used))

@@ -1,0 +1,147 @@
+"""Tests for the mapping generators (exhaustive, B&B, beam, A*).
+
+The central correctness property: Branch-and-Bound and A* must find *exactly*
+the mappings the exhaustive generator finds (same signatures, same scores),
+while generating no more partial mappings.  Beam search may lose mappings but
+must never invent ones the exhaustive search does not have.
+"""
+
+import pytest
+
+from repro.mapping.astar import AStarGenerator
+from repro.mapping.beam import BeamSearchGenerator
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.exhaustive import ExhaustiveGenerator
+from repro.mapping.support import candidates_by_tree
+
+
+def signatures(result):
+    return {mapping.signature() for mapping in result.mappings}
+
+
+def scores_by_signature(result):
+    return {mapping.signature(): mapping.score for mapping in result.mappings}
+
+
+class TestExhaustive:
+    def test_finds_perfect_mapping_for_paper_schema(self, small_problem, small_repository):
+        result = ExhaustiveGenerator().generate(small_problem)
+        assert result.mapping_count >= 1
+        best = result.mappings[0]
+        names = [small_repository.node(element.ref).name.lower() for _, element in sorted(best.assignment.items())]
+        # The contact tree contains exact name/address/email children of "person";
+        # Δsim = 1.0 and the three sibling edges give |Et| = 3 so Δpath = 0.875.
+        assert names == ["name", "address", "email"]
+        assert best.components["sim"] == pytest.approx(1.0)
+        assert best.score == pytest.approx(0.9375)
+
+    def test_results_sorted_by_score(self, small_problem):
+        result = ExhaustiveGenerator().generate(small_problem)
+        scores = [mapping.score for mapping in result.mappings]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_all_results_clear_delta_and_stay_in_one_tree(self, small_problem):
+        result = ExhaustiveGenerator().generate(small_problem)
+        for mapping in result.mappings:
+            assert mapping.score >= small_problem.delta
+            tree_ids = {element.ref.tree_id for element in mapping.assignment.values()}
+            assert len(tree_ids) == 1
+
+    def test_injective_assignments(self, small_problem):
+        result = ExhaustiveGenerator().generate(small_problem)
+        for mapping in result.mappings:
+            globals_used = [element.ref.global_id for element in mapping.assignment.values()]
+            assert len(globals_used) == len(set(globals_used))
+
+
+class TestBranchAndBound:
+    def test_equivalent_to_exhaustive(self, small_problem):
+        exhaustive = ExhaustiveGenerator().generate(small_problem)
+        bnb = BranchAndBoundGenerator().generate(small_problem)
+        assert signatures(bnb) == signatures(exhaustive)
+        exhaustive_scores = scores_by_signature(exhaustive)
+        for signature, score in scores_by_signature(bnb).items():
+            assert score == pytest.approx(exhaustive_scores[signature])
+
+    def test_equivalent_to_exhaustive_on_book_problem(self, book_problem):
+        exhaustive = ExhaustiveGenerator().generate(book_problem)
+        bnb = BranchAndBoundGenerator().generate(book_problem)
+        assert signatures(bnb) == signatures(exhaustive)
+
+    def test_prunes_partial_mappings(self, small_problem):
+        exhaustive = ExhaustiveGenerator().generate(small_problem)
+        bnb = BranchAndBoundGenerator().generate(small_problem)
+        assert bnb.partial_mappings <= exhaustive.partial_mappings
+        assert bnb.counters["pruned_partial_mappings"] >= 0
+
+    def test_higher_delta_prunes_more(self, small_problem):
+        low = BranchAndBoundGenerator().generate(small_problem)
+        small_problem.delta = 0.95
+        high = BranchAndBoundGenerator().generate(small_problem)
+        assert high.partial_mappings <= low.partial_mappings
+        assert signatures(high) <= signatures(low)
+        small_problem.delta = 0.5
+
+    def test_without_bounding_matches_exhaustive_partial_counts(self, book_problem):
+        exhaustive = ExhaustiveGenerator().generate(book_problem)
+        unbounded = BranchAndBoundGenerator(use_bounding=False).generate(book_problem)
+        assert unbounded.partial_mappings == exhaustive.partial_mappings
+        assert signatures(unbounded) == signatures(exhaustive)
+
+
+class TestAStar:
+    def test_equivalent_to_exhaustive(self, small_problem):
+        exhaustive = ExhaustiveGenerator().generate(small_problem)
+        astar = AStarGenerator().generate(small_problem)
+        assert signatures(astar) == signatures(exhaustive)
+
+    def test_expansion_limit_flag(self, small_problem):
+        limited = AStarGenerator(max_expansions=1).generate(small_problem)
+        assert limited.counters["expansion_limit_reached"] == 1
+
+    def test_invalid_expansion_limit(self):
+        with pytest.raises(ValueError):
+            AStarGenerator(max_expansions=0)
+
+
+class TestBeamSearch:
+    def test_wide_beam_matches_exhaustive(self, small_problem):
+        exhaustive = ExhaustiveGenerator().generate(small_problem)
+        beam = BeamSearchGenerator(beam_width=10_000).generate(small_problem)
+        assert signatures(beam) == signatures(exhaustive)
+
+    def test_narrow_beam_is_a_subset(self, small_problem):
+        exhaustive = ExhaustiveGenerator().generate(small_problem)
+        narrow = BeamSearchGenerator(beam_width=2).generate(small_problem)
+        assert signatures(narrow) <= signatures(exhaustive)
+        assert narrow.mapping_count <= exhaustive.mapping_count
+
+    def test_narrow_beam_keeps_the_best_mapping(self, small_problem):
+        exhaustive = ExhaustiveGenerator().generate(small_problem)
+        narrow = BeamSearchGenerator(beam_width=3).generate(small_problem)
+        assert narrow.mappings[0].score == pytest.approx(exhaustive.mappings[0].score)
+
+    def test_invalid_beam_width(self):
+        with pytest.raises(Exception):
+            BeamSearchGenerator(beam_width=0)
+
+
+class TestSupport:
+    def test_candidates_by_tree_only_returns_complete_trees(self, small_problem):
+        groups = candidates_by_tree(small_problem)
+        personal_ids = set(small_problem.personal_schema.node_ids())
+        for tree_id, per_node in groups.items():
+            assert set(per_node) == personal_ids
+            for elements in per_node.values():
+                assert all(element.ref.tree_id == tree_id for element in elements)
+                similarities = [element.similarity for element in elements]
+                assert similarities == sorted(similarities, reverse=True)
+
+    def test_generation_result_merge(self, small_problem):
+        first = BranchAndBoundGenerator().generate(small_problem)
+        second = BranchAndBoundGenerator().generate(small_problem)
+        total_before = first.mapping_count
+        partials_before = first.partial_mappings
+        first.merge(second)
+        assert first.mapping_count == 2 * total_before
+        assert first.partial_mappings == 2 * partials_before

@@ -1,0 +1,114 @@
+"""Tests for the schema-mapping model and mapping problems."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.matchers.selection import MappingElement, MappingElementSets
+from repro.mapping.model import MappingProblem, SchemaMapping
+from repro.objective.bellflower import BellflowerObjective
+from repro.schema.repository import RepositoryNodeRef
+
+
+def test_problem_rejects_invalid_delta(paper_schema, small_candidates, small_oracle):
+    with pytest.raises(MappingError):
+        MappingProblem(
+            personal_schema=paper_schema,
+            candidates=small_candidates,
+            oracle=small_oracle,
+            objective=BellflowerObjective(),
+            delta=1.5,
+        )
+
+
+def test_problem_rejects_mismatched_candidates(paper_schema, small_oracle):
+    wrong = MappingElementSets([0, 1])  # paper schema has 3 nodes
+    with pytest.raises(MappingError):
+        MappingProblem(
+            personal_schema=paper_schema,
+            candidates=wrong,
+            oracle=small_oracle,
+            objective=BellflowerObjective(),
+            delta=0.5,
+        )
+
+
+def test_assignment_order_starts_at_root_and_respects_depth(small_problem):
+    order = small_problem.assignment_order()
+    schema = small_problem.personal_schema
+    assert order[0] == schema.root_id
+    depths = [schema.depth(node_id) for node_id in order]
+    assert depths == sorted(depths)
+    assert sorted(order) == list(schema.node_ids())
+
+
+def test_personal_edges_are_parent_child_pairs(small_problem):
+    edges = small_problem.personal_edges()
+    schema = small_problem.personal_schema
+    assert len(edges) == schema.edge_count
+    for parent, child in edges:
+        assert schema.parent_id(child) == parent
+
+
+def test_path_edges_across_trees_raises(small_problem, small_repository):
+    first = small_repository.ref(0, 1)
+    second = small_repository.ref(1, 1)
+    with pytest.raises(MappingError):
+        small_problem.path_edges(first, second)
+
+
+def test_target_edge_count_of_fig1_mapping(book_problem, small_repository):
+    """The Fig. 1 mapping book->book, title->title, author->authorName has |Et| = 3."""
+    tree = small_repository.tree(0)
+    book_ref = small_repository.ref(0, tree.find_by_name("book")[0])
+    title_ref = small_repository.ref(0, tree.find_by_name("title")[0])
+    author_ref = small_repository.ref(0, tree.find_by_name("authorName")[0])
+    assignment = {
+        0: MappingElement(0, book_ref, 1.0),
+        1: MappingElement(1, title_ref, 1.0),
+        2: MappingElement(2, author_ref, 0.7),
+    }
+    assert book_problem.target_edge_count(assignment) == 3
+    # Partial assignment: only edges with both endpoints assigned count.
+    partial = {0: assignment[0], 1: assignment[1]}
+    assert book_problem.target_edge_count(partial) == 1
+
+
+def test_evaluate_produces_schema_mapping(book_problem, small_repository):
+    tree = small_repository.tree(0)
+    assignment = {
+        0: MappingElement(0, small_repository.ref(0, tree.find_by_name("book")[0]), 1.0),
+        1: MappingElement(1, small_repository.ref(0, tree.find_by_name("title")[0]), 1.0),
+        2: MappingElement(2, small_repository.ref(0, tree.find_by_name("authorName")[0]), 0.73),
+    }
+    mapping = book_problem.evaluate(assignment)
+    assert isinstance(mapping, SchemaMapping)
+    assert mapping.tree_id == 0
+    assert mapping.target_edge_count == 3
+    assert mapping.components["sim"] == pytest.approx((1.0 + 1.0 + 0.73) / 3)
+    assert 0.0 <= mapping.score <= 1.0
+    assert len(mapping.signature()) == 3
+    assert "book" in mapping.describe(book_problem.personal_schema, small_repository)
+
+
+def test_evaluate_rejects_cross_tree_assignment(book_problem, small_repository):
+    assignment = {
+        0: MappingElement(0, small_repository.ref(0, 1), 1.0),
+        1: MappingElement(1, small_repository.ref(0, 5), 1.0),
+        2: MappingElement(2, small_repository.ref(1, 2), 0.7),
+    }
+    with pytest.raises(MappingError):
+        book_problem.evaluate(assignment)
+
+
+def test_evaluate_rejects_incomplete_assignment(book_problem, small_repository):
+    assignment = {0: MappingElement(0, small_repository.ref(0, 1), 1.0)}
+    with pytest.raises(MappingError):
+        book_problem.evaluate(assignment)
+
+
+def test_best_similarity_per_node(small_problem):
+    best = small_problem.best_similarity_per_node()
+    assert set(best) == set(small_problem.personal_schema.node_ids())
+    for node_id, elements in small_problem.candidates:
+        expected = max((e.similarity for e in elements), default=0.0)
+        assert best[node_id] == expected

@@ -1,0 +1,104 @@
+"""Tests for the partial-mapping extension (the paper's future-work item)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.labeling.distance import RepositoryDistanceOracle
+from repro.matchers.selection import MappingElement, MappingElementSets
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.model import MappingProblem
+from repro.mapping.partial import PartialMappingGenerator, partial_mappings_for_cluster
+from repro.objective.bellflower import BellflowerObjective
+
+
+@pytest.fixture
+def incomplete_problem(paper_schema, small_repository, small_oracle):
+    """Candidates restricted to the library tree, which has no 'email'-like element.
+
+    The library tree (tree 0) offers candidates for "name"/"address" style nodes
+    but nothing for "email", so no complete mapping exists there — exactly the
+    non-useful-cluster situation the partial-mapping extension targets.
+    """
+    candidates = MappingElementSets(list(paper_schema.node_ids()))
+    tree = small_repository.tree(0)
+    address_id = tree.find_by_name("address")[0]
+    author_id = tree.find_by_name("authorName")[0]
+    # personal node 0 = name, 1 = address, 2 = email.
+    candidates.add(MappingElement(0, small_repository.ref(0, author_id), 0.55))
+    candidates.add(MappingElement(1, small_repository.ref(0, address_id), 1.0))
+    return MappingProblem(
+        personal_schema=paper_schema,
+        candidates=candidates,
+        oracle=small_oracle,
+        objective=BellflowerObjective(alpha=0.5, path_normalization=4.0),
+        delta=0.5,
+    )
+
+
+class TestPartialMappingGenerator:
+    def test_non_useful_cluster_yields_partial_mappings(self, incomplete_problem):
+        # The complete-mapping generator finds nothing here ...
+        assert BranchAndBoundGenerator().generate(incomplete_problem).mapping_count == 0
+        # ... but the partial generator recovers the name/address fragment.
+        partials, result = PartialMappingGenerator(min_coverage=0.5).generate(incomplete_problem)
+        assert partials
+        best = partials[0]
+        assert set(best.covered_nodes()) == {0, 1}
+        assert best.coverage == pytest.approx(2 / 3)
+        assert result.counters["partial_mappings"] > 0
+
+    def test_scores_penalize_missing_nodes(self, incomplete_problem, small_repository):
+        partials, _ = PartialMappingGenerator(min_coverage=0.3).generate(incomplete_problem)
+        best = partials[0]
+        # With a third of the name similarity missing, the score cannot reach
+        # what a complete mapping with the same element quality would get.
+        assert best.score < 0.9
+        assert best.score > 0.0
+        # Every partial mapping pays for the nodes it leaves uncovered: its
+        # Δsim contribution is bounded by covered-similarity / |Ns|.
+        objective = incomplete_problem.objective
+        for partial in partials:
+            covered_sim = sum(e.similarity for e in partial.assignment.values())
+            sim_part = covered_sim / incomplete_problem.personal_schema.node_count
+            assert partial.score <= objective.alpha * sim_part + (1.0 - objective.alpha) + 1e-9
+
+    def test_min_coverage_filters_small_fragments(self, incomplete_problem):
+        loose, _ = PartialMappingGenerator(min_coverage=0.3).generate(incomplete_problem)
+        strict, _ = PartialMappingGenerator(min_coverage=0.7).generate(incomplete_problem)
+        assert all(len(p.assignment) >= 1 for p in loose)
+        assert all(p.coverage >= 0.65 for p in strict)
+        assert len(strict) <= len(loose)
+
+    def test_delta_threshold_filters_low_scores(self, incomplete_problem):
+        everything, _ = PartialMappingGenerator(min_coverage=0.3, delta=0.0).generate(incomplete_problem)
+        filtered, _ = PartialMappingGenerator(min_coverage=0.3, delta=0.7).generate(incomplete_problem)
+        assert {p.signature() for p in filtered} <= {p.signature() for p in everything}
+        assert all(p.score >= 0.7 for p in filtered)
+
+    def test_results_sorted_by_score_then_coverage(self, incomplete_problem):
+        partials, _ = PartialMappingGenerator(min_coverage=0.3).generate(incomplete_problem)
+        scores = [p.score for p in partials]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_complete_candidates_also_produce_full_coverage_partials(self, small_problem):
+        partials = partial_mappings_for_cluster(small_problem, min_coverage=1.0)
+        assert partials
+        assert all(p.coverage == 1.0 for p in partials)
+        # Full-coverage partial mappings coincide with complete mappings' scores.
+        complete = BranchAndBoundGenerator().generate(small_problem)
+        best_complete = complete.mappings[0]
+        assert partials[0].score == pytest.approx(best_complete.score)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MappingError):
+            PartialMappingGenerator(min_coverage=0.0)
+        with pytest.raises(MappingError):
+            PartialMappingGenerator(min_coverage=1.5)
+
+    def test_requires_bellflower_objective(self, incomplete_problem):
+        class OtherObjective(BellflowerObjective):
+            pass
+
+        incomplete_problem.objective = object()  # not a BellflowerObjective
+        with pytest.raises(MappingError):
+            PartialMappingGenerator().generate(incomplete_problem)

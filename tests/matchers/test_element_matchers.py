@@ -1,0 +1,182 @@
+"""Tests for the element matchers (name, datatype, structure) and combiners."""
+
+import pytest
+
+from repro.errors import MatcherError
+from repro.matchers.base import MatchContext
+from repro.matchers.combiner import AverageCombiner, MatcherCombination, MaxCombiner, WeightedCombiner
+from repro.matchers.datatype import DataTypeMatcher, compatibility
+from repro.matchers.name import FuzzyNameMatcher, TokenNameMatcher
+from repro.matchers.structure import StructuralContextMatcher
+from repro.matchers.synonyms import default_synonyms
+from repro.schema.node import DataType, SchemaNode
+
+
+def node(name, datatype=DataType.UNKNOWN):
+    return SchemaNode(name=name, datatype=datatype)
+
+
+class TestFuzzyNameMatcher:
+    def test_identical_names(self):
+        matcher = FuzzyNameMatcher()
+        assert matcher(node("author"), node("author")) == 1.0
+        assert matcher(node("Author"), node("author")) == 1.0
+
+    def test_dissimilar_names(self):
+        assert FuzzyNameMatcher()(node("book"), node("shelf")) == 0.0
+
+    def test_case_sensitive_mode(self):
+        matcher = FuzzyNameMatcher(case_sensitive=True)
+        assert matcher(node("Author"), node("author")) < 1.0
+
+    def test_cache_returns_consistent_results(self):
+        matcher = FuzzyNameMatcher(cache_size=10)
+        first = matcher(node("authorName"), node("author_name"))
+        second = matcher(node("authorName"), node("author_name"))
+        assert first == second
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(MatcherError):
+            FuzzyNameMatcher(cache_size=-1)
+
+
+class TestTokenNameMatcher:
+    def test_identical_token_lists(self):
+        matcher = TokenNameMatcher()
+        assert matcher(node("authorName"), node("author_name")) == 1.0
+
+    def test_synonyms_grant_full_token_credit(self):
+        with_synonyms = TokenNameMatcher(synonyms=default_synonyms())
+        without = TokenNameMatcher(synonyms=None)
+        assert with_synonyms(node("author"), node("writer")) > without(node("author"), node("writer"))
+        assert with_synonyms(node("author"), node("writer")) >= 0.9
+
+    def test_abbreviation_expansion(self):
+        matcher = TokenNameMatcher()
+        assert matcher(node("custAddr"), node("customerAddress")) == 1.0
+
+    def test_partial_overlap_scores_between_zero_and_one(self):
+        matcher = TokenNameMatcher()
+        score = matcher(node("authorName"), node("author"))
+        assert 0.5 < score < 1.0
+
+    def test_empty_tokens_score_zero(self):
+        matcher = TokenNameMatcher()
+        assert matcher(node("123"), node("...name...")) <= 1.0
+
+    def test_invalid_coverage_weight(self):
+        with pytest.raises(MatcherError):
+            TokenNameMatcher(coverage_weight=2.0)
+
+
+class TestDataTypeMatcher:
+    def test_same_type(self):
+        matcher = DataTypeMatcher()
+        assert matcher(node("a", DataType.STRING), node("b", DataType.STRING)) == 1.0
+
+    def test_compatible_types(self):
+        matcher = DataTypeMatcher()
+        assert matcher(node("a", DataType.INTEGER), node("b", DataType.DECIMAL)) == 0.9
+        assert matcher(node("a", DataType.DATE), node("b", DataType.DATETIME)) == 0.9
+
+    def test_incompatible_types(self):
+        matcher = DataTypeMatcher()
+        assert matcher(node("a", DataType.BOOLEAN), node("b", DataType.DATE)) == 0.0
+
+    def test_unknown_is_neutral(self):
+        matcher = DataTypeMatcher(unknown_score=0.5)
+        assert matcher(node("a"), node("b", DataType.STRING)) == 0.5
+
+    def test_compatibility_is_symmetric(self):
+        for first in DataType:
+            for second in DataType:
+                assert compatibility(first, second) == compatibility(second, first)
+
+    def test_invalid_unknown_score(self):
+        with pytest.raises(ValueError):
+            DataTypeMatcher(unknown_score=1.5)
+
+
+class TestStructuralContextMatcher:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(MatcherError):
+            StructuralContextMatcher(parent_weight=0.5, children_weight=0.5, path_weight=0.5)
+
+    def test_without_context_falls_back_to_name_similarity(self):
+        matcher = StructuralContextMatcher()
+        assert matcher(node("book"), node("book")) == 1.0
+
+    def test_similar_neighborhoods_score_higher(self, book_schema, small_repository):
+        matcher = StructuralContextMatcher()
+        # "title" under lib/book vs "title" in the library tree: similar context.
+        title_ref = small_repository.find_by_name("title")[0]
+        good_context = MatchContext(
+            personal_schema=book_schema,
+            repository=small_repository,
+            personal_node_id=book_schema.find_by_name("title")[0],
+            repository_ref=title_ref,
+        )
+        good = matcher(
+            book_schema.node(book_schema.find_by_name("title")[0]),
+            small_repository.node(title_ref),
+            good_context,
+        )
+        # Same personal node against a commerce leaf: dissimilar context.
+        price_ref = small_repository.find_by_name("price")[0]
+        bad_context = MatchContext(
+            personal_schema=book_schema,
+            repository=small_repository,
+            personal_node_id=book_schema.find_by_name("title")[0],
+            repository_ref=price_ref,
+        )
+        bad = matcher(
+            book_schema.node(book_schema.find_by_name("title")[0]),
+            small_repository.node(price_ref),
+            bad_context,
+        )
+        assert good > bad
+
+
+class TestCombiners:
+    def test_average_combiner(self):
+        assert AverageCombiner().combine([("a", 0.2), ("b", 0.8)]) == pytest.approx(0.5)
+        assert AverageCombiner().combine([]) == 0.0
+
+    def test_max_combiner(self):
+        assert MaxCombiner().combine([("a", 0.2), ("b", 0.8)]) == 0.8
+
+    def test_weighted_combiner(self):
+        combiner = WeightedCombiner({"name": 3.0, "type": 1.0})
+        assert combiner.combine([("name", 1.0), ("type", 0.0)]) == pytest.approx(0.75)
+
+    def test_weighted_combiner_ignores_unknown_matchers(self):
+        combiner = WeightedCombiner({"name": 1.0})
+        assert combiner.combine([("name", 0.6), ("other", 1.0)]) == pytest.approx(0.6)
+
+    def test_weighted_combiner_validation(self):
+        with pytest.raises(MatcherError):
+            WeightedCombiner({})
+        with pytest.raises(MatcherError):
+            WeightedCombiner({"a": -1.0})
+        with pytest.raises(MatcherError):
+            WeightedCombiner({"a": 0.0})
+
+    def test_combination_behaves_like_a_matcher(self):
+        combination = MatcherCombination(
+            [FuzzyNameMatcher(), DataTypeMatcher()],
+            WeightedCombiner({"fuzzy-name": 2.0, "datatype": 1.0}),
+        )
+        score = combination(node("author", DataType.STRING), node("author", DataType.STRING))
+        assert score == 1.0
+        breakdown = combination.breakdown(node("author"), node("writer"))
+        assert set(breakdown) == {"fuzzy-name", "datatype"}
+
+    def test_combination_requires_unique_names(self):
+        with pytest.raises(MatcherError):
+            MatcherCombination([FuzzyNameMatcher(), FuzzyNameMatcher()])
+        with pytest.raises(MatcherError):
+            MatcherCombination([])
+
+    def test_combination_reports_structural_flag(self):
+        assert MatcherCombination([FuzzyNameMatcher(), StructuralContextMatcher()]).is_structural
+        assert not MatcherCombination([FuzzyNameMatcher()]).is_structural

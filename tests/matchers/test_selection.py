@@ -1,0 +1,107 @@
+"""Tests for the element-matching stage (mapping-element selection)."""
+
+import pytest
+
+from repro.errors import MatcherError
+from repro.matchers.name import FuzzyNameMatcher
+from repro.matchers.selection import MappingElement, MappingElementSelector, MappingElementSets
+from repro.schema.repository import RepositoryNodeRef
+from repro.utils.counters import CounterSet
+
+
+def ref(global_id, tree_id=0, node_id=None):
+    return RepositoryNodeRef(global_id=global_id, tree_id=tree_id, node_id=node_id if node_id is not None else global_id)
+
+
+class TestMappingElementSets:
+    def test_requires_personal_nodes(self):
+        with pytest.raises(MatcherError):
+            MappingElementSets([])
+
+    def test_add_and_query(self):
+        sets = MappingElementSets([0, 1])
+        sets.add(MappingElement(0, ref(5), 0.9))
+        sets.add(MappingElement(1, ref(6), 0.8))
+        sets.add(MappingElement(1, ref(7), 0.7))
+        assert sets.sizes() == {0: 1, 1: 2}
+        assert sets.total() == 3
+        assert len(sets.all_elements()) == 3
+        assert sets.is_complete()
+
+    def test_add_rejects_unknown_personal_node(self):
+        sets = MappingElementSets([0])
+        with pytest.raises(MatcherError):
+            sets.add(MappingElement(3, ref(1), 0.5))
+
+    def test_smallest_set_node_is_me_min(self):
+        sets = MappingElementSets([0, 1, 2])
+        for global_id in range(4):
+            sets.add(MappingElement(0, ref(global_id), 0.5))
+        sets.add(MappingElement(1, ref(10), 0.5))
+        sets.add(MappingElement(2, ref(20), 0.5))
+        sets.add(MappingElement(2, ref(21), 0.5))
+        assert sets.smallest_set_node() == 1
+
+    def test_restrict_to_refs(self):
+        sets = MappingElementSets([0, 1])
+        sets.add(MappingElement(0, ref(1), 0.9))
+        sets.add(MappingElement(0, ref(2), 0.9))
+        sets.add(MappingElement(1, ref(3), 0.9))
+        restricted = sets.restrict_to_refs({1, 3})
+        assert restricted.sizes() == {0: 1, 1: 1}
+        assert restricted.is_complete()
+        empty_side = sets.restrict_to_refs({2})
+        assert not empty_side.is_complete()
+
+    def test_incomplete_when_a_node_has_no_candidates(self):
+        sets = MappingElementSets([0, 1])
+        sets.add(MappingElement(0, ref(1), 0.9))
+        assert not sets.is_complete()
+
+
+class TestMappingElementSelector:
+    def test_selects_only_above_threshold(self, paper_schema, small_repository):
+        selector = MappingElementSelector(FuzzyNameMatcher(), threshold=0.99)
+        sets = selector.select(paper_schema, small_repository)
+        for _, elements in sets:
+            assert all(element.similarity >= 0.99 for element in elements)
+        # Exact-name candidates exist for name, address and email in the contact tree.
+        assert sets.is_complete()
+
+    def test_lower_threshold_keeps_more_candidates(self, paper_schema, small_repository):
+        strict = MappingElementSelector(FuzzyNameMatcher(), threshold=0.9).select(
+            paper_schema, small_repository
+        )
+        loose = MappingElementSelector(FuzzyNameMatcher(), threshold=0.3).select(
+            paper_schema, small_repository
+        )
+        assert loose.total() > strict.total()
+
+    def test_top_k_caps_candidates_per_node(self, paper_schema, small_repository):
+        selector = MappingElementSelector(FuzzyNameMatcher(), threshold=0.1, top_k=2)
+        sets = selector.select(paper_schema, small_repository)
+        assert all(size <= 2 for size in sets.sizes().values())
+
+    def test_counters_record_comparisons(self, paper_schema, small_repository):
+        counters = CounterSet()
+        MappingElementSelector(FuzzyNameMatcher(), threshold=0.5).select(
+            paper_schema, small_repository, counters=counters
+        )
+        expected = paper_schema.node_count * small_repository.node_count
+        assert counters["element_comparisons"] == expected
+        assert counters["mapping_elements"] >= 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(MatcherError):
+            MappingElementSelector(FuzzyNameMatcher(), threshold=1.5)
+        with pytest.raises(MatcherError):
+            MappingElementSelector(FuzzyNameMatcher(), top_k=0)
+
+    def test_candidates_reference_real_repository_nodes(self, paper_schema, small_repository):
+        sets = MappingElementSelector(FuzzyNameMatcher(), threshold=0.6).select(
+            paper_schema, small_repository
+        )
+        for _, elements in sets:
+            for element in elements:
+                node = small_repository.node(element.ref)
+                assert node.name  # resolvable reference

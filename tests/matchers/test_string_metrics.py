@@ -1,0 +1,120 @@
+"""Tests for the string similarity metrics (the CompareStringFuzzy stand-in)."""
+
+import pytest
+
+from repro.matchers.string_metrics import (
+    damerau_levenshtein_distance,
+    fuzzy_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    longest_common_prefix,
+    ngram_similarity,
+)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("book", "book") == 0
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_distance("", "") == 0
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("book", "back", 2),
+            ("author", "authors", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_as_one(self):
+        assert damerau_levenshtein_distance("ab", "ba") == 1
+        assert levenshtein_distance("ab", "ba") == 2
+
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("ca", "abc", 2),        # the classic unrestricted-distance example
+            ("book", "boko", 1),
+            ("address", "adress", 1),
+            ("", "xyz", 3),
+            ("same", "same", 0),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert damerau_levenshtein_distance(a, b) == expected
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("author", "writer"), ("title", "titel"), ("shelf", "self"), ("name", "mane")]
+        for a, b in pairs:
+            assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+
+class TestFuzzySimilarity:
+    def test_identical_names_score_one(self):
+        assert fuzzy_similarity("author", "author") == 1.0
+
+    def test_case_insensitive_by_default(self):
+        assert fuzzy_similarity("Author", "author") == 1.0
+        assert fuzzy_similarity("Author", "author", case_sensitive=True) < 1.0
+
+    def test_disjoint_names_score_zero(self):
+        assert fuzzy_similarity("book", "shelf") == 0.0
+
+    def test_close_names_score_high(self):
+        assert fuzzy_similarity("authorName", "author_name") > 0.85
+        assert fuzzy_similarity("titel", "title") >= 0.6
+
+    def test_range(self):
+        for a, b in [("a", "b"), ("address", "addr"), ("x", "xyzzy"), ("", "")]:
+            assert 0.0 <= fuzzy_similarity(a, b) <= 1.0
+
+    def test_symmetry(self):
+        assert fuzzy_similarity("email", "mail") == fuzzy_similarity("mail", "email")
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_similarity("name", "name") == 1.0
+        assert jaro_winkler_similarity("name", "name") == 1.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_prefix_boost(self):
+        plain = jaro_similarity("address", "addresses")
+        boosted = jaro_winkler_similarity("address", "addresses")
+        assert boosted >= plain
+
+    def test_invalid_prefix_scale(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_scale=0.5)
+
+
+class TestNgram:
+    def test_identical(self):
+        assert ngram_similarity("title", "title") == 1.0
+
+    def test_unrelated(self):
+        assert ngram_similarity("abc", "xyz") == 0.0
+
+    def test_partial_overlap(self):
+        assert 0.0 < ngram_similarity("authorName", "authorLabel") < 1.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ngram_similarity("a", "b", size=0)
+
+
+def test_longest_common_prefix():
+    assert longest_common_prefix("address", "addr") == 4
+    assert longest_common_prefix("abc", "xbc") == 0

@@ -1,0 +1,60 @@
+"""Property-based tests for the edit-distance metrics (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.matchers.string_metrics import (
+    damerau_levenshtein_distance,
+    fuzzy_similarity,
+    levenshtein_distance,
+)
+
+words = st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_edit_distances_are_symmetric(a, b):
+    assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+    assert damerau_levenshtein_distance(a, b) == damerau_levenshtein_distance(b, a)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_edit_distance_identity_of_indiscernibles(a, b):
+    assert (levenshtein_distance(a, b) == 0) == (a == b)
+    assert (damerau_levenshtein_distance(a, b) == 0) == (a == b)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_edit_distance_bounded_by_longer_length(a, b):
+    bound = max(len(a), len(b))
+    assert levenshtein_distance(a, b) <= bound
+    assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+    assert damerau_levenshtein_distance(a, b) >= abs(len(a) - len(b))
+
+
+@given(words, words, words)
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+@given(words, words)
+@settings(max_examples=150, deadline=None)
+def test_fuzzy_similarity_in_unit_interval_and_symmetric(a, b):
+    score = fuzzy_similarity(a, b)
+    assert 0.0 <= score <= 1.0
+    assert score == fuzzy_similarity(b, a)
+    if a == b:
+        assert score == 1.0
+
+
+@given(words)
+@settings(max_examples=100, deadline=None)
+def test_single_edit_changes_distance_by_at_most_one(a):
+    modified = a + "x"
+    assert abs(levenshtein_distance(a, modified)) == 1
+    assert damerau_levenshtein_distance(a, modified) == 1

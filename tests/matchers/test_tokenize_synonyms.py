@@ -1,0 +1,82 @@
+"""Tests for name tokenization, abbreviation expansion and the synonym dictionary."""
+
+import pytest
+
+from repro.matchers.synonyms import SynonymDictionary, default_synonyms
+from repro.matchers.tokenize import (
+    expand_abbreviations,
+    normalize_name,
+    split_camel_case,
+    tokenize_name,
+)
+
+
+class TestTokenize:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("authorName", ["author", "name"]),
+            ("AuthorFirstName", ["author", "first", "name"]),
+            ("author_name", ["author", "name"]),
+            ("ship-to-address", ["ship", "to", "address"]),
+            ("address2", ["address", "2"]),
+            ("ISBN", ["isbn"]),
+            ("XMLSchema", ["xml", "schema"]),
+            ("", []),
+            ("   ", []),
+        ],
+    )
+    def test_tokenize_name(self, name, expected):
+        assert tokenize_name(name) == expected
+
+    def test_split_camel_case_preserves_case(self):
+        assert split_camel_case("authorFirstName") == ["author", "First", "Name"]
+        assert split_camel_case("") == []
+
+    def test_expand_abbreviations(self):
+        assert expand_abbreviations(["cust", "addr"]) == ["customer", "address"]
+        assert expand_abbreviations(["title"]) == ["title"]
+        assert expand_abbreviations(["no"], table={"no": "number"}) == ["number"]
+
+    def test_normalize_name(self):
+        assert normalize_name("custAddr") == "customer address"
+        assert normalize_name("custAddr", expand=False) == "cust addr"
+
+
+class TestSynonymDictionary:
+    def test_default_dictionary_contains_expected_groups(self):
+        synonyms = default_synonyms()
+        assert synonyms.are_synonyms("author", "writer")
+        assert synonyms.are_synonyms("email", "mail")
+        assert synonyms.are_synonyms("address", "location")
+        assert not synonyms.are_synonyms("author", "address")
+
+    def test_identity_is_always_synonymous(self):
+        assert SynonymDictionary().are_synonyms("anything", "anything")
+
+    def test_case_and_whitespace_insensitive(self):
+        synonyms = default_synonyms()
+        assert synonyms.are_synonyms(" Author ", "WRITER")
+
+    def test_synonyms_of_excludes_token_itself(self):
+        synonyms = default_synonyms()
+        group = synonyms.synonyms_of("author")
+        assert "writer" in group and "author" not in group
+        assert synonyms.synonyms_of("unknown-token") == frozenset()
+
+    def test_add_group_merges_overlapping_groups(self):
+        synonyms = SynonymDictionary([["a", "b"], ["c", "d"]])
+        assert not synonyms.are_synonyms("a", "c")
+        synonyms.add_group(["b", "c"])
+        assert synonyms.are_synonyms("a", "d")
+
+    def test_small_groups_are_ignored(self):
+        synonyms = SynonymDictionary()
+        synonyms.add_group(["single"])
+        assert "single" not in synonyms
+        assert len(synonyms) == 0
+
+    def test_contains_and_len(self):
+        synonyms = SynonymDictionary([["x", "y"]])
+        assert "x" in synonyms and "z" not in synonyms
+        assert len(synonyms) == 1

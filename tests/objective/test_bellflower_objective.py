@@ -1,0 +1,118 @@
+"""Tests for Bellflower's objective function (Eqs. 1-3)."""
+
+import pytest
+
+from repro.errors import ObjectiveError
+from repro.matchers.selection import MappingElement
+from repro.objective.bellflower import BellflowerObjective, NameOnlyObjective, PathOnlyObjective
+from repro.schema.repository import RepositoryNodeRef
+
+
+def element(personal_node_id, global_id, similarity, tree_id=0):
+    return MappingElement(
+        personal_node_id=personal_node_id,
+        ref=RepositoryNodeRef(global_id=global_id, tree_id=tree_id, node_id=global_id),
+        similarity=similarity,
+    )
+
+
+@pytest.fixture
+def assignment(book_schema):
+    """A complete assignment for the book/title/author personal schema."""
+    return {
+        0: element(0, 10, 0.9),
+        1: element(1, 11, 0.8),
+        2: element(2, 12, 0.7),
+    }
+
+
+class TestNameSimilarity:
+    def test_eq1_is_the_mean_of_element_similarities(self, book_schema, assignment):
+        objective = BellflowerObjective(alpha=0.5)
+        assert objective.name_similarity(book_schema, assignment) == pytest.approx((0.9 + 0.8 + 0.7) / 3)
+
+    def test_empty_personal_schema_rejected(self, assignment):
+        from repro.schema.tree import SchemaTree
+
+        with pytest.raises(ObjectiveError):
+            BellflowerObjective().name_similarity(SchemaTree("empty"), assignment)
+
+
+class TestPathSimilarity:
+    def test_eq2_perfect_when_edges_match(self, book_schema):
+        objective = BellflowerObjective(path_normalization=4.0)
+        # |Es| = 2; a mapping subtree with 2 edges has no stretch penalty.
+        assert objective.path_similarity(book_schema, 2) == 1.0
+
+    def test_eq2_decreases_with_stretch(self, book_schema):
+        objective = BellflowerObjective(path_normalization=4.0)
+        scores = [objective.path_similarity(book_schema, edges) for edges in (2, 3, 4, 6, 10)]
+        assert scores == sorted(scores, reverse=True)
+        # (|Et| - |Es|) / (|Es| * K) = (4 - 2) / (2 * 4) = 0.25.
+        assert objective.path_similarity(book_schema, 4) == pytest.approx(0.75)
+
+    def test_eq2_clamped_to_unit_interval(self, book_schema):
+        objective = BellflowerObjective(path_normalization=1.0)
+        assert objective.path_similarity(book_schema, 100) == 0.0
+        assert objective.path_similarity(book_schema, 1) == 1.0  # overlap-induced >1 is capped
+
+    def test_single_node_personal_schema_has_perfect_path_score(self):
+        from repro.schema.builder import TreeBuilder
+
+        single = TreeBuilder.from_nested({"book": []})
+        assert BellflowerObjective().path_similarity(single, 0) == 1.0
+
+
+class TestCombination:
+    def test_eq3_weighted_sum(self, book_schema, assignment):
+        objective = BellflowerObjective(alpha=0.25, path_normalization=4.0)
+        evaluation = objective.evaluate(book_schema, assignment, target_edge_count=4)
+        expected = 0.25 * (0.8) + 0.75 * 0.75
+        assert evaluation.score == pytest.approx(expected)
+        assert evaluation.components["sim"] == pytest.approx(0.8)
+        assert evaluation.components["path"] == pytest.approx(0.75)
+        assert evaluation.target_edge_count == 4
+
+    def test_alpha_extremes(self, book_schema, assignment):
+        name_only = NameOnlyObjective().evaluate(book_schema, assignment, 10)
+        assert name_only.score == pytest.approx(0.8)
+        path_only = PathOnlyObjective(path_normalization=4.0).evaluate(book_schema, assignment, 2)
+        assert path_only.score == 1.0
+
+    def test_incomplete_assignment_rejected(self, book_schema, assignment):
+        del assignment[2]
+        with pytest.raises(ObjectiveError):
+            BellflowerObjective().evaluate(book_schema, assignment, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ObjectiveError):
+            BellflowerObjective(alpha=1.5)
+        with pytest.raises(ObjectiveError):
+            BellflowerObjective(path_normalization=0.0)
+
+
+class TestBound:
+    def test_bound_uses_best_remaining_similarity(self, book_schema):
+        objective = BellflowerObjective(alpha=1.0)
+        partial = {0: element(0, 10, 0.6)}
+        bound = objective.bound(book_schema, partial, {1: 1.0, 2: 0.5}, partial_target_edge_count=0)
+        assert bound == pytest.approx((0.6 + 1.0 + 0.5) / 3)
+
+    def test_bound_path_part_monotone_in_partial_edges(self, book_schema):
+        objective = BellflowerObjective(alpha=0.0, path_normalization=4.0)
+        partial = {0: element(0, 10, 0.6)}
+        loose = objective.bound(book_schema, partial, {}, partial_target_edge_count=2)
+        tight = objective.bound(book_schema, partial, {}, partial_target_edge_count=8)
+        assert tight <= loose
+
+    def test_bound_upper_bounds_any_completion(self, book_schema, assignment):
+        objective = BellflowerObjective(alpha=0.5, path_normalization=4.0)
+        complete = objective.evaluate(book_schema, assignment, target_edge_count=5)
+        partial = {0: assignment[0]}
+        bound = objective.bound(
+            book_schema,
+            partial,
+            {1: assignment[1].similarity, 2: assignment[2].similarity},
+            partial_target_edge_count=0,
+        )
+        assert bound >= complete.score

@@ -1,0 +1,78 @@
+"""Property-based admissibility check for the Branch-and-Bound bounding function.
+
+If the bound ever under-estimated the best completion of a partial mapping,
+B&B would prune valid mappings and silently lose results; this is the single
+most important invariant of the generator, so it gets its own hypothesis test:
+for random similarity assignments and random edge counts, the bound evaluated
+on any prefix must dominate the score of the full assignment.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.matchers.selection import MappingElement
+from repro.objective.bellflower import BellflowerObjective
+from repro.schema.builder import TreeBuilder
+from repro.schema.repository import RepositoryNodeRef
+
+
+def _personal_schema(node_count: int):
+    builder = TreeBuilder("random-personal")
+    root = builder.root("n0")
+    for index in range(1, node_count):
+        builder.child(root, f"n{index}")
+    return builder.build()
+
+
+def _element(node_id: int, similarity: float) -> MappingElement:
+    return MappingElement(
+        personal_node_id=node_id,
+        ref=RepositoryNodeRef(global_id=100 + node_id, tree_id=0, node_id=node_id),
+        similarity=similarity,
+    )
+
+
+@given(
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    normalization=st.floats(min_value=0.5, max_value=10.0),
+    similarities=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=6),
+    prefix_size=st.integers(min_value=0, max_value=5),
+    final_edges=st.integers(min_value=1, max_value=30),
+    partial_edges_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_bound_dominates_final_score(
+    alpha, normalization, similarities, prefix_size, final_edges, partial_edges_fraction
+):
+    personal = _personal_schema(len(similarities))
+    objective = BellflowerObjective(alpha=alpha, path_normalization=normalization)
+
+    full_assignment = {i: _element(i, s) for i, s in enumerate(similarities)}
+    evaluation = objective.evaluate(personal, full_assignment, target_edge_count=final_edges)
+
+    prefix_size = min(prefix_size, len(similarities))
+    partial = {i: full_assignment[i] for i in range(prefix_size)}
+    # The partial mapping subtree never has more edges than the final one.
+    partial_edges = int(final_edges * partial_edges_fraction)
+    best_remaining = {
+        i: max(similarities[i], 0.0) for i in range(prefix_size, len(similarities))
+    }
+    bound = objective.bound(personal, partial, best_remaining, partial_edges)
+    assert bound + 1e-9 >= evaluation.score
+
+
+@given(
+    similarities=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=6),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_bound_of_complete_assignment_with_final_edges_equals_score(similarities, alpha):
+    """With nothing left to assign and the true edge count, the bound collapses to the score."""
+    personal = _personal_schema(len(similarities))
+    objective = BellflowerObjective(alpha=alpha, path_normalization=4.0)
+    assignment = {i: _element(i, s) for i, s in enumerate(similarities)}
+    edges = personal.edge_count  # no stretch
+    score = objective.evaluate(personal, assignment, target_edge_count=edges).score
+    bound = objective.bound(personal, assignment, {}, partial_target_edge_count=edges)
+    assert bound == __import__("pytest").approx(score)

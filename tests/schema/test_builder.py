@@ -1,0 +1,67 @@
+"""Tests for the fluent tree builder."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.builder import TreeBuilder, personal_schema
+from repro.schema.node import DataType, NodeKind
+
+
+def test_builder_basic_tree():
+    builder = TreeBuilder("personal")
+    root = builder.root("book")
+    title = builder.child(root, "title", datatype="string")
+    builder.attribute(root, "isbn", datatype="ID")
+    tree = builder.build()
+    assert tree.node_count == 3
+    assert tree.node(title).datatype is DataType.STRING
+    assert tree.node(2).kind is NodeKind.ATTRIBUTE
+
+
+def test_builder_rejects_empty_tree():
+    with pytest.raises(SchemaError):
+        TreeBuilder().build()
+
+
+def test_builder_build_only_once():
+    builder = TreeBuilder()
+    builder.root("a")
+    builder.build()
+    with pytest.raises(SchemaError):
+        builder.build()
+
+
+def test_builder_rejects_unknown_parent():
+    builder = TreeBuilder()
+    builder.root("a")
+    with pytest.raises(Exception):
+        builder.child(42, "b")
+
+
+def test_from_nested_with_lists_and_dicts():
+    tree = TreeBuilder.from_nested({"book": ["title", {"author": ["name", "email"]}]})
+    assert sorted(tree.names()) == ["author", "book", "email", "name", "title"]
+    author_id = tree.find_by_name("author")[0]
+    assert {tree.node(c).name for c in tree.children_ids(author_id)} == {"name", "email"}
+
+
+def test_from_nested_with_string_leaf():
+    tree = TreeBuilder.from_nested({"a": "b"})
+    assert tree.names() == ["a", "b"]
+
+
+def test_from_nested_requires_single_root():
+    with pytest.raises(SchemaError):
+        TreeBuilder.from_nested({"a": [], "b": []})
+
+
+def test_from_nested_rejects_bad_entries():
+    with pytest.raises(SchemaError):
+        TreeBuilder.from_nested({"a": [42]})
+
+
+def test_personal_schema_helper():
+    tree = personal_schema({"contact": ["name", "email"]}, name="my-schema")
+    assert tree.name == "my-schema"
+    assert tree.root.name == "contact"
+    assert tree.node_count == 3

@@ -1,0 +1,105 @@
+"""Tests for DTD ingestion."""
+
+import pytest
+
+from repro.errors import SchemaParseError
+from repro.schema.node import DataType, NodeKind
+from repro.schema.dtd_parser import DtdParser, parse_dtd
+
+FIG1_DTD = """
+<!-- The repository fragment of the paper's Fig. 1. -->
+<!ELEMENT lib (book+, address)>
+<!ELEMENT book (data, title)>
+<!ELEMENT data (authorName, shelf)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT authorName (#PCDATA)>
+<!ELEMENT shelf (#PCDATA)>
+<!ELEMENT address (#PCDATA)>
+<!ATTLIST book isbn CDATA #REQUIRED>
+"""
+
+MULTI_ROOT_DTD = """
+<!ELEMENT article (title, body)>
+<!ELEMENT report (title, body)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT body (#PCDATA)>
+"""
+
+RECURSIVE_DTD = """
+<!ELEMENT part (label, part*)>
+<!ELEMENT label (#PCDATA)>
+"""
+
+ENTITY_DTD = """
+<!ENTITY % contact "name, email">
+<!ELEMENT person (%contact;)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT email (#PCDATA)>
+"""
+
+
+def test_fig1_dtd_structure():
+    trees = parse_dtd(FIG1_DTD, schema_name="fig1")
+    assert len(trees) == 1
+    tree = trees[0]
+    assert tree.root.name == "lib"
+    assert sorted(tree.names()) == sorted(
+        ["lib", "book", "data", "title", "authorName", "shelf", "address", "isbn"]
+    )
+    isbn = tree.node(tree.find_by_name("isbn")[0])
+    assert isbn.kind is NodeKind.ATTRIBUTE
+    author = tree.find_by_name("authorName")[0]
+    assert tree.depth(author) == 3
+    # Leaf elements get a string datatype (they carry #PCDATA content).
+    assert tree.node(tree.find_by_name("title")[0]).datatype is DataType.STRING
+
+
+def test_multiple_roots_yield_multiple_trees():
+    trees = parse_dtd(MULTI_ROOT_DTD)
+    assert {tree.root.name for tree in trees} == {"article", "report"}
+    for tree in trees:
+        assert "title" in tree.names() and "body" in tree.names()
+
+
+def test_recursive_dtd_is_cut():
+    trees = DtdParser(max_depth=5).parse(RECURSIVE_DTD)
+    tree = trees[0]
+    assert tree.root.name == "part"
+    assert tree.height() <= 5
+
+
+def test_parameter_entities_are_expanded():
+    trees = parse_dtd(ENTITY_DTD)
+    tree = next(t for t in trees if t.root.name == "person")
+    assert "name" in tree.names() and "email" in tree.names()
+
+
+def test_undeclared_child_becomes_leaf():
+    trees = parse_dtd("<!ELEMENT a (b, c)> <!ELEMENT b (#PCDATA)>")
+    tree = trees[0]
+    assert "c" in tree.names()
+    assert tree.is_leaf(tree.find_by_name("c")[0])
+
+
+def test_fully_cyclic_dtd_still_produces_a_tree():
+    trees = parse_dtd("<!ELEMENT a (b)> <!ELEMENT b (a)>")
+    assert len(trees) == 1
+    assert trees[0].node_count >= 2
+
+
+def test_empty_dtd_raises():
+    with pytest.raises(SchemaParseError):
+        parse_dtd("<!-- nothing here -->")
+
+
+def test_invalid_max_depth():
+    with pytest.raises(SchemaParseError):
+        DtdParser(max_depth=0)
+
+
+def test_attlist_enumeration_type_is_string():
+    trees = parse_dtd('<!ELEMENT a (#PCDATA)> <!ATTLIST a status (on|off) "on">')
+    tree = trees[0]
+    status = tree.node(tree.find_by_name("status")[0])
+    assert status.kind is NodeKind.ATTRIBUTE
+    assert status.datatype is DataType.STRING

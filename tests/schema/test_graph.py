@@ -1,0 +1,104 @@
+"""Tests for the general schema graph (Definition 1)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownNodeError
+from repro.schema.graph import SchemaGraph
+from repro.schema.node import SchemaNode
+
+
+def build_path_graph(names):
+    graph = SchemaGraph("path")
+    previous = None
+    for name in names:
+        node = graph.add_node(SchemaNode(name=name))
+        if previous is not None:
+            graph.add_edge(previous.node_id, node.node_id)
+        previous = node
+    return graph
+
+
+def test_add_node_assigns_sequential_ids():
+    graph = SchemaGraph()
+    a = graph.add_node(SchemaNode(name="a"))
+    b = graph.add_node(SchemaNode(name="b"))
+    assert (a.node_id, b.node_id) == (0, 1)
+    assert graph.node_count == 2
+
+
+def test_add_edge_validates_endpoints():
+    graph = SchemaGraph()
+    graph.add_node(SchemaNode(name="a"))
+    with pytest.raises(UnknownNodeError):
+        graph.add_edge(0, 5)
+    with pytest.raises(SchemaError):
+        graph.add_edge(0, 0)
+
+
+def test_edge_incidence_and_other():
+    graph = build_path_graph(["a", "b"])
+    edge = graph.edge(0)
+    assert edge.endpoints() == (0, 1)
+    assert edge.other(0) == 1
+    assert edge.other(1) == 0
+    with pytest.raises(SchemaError):
+        edge.other(9)
+
+
+def test_neighbors_and_degree():
+    graph = build_path_graph(["a", "b", "c"])
+    assert graph.neighbors(1) == [0, 2]
+    assert graph.degree(1) == 2
+    assert graph.degree(0) == 1
+
+
+def test_shortest_path_on_path_graph():
+    graph = build_path_graph(["a", "b", "c", "d"])
+    assert graph.shortest_path(0, 3) == [0, 1, 2, 3]
+    assert graph.path_length(0, 3) == 3
+    assert graph.path_length(2, 2) == 0
+
+
+def test_shortest_path_disconnected_returns_none():
+    graph = SchemaGraph()
+    graph.add_node(SchemaNode(name="a"))
+    graph.add_node(SchemaNode(name="b"))
+    assert graph.shortest_path(0, 1) is None
+    assert graph.path_length(0, 1) is None
+
+
+def test_connected_components():
+    graph = SchemaGraph()
+    for name in "abcd":
+        graph.add_node(SchemaNode(name=name))
+    graph.add_edge(0, 1)
+    graph.add_edge(2, 3)
+    assert graph.connected_components() == [[0, 1], [2, 3]]
+
+
+def test_is_tree():
+    path = build_path_graph(["a", "b", "c"])
+    assert path.is_tree()
+    cyclic = build_path_graph(["a", "b", "c"])
+    cyclic.add_edge(0, 2)
+    assert not cyclic.is_tree()
+    assert not SchemaGraph().is_tree()
+
+
+def test_nodes_by_name():
+    graph = build_path_graph(["a", "b", "a"])
+    assert [node.node_id for node in graph.nodes_by_name("a")] == [0, 2]
+
+
+def test_subgraph_nodes_keeps_internal_edges_only():
+    graph = build_path_graph(["a", "b", "c", "d"])
+    sub = graph.subgraph_nodes([1, 2, 3])
+    assert sub.node_count == 3
+    assert sub.edge_count == 2
+    assert sorted(node.name for node in sub.nodes()) == ["b", "c", "d"]
+
+
+def test_subgraph_rejects_unknown_node():
+    graph = build_path_graph(["a"])
+    with pytest.raises(UnknownNodeError):
+        graph.subgraph_nodes([0, 9])

@@ -1,0 +1,64 @@
+"""Tests for schema nodes and datatype parsing."""
+
+import pytest
+
+from repro.schema.node import DataType, NodeKind, SchemaNode, parse_datatype
+
+
+def test_node_requires_a_name():
+    with pytest.raises(ValueError):
+        SchemaNode(name="")
+    with pytest.raises(ValueError):
+        SchemaNode(name="   ")
+
+
+def test_node_defaults():
+    node = SchemaNode(name="title")
+    assert node.kind is NodeKind.ELEMENT
+    assert node.datatype is DataType.UNKNOWN
+    assert node.node_id == -1
+    assert not node.is_attribute
+
+
+def test_node_accepts_string_kind_and_type():
+    node = SchemaNode(name="isbn", kind="attribute", datatype="string")
+    assert node.kind is NodeKind.ATTRIBUTE
+    assert node.datatype is DataType.STRING
+    assert node.is_attribute
+
+
+def test_node_property_bag():
+    node = SchemaNode(name="book", properties={"minOccurs": "0"})
+    assert node.property("minOccurs") == "0"
+    assert node.property("missing", default=1) == 1
+
+
+def test_node_copy_is_detached():
+    node = SchemaNode(name="book", properties={"a": 1})
+    node.node_id = 7
+    clone = node.copy()
+    assert clone.node_id == -1
+    assert clone.name == "book"
+    clone.properties["a"] = 2
+    assert node.properties["a"] == 1
+
+
+@pytest.mark.parametrize(
+    "raw, expected",
+    [
+        ("xs:string", DataType.STRING),
+        ("xsd:int", DataType.INTEGER),
+        ("decimal", DataType.DECIMAL),
+        ("xs:dateTime", DataType.DATETIME),
+        ("CDATA", DataType.STRING),
+        ("#PCDATA", DataType.STRING),
+        ("ID", DataType.ID),
+        ("IDREFS", DataType.IDREF),
+        ("xs:anyURI", DataType.ANY_URI),
+        (None, DataType.UNKNOWN),
+        ("", DataType.UNKNOWN),
+        ("someCustomType", DataType.UNKNOWN),
+    ],
+)
+def test_parse_datatype(raw, expected):
+    assert parse_datatype(raw) is expected

@@ -1,0 +1,79 @@
+"""Tests for the schema repository (forest with global node ids)."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownNodeError
+from repro.schema.builder import TreeBuilder
+from repro.schema.repository import SchemaRepository
+
+
+def test_add_tree_assigns_ids_and_offsets(small_repository):
+    assert small_repository.tree_count == 3
+    assert [tree.tree_id for tree in small_repository.trees()] == [0, 1, 2]
+    assert small_repository.tree_offset(0) == 0
+    assert small_repository.tree_offset(1) == small_repository.tree(0).node_count
+    assert small_repository.node_count == sum(t.node_count for t in small_repository.trees())
+
+
+def test_cannot_register_tree_twice(small_repository, library_tree):
+    with pytest.raises(SchemaError):
+        small_repository.add_tree(library_tree)
+
+
+def test_cannot_register_empty_tree():
+    from repro.schema.tree import SchemaTree
+
+    with pytest.raises(SchemaError):
+        SchemaRepository().add_tree(SchemaTree("empty"))
+
+
+def test_global_id_and_locate_round_trip(small_repository):
+    for ref in small_repository.node_refs():
+        located = small_repository.locate(ref.global_id)
+        assert located == ref
+        assert small_repository.global_id(ref.tree_id, ref.node_id) == ref.global_id
+
+
+def test_locate_out_of_range(small_repository):
+    with pytest.raises(UnknownNodeError):
+        small_repository.locate(small_repository.node_count)
+    with pytest.raises(UnknownNodeError):
+        small_repository.locate(-1)
+
+
+def test_node_accepts_ref_or_global_id(small_repository):
+    ref = small_repository.ref(1, 2)
+    by_ref = small_repository.node(ref)
+    by_id = small_repository.node(ref.global_id)
+    assert by_ref is by_id
+
+
+def test_iter_nodes_covers_every_node(small_repository):
+    refs = list(small_repository.iter_nodes())
+    assert len(refs) == small_repository.node_count
+    global_ids = [ref.global_id for ref, _ in refs]
+    assert global_ids == sorted(global_ids)
+
+
+def test_find_by_name_case_insensitive_by_default(small_repository):
+    title_refs = small_repository.find_by_name("TITLE")
+    assert len(title_refs) == 1
+    assert small_repository.node(title_refs[0]).name == "title"
+    assert small_repository.find_by_name("TITLE", case_sensitive=True) == []
+
+
+def test_distance_within_and_across_trees(small_repository):
+    lib_title = small_repository.find_by_name("title")[0]
+    lib_address = small_repository.find_by_name("address")[0]
+    if lib_title.tree_id == lib_address.tree_id:
+        assert small_repository.distance(lib_title, lib_address) >= 1
+    person_name = small_repository.find_by_name("name")[0]
+    assert person_name.tree_id != lib_title.tree_id
+    assert small_repository.distance(lib_title, person_name) is None
+
+
+def test_summary(small_repository):
+    summary = small_repository.summary()
+    assert summary["trees"] == 3
+    assert summary["nodes"] == small_repository.node_count
+    assert summary["largest_tree"] >= summary["smallest_tree"] >= 1

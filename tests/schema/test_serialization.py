@@ -1,0 +1,72 @@
+"""Tests for JSON serialization of trees and repositories."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.node import DataType, NodeKind
+from repro.schema.serialization import (
+    load_repository,
+    repository_from_dict,
+    repository_to_dict,
+    save_repository,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.schema.validation import validate_repository, validate_tree
+
+
+def test_tree_round_trip(library_tree):
+    payload = tree_to_dict(library_tree)
+    rebuilt = tree_from_dict(payload)
+    validate_tree(rebuilt)
+    assert rebuilt.names() == library_tree.names()
+    assert rebuilt.node_count == library_tree.node_count
+    for node_id in library_tree.node_ids():
+        assert rebuilt.parent_id(node_id) == library_tree.parent_id(node_id)
+        assert rebuilt.node(node_id).kind == library_tree.node(node_id).kind
+        assert rebuilt.node(node_id).datatype == library_tree.node(node_id).datatype
+
+
+def test_repository_round_trip(small_repository):
+    payload = repository_to_dict(small_repository)
+    rebuilt = repository_from_dict(payload)
+    validate_repository(rebuilt)
+    assert rebuilt.tree_count == small_repository.tree_count
+    assert rebuilt.node_count == small_repository.node_count
+    assert [t.name for t in rebuilt.trees()] == [t.name for t in small_repository.trees()]
+
+
+def test_file_round_trip(small_repository, tmp_path):
+    path = tmp_path / "repo.json"
+    save_repository(small_repository, path)
+    loaded = load_repository(path)
+    assert loaded.node_count == small_repository.node_count
+
+
+def test_unknown_version_rejected(library_tree):
+    payload = tree_to_dict(library_tree)
+    payload["version"] = 999
+    with pytest.raises(SchemaError):
+        tree_from_dict(payload)
+    repo_payload = {"version": 999, "trees": []}
+    with pytest.raises(SchemaError):
+        repository_from_dict(repo_payload)
+
+
+def test_corrupt_parent_reference_rejected(library_tree):
+    payload = tree_to_dict(library_tree)
+    payload["nodes"][1]["parent"] = 5  # forward reference
+    with pytest.raises(SchemaError):
+        tree_from_dict(payload)
+
+
+def test_non_first_root_rejected(library_tree):
+    payload = tree_to_dict(library_tree)
+    payload["nodes"][2]["parent"] = -1
+    with pytest.raises(SchemaError):
+        tree_from_dict(payload)
+
+
+def test_empty_tree_payload_rejected():
+    with pytest.raises(SchemaError):
+        tree_from_dict({"version": 1, "name": "x", "nodes": []})

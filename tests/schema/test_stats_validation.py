@@ -1,0 +1,69 @@
+"""Tests for tree/repository statistics and structural validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.builder import TreeBuilder
+from repro.schema.repository import SchemaRepository
+from repro.schema.stats import RepositoryStatistics, TreeStatistics
+from repro.schema.validation import validate_repository, validate_tree
+
+
+def test_tree_statistics_on_fig1(library_tree):
+    stats = TreeStatistics.of(library_tree)
+    assert stats.node_count == 7
+    assert stats.element_count == 7
+    assert stats.attribute_count == 0
+    assert stats.leaf_count == 4
+    assert stats.height == 3
+    assert stats.max_fanout == 2
+    assert stats.average_fanout == pytest.approx((2 + 2 + 2) / 3)
+    assert 0 < stats.average_depth < 3
+
+
+def test_repository_statistics(small_repository):
+    stats = RepositoryStatistics.of(small_repository)
+    assert stats.tree_count == 3
+    assert stats.node_count == small_repository.node_count
+    assert stats.min_tree_size <= stats.average_tree_size <= stats.max_tree_size
+    assert stats.distinct_names > 5
+    payload = stats.as_dict()
+    assert payload["trees"] == 3
+    assert payload["nodes"] == small_repository.node_count
+
+
+def test_validate_tree_accepts_valid_tree(library_tree):
+    validate_tree(library_tree)
+
+
+def test_validate_tree_rejects_inconsistent_node_id(library_tree):
+    library_tree.node(3).node_id = 99
+    with pytest.raises(SchemaError):
+        validate_tree(library_tree)
+
+
+def test_validate_tree_rejects_corrupted_depth(library_tree):
+    library_tree._depth[4] = 0
+    with pytest.raises(SchemaError):
+        validate_tree(library_tree)
+
+
+def test_validate_tree_rejects_broken_child_link(library_tree):
+    library_tree._children[1].remove(2)
+    with pytest.raises(SchemaError):
+        validate_tree(library_tree)
+
+
+def test_validate_repository_accepts_valid(small_repository):
+    validate_repository(small_repository)
+
+
+def test_validate_repository_rejects_wrong_tree_id(small_repository):
+    small_repository.tree(1).tree_id = 5
+    with pytest.raises(SchemaError):
+        validate_repository(small_repository)
+
+
+def test_validate_repository_rejects_empty():
+    with pytest.raises(SchemaError):
+        validate_repository(SchemaRepository())

@@ -1,0 +1,132 @@
+"""Tests for XSD ingestion."""
+
+import pytest
+
+from repro.errors import SchemaParseError
+from repro.schema.node import DataType, NodeKind
+from repro.schema.xsd_parser import XsdParser, parse_xsd
+
+SIMPLE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="book">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="title" type="xs:string"/>
+        <xs:element name="year" type="xs:int" minOccurs="0"/>
+      </xs:sequence>
+      <xs:attribute name="isbn" type="xs:ID" use="required"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+NAMED_TYPE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="library" type="LibraryType"/>
+  <xs:complexType name="LibraryType">
+    <xs:sequence>
+      <xs:element name="book" type="BookType" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:complexType name="BookType">
+    <xs:sequence>
+      <xs:element name="title" type="xs:string"/>
+      <xs:element name="author" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+</xs:schema>
+"""
+
+REF_AND_CHOICE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="payment">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element ref="card"/>
+        <xs:element name="cash" type="xs:decimal"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="card">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="number" type="xs:string"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+RECURSIVE_XSD = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="part">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="label" type="xs:string"/>
+        <xs:element ref="part" minOccurs="0"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+def test_simple_inline_complex_type():
+    trees = parse_xsd(SIMPLE_XSD, schema_name="simple")
+    assert len(trees) == 1
+    tree = trees[0]
+    assert tree.name == "simple#book"
+    assert tree.root.name == "book"
+    names = {tree.node(i).name: tree.node(i) for i in tree.node_ids()}
+    assert set(names) == {"book", "title", "year", "isbn"}
+    assert names["title"].datatype is DataType.STRING
+    assert names["year"].datatype is DataType.INTEGER
+    assert names["isbn"].kind is NodeKind.ATTRIBUTE
+    assert names["year"].property("minOccurs") == "0"
+
+
+def test_named_complex_types_are_resolved():
+    trees = parse_xsd(NAMED_TYPE_XSD)
+    # Only "library" is a global element root; BookType is expanded inside it.
+    roots = {tree.root.name for tree in trees}
+    assert "library" in roots
+    library = next(tree for tree in trees if tree.root.name == "library")
+    assert sorted(library.names()) == ["author", "book", "library", "title"]
+    assert library.depth(library.find_by_name("title")[0]) == 2
+
+
+def test_element_ref_and_choice_expansion():
+    trees = parse_xsd(REF_AND_CHOICE_XSD)
+    payment = next(tree for tree in trees if tree.root.name == "payment")
+    assert "card" in payment.names()
+    assert "number" in payment.names()
+    assert "cash" in payment.names()
+    # "card" is also a global element, so it yields its own tree.
+    assert any(tree.root.name == "card" for tree in trees)
+
+
+def test_recursion_is_cut_at_max_depth():
+    trees = XsdParser(max_depth=4).parse(RECURSIVE_XSD)
+    part = trees[0]
+    assert part.height() <= 4
+    assert part.node_count < 20
+
+
+def test_invalid_xml_raises():
+    with pytest.raises(SchemaParseError):
+        parse_xsd("<xs:schema", schema_name="broken")
+
+
+def test_non_schema_root_raises():
+    with pytest.raises(SchemaParseError):
+        parse_xsd("<foo/>")
+
+
+def test_schema_without_global_elements_raises():
+    with pytest.raises(SchemaParseError):
+        parse_xsd('<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>')
+
+
+def test_invalid_max_depth():
+    with pytest.raises(SchemaParseError):
+        XsdParser(max_depth=0)

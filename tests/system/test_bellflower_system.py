@@ -1,0 +1,111 @@
+"""Tests for the Bellflower pipeline (Figs. 2 and 3)."""
+
+import pytest
+
+from repro.clustering.kmeans import KMeansClusterer
+from repro.clustering.reclustering import join_and_remove
+from repro.errors import ConfigurationError
+from repro.mapping.exhaustive import ExhaustiveGenerator
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+from repro.system.bellflower import Bellflower
+from repro.system.variants import clustering_variant
+
+
+class TestConfiguration:
+    def test_requires_non_empty_repository(self):
+        with pytest.raises(ConfigurationError):
+            Bellflower(SchemaRepository("empty"))
+
+    def test_rejects_invalid_delta(self, small_repository):
+        with pytest.raises(ConfigurationError):
+            Bellflower(small_repository, delta=1.5)
+
+    def test_rejects_empty_personal_schema(self, small_repository):
+        system = Bellflower(small_repository)
+        with pytest.raises(ConfigurationError):
+            system.match(SchemaTree("empty"))
+
+    def test_variant_name_defaults_to_clusterer_name(self, small_repository):
+        assert Bellflower(small_repository).variant_name == "tree-clusters"
+        named = Bellflower(small_repository, variant_name="custom")
+        assert named.variant_name == "custom"
+
+
+class TestPipeline:
+    def test_non_clustered_match_finds_exact_contact_block(self, small_repository, paper_schema):
+        system = Bellflower(small_repository, element_threshold=0.5, delta=0.75)
+        result = system.match(paper_schema)
+        assert result.mapping_count >= 1
+        best = result.mappings[0]
+        names = [small_repository.node(e.ref).name for _, e in sorted(best.assignment.items())]
+        assert names == ["name", "address", "email"]
+        assert best.score >= 0.9
+
+    def test_result_contains_stage_times_and_counters(self, small_repository, paper_schema):
+        result = Bellflower(small_repository, element_threshold=0.5).match(paper_schema)
+        assert result.element_matching_seconds >= 0.0
+        assert result.clustering_seconds >= 0.0
+        assert result.generation_seconds >= 0.0
+        assert result.counters["mapping_elements"] == result.candidates.total()
+        assert result.partial_mappings > 0
+
+    def test_cluster_reports_only_cover_useful_clusters(self, small_repository, paper_schema):
+        result = Bellflower(small_repository, element_threshold=0.5).match(paper_schema)
+        assert result.useful_cluster_count == len(result.cluster_reports)
+        for report in result.cluster_reports:
+            assert report.search_space >= 1
+            assert report.mapping_element_count >= paper_schema.node_count
+
+    def test_precomputed_candidates_are_reused(self, small_repository, paper_schema):
+        system = Bellflower(small_repository, element_threshold=0.5)
+        candidates = system.element_matching(paper_schema)
+        result = system.match(paper_schema, candidates=candidates)
+        assert result.candidates is candidates
+        assert result.element_matching_seconds == 0.0
+
+    def test_mappings_are_sorted_and_deduplicated(self, small_repository, paper_schema):
+        result = Bellflower(small_repository, element_threshold=0.4, delta=0.5).match(paper_schema)
+        scores = [m.score for m in result.mappings]
+        assert scores == sorted(scores, reverse=True)
+        signatures = [m.signature() for m in result.mappings]
+        assert len(signatures) == len(set(signatures))
+
+    def test_delta_override_filters_results(self, small_repository, paper_schema):
+        system = Bellflower(small_repository, element_threshold=0.4, delta=0.5)
+        loose = system.match(paper_schema)
+        strict = system.match(paper_schema, delta=0.9)
+        assert strict.mapping_count <= loose.mapping_count
+        assert all(m.score >= 0.9 for m in strict.mappings)
+
+
+class TestClusteredVsNonClustered:
+    def test_clustered_results_are_a_subset_of_non_clustered(self, synthetic_repository, synthetic_personal_schema):
+        baseline_system = Bellflower(synthetic_repository, element_threshold=0.45, delta=0.75)
+        baseline = baseline_system.match(synthetic_personal_schema)
+        clustered_system = Bellflower(
+            synthetic_repository,
+            clusterer=clustering_variant("medium").make_clusterer(),
+            element_threshold=0.45,
+            delta=0.75,
+        )
+        clustered = clustered_system.match(synthetic_personal_schema, candidates=baseline.candidates)
+        assert clustered.signatures() <= baseline.signatures()
+        assert clustered.search_space <= baseline.search_space
+        assert clustered.partial_mappings <= baseline.partial_mappings
+
+    def test_custom_generator_is_honoured(self, small_repository, paper_schema):
+        system = Bellflower(
+            small_repository,
+            generator=ExhaustiveGenerator(),
+            element_threshold=0.5,
+        )
+        result = system.match(paper_schema)
+        assert result.generation.counters["evaluated_mappings"] > 0
+
+    def test_kmeans_clusterer_end_to_end(self, small_repository, paper_schema):
+        clusterer = KMeansClusterer(reclustering=join_and_remove(2.0))
+        system = Bellflower(small_repository, clusterer=clusterer, element_threshold=0.5)
+        result = system.match(paper_schema)
+        assert result.clustering is not None
+        assert result.clustering.cluster_count >= 1

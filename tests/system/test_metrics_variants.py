@@ -1,0 +1,110 @@
+"""Tests for preservation metrics, efficiency summaries and variant presets."""
+
+import pytest
+
+from repro.clustering.baselines import FragmentClusterer, TreeClusterer
+from repro.clustering.kmeans import KMeansClusterer
+from repro.errors import ConfigurationError
+from repro.matchers.selection import MappingElement
+from repro.mapping.model import SchemaMapping
+from repro.schema.repository import RepositoryNodeRef
+from repro.system.metrics import (
+    efficiency_summary,
+    preservation_curve,
+    preserved_fraction,
+)
+from repro.system.variants import available_variant_names, clustering_variant, standard_variants
+
+
+def make_mapping(score, global_ids):
+    assignment = {
+        index: MappingElement(index, RepositoryNodeRef(gid, 0, gid), score)
+        for index, gid in enumerate(global_ids)
+    }
+    return SchemaMapping(
+        assignment=assignment,
+        score=score,
+        components={},
+        target_edge_count=2,
+        tree_id=0,
+    )
+
+
+class TestPreservation:
+    def test_full_preservation(self):
+        reference = [make_mapping(0.9, (1, 2)), make_mapping(0.8, (3, 4))]
+        point = preserved_fraction(reference, list(reference), threshold=0.75)
+        assert point.fraction == 1.0
+        assert point.reference_count == 2
+
+    def test_partial_preservation_counts_signatures(self):
+        reference = [make_mapping(0.9, (1, 2)), make_mapping(0.8, (3, 4)), make_mapping(0.76, (5, 6))]
+        clustered = [make_mapping(0.9, (1, 2))]
+        point = preserved_fraction(reference, clustered, threshold=0.75)
+        assert point.preserved_count == 1
+        assert point.fraction == pytest.approx(1 / 3)
+
+    def test_empty_reference_is_trivially_preserved(self):
+        point = preserved_fraction([], [], threshold=0.9)
+        assert point.fraction == 1.0
+
+    def test_curve_is_sorted_by_threshold(self):
+        reference = [make_mapping(s, (int(s * 100), int(s * 100) + 1)) for s in (0.95, 0.85, 0.76)]
+        clustered = reference[:1]
+        curve = preservation_curve(reference, clustered, thresholds=(0.9, 0.75))
+        assert [point.threshold for point in curve] == [0.75, 0.9]
+        # At 0.9 only the preserved mapping counts -> 100%; at 0.75 one of three.
+        assert curve[1].fraction == 1.0
+        assert curve[0].fraction == pytest.approx(1 / 3)
+
+
+class TestEfficiencySummary:
+    def test_rows_reference_largest_search_space(self, small_repository, paper_schema):
+        from repro.system.bellflower import Bellflower
+
+        baseline = Bellflower(small_repository, element_threshold=0.5, variant_name="tree").match(paper_schema)
+        clustered = Bellflower(
+            small_repository,
+            clusterer=KMeansClusterer(),
+            element_threshold=0.5,
+            variant_name="kmeans",
+        ).match(paper_schema, candidates=baseline.candidates)
+        rows = efficiency_summary([clustered, baseline])
+        by_variant = {row["variant"]: row for row in rows}
+        assert by_variant["tree"]["search_space_pct"] == pytest.approx(1.0)
+        assert by_variant["kmeans"]["search_space_pct"] <= 1.0
+        assert set(by_variant["tree"]) >= {"useful_clusters", "partial_mappings", "mappings"}
+
+    def test_empty_input(self):
+        assert efficiency_summary([]) == []
+
+
+class TestVariants:
+    def test_standard_variants_order_matches_paper(self):
+        assert [v.name for v in standard_variants()] == ["small", "medium", "large", "tree"]
+
+    def test_variant_factories_produce_fresh_clusterers(self):
+        variant = clustering_variant("medium")
+        first = variant.make_clusterer()
+        second = variant.make_clusterer()
+        assert first is not second
+        assert isinstance(first, KMeansClusterer)
+
+    def test_tree_and_fragment_variants(self):
+        assert isinstance(clustering_variant("tree").make_clusterer(), TreeClusterer)
+        assert isinstance(clustering_variant("fragments").make_clusterer(), FragmentClusterer)
+
+    def test_join_thresholds_differ_between_sizes(self):
+        small = clustering_variant("small").make_clusterer()
+        large = clustering_variant("large").make_clusterer()
+        small_join = small.reclustering.strategies[0]
+        large_join = large.reclustering.strategies[0]
+        assert small_join.distance_threshold < large_join.distance_threshold
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(ConfigurationError):
+            clustering_variant("does-not-exist")
+
+    def test_available_variant_names_cover_standard_set(self):
+        names = available_variant_names()
+        assert {"small", "medium", "large", "tree", "fragments"} <= set(names)

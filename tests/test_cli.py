@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.schema.serialization import save_repository
+from repro.workload.corpus import bundled_corpus_documents
+
+
+@pytest.fixture
+def schema_directory(tmp_path):
+    """Write the bundled corpus documents out as real .dtd/.xsd files."""
+    for name, (format_name, text) in bundled_corpus_documents().items():
+        (tmp_path / f"{name}.{format_name}").write_text(text, encoding="utf-8")
+    return tmp_path
+
+
+@pytest.fixture
+def repository_file(tmp_path, synthetic_repository):
+    path = tmp_path / "repository.json"
+    save_repository(synthetic_repository, path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_writes_repository_json(self, tmp_path, capsys):
+        out = tmp_path / "repo.json"
+        exit_code = main(["generate", "--nodes", "300", "--min-tree-size", "10", "--max-tree-size", "40", "--out", str(out)])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["trees"]
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestMatch:
+    def test_match_against_schema_directory(self, schema_directory, capsys):
+        exit_code = main(
+            [
+                "match",
+                "--schema-dir",
+                str(schema_directory),
+                "--personal",
+                '{"book": ["title", "author"]}',
+                "--variant",
+                "tree",
+                "--delta",
+                "0.6",
+                "--top",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mapping elements" in output
+        assert "Δ=" in output
+        assert "book ->" in output
+
+    def test_match_against_repository_file(self, repository_file, capsys):
+        exit_code = main(
+            [
+                "match",
+                "--repository",
+                str(repository_file),
+                "--personal",
+                '{"name": ["address", "email"]}',
+                "--variant",
+                "medium",
+            ]
+        )
+        assert exit_code == 0
+        assert "useful clusters" in capsys.readouterr().out
+
+    def test_missing_repository_arguments_is_an_error(self, capsys):
+        exit_code = main(["match", "--personal", '{"a": []}'])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_personal_json_is_an_error(self, repository_file, capsys):
+        exit_code = main(
+            ["match", "--repository", str(repository_file), "--personal", "not-json"]
+        )
+        assert exit_code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_empty_schema_directory_is_an_error(self, tmp_path, capsys):
+        exit_code = main(
+            ["match", "--schema-dir", str(tmp_path), "--personal", '{"a": ["b"]}']
+        )
+        assert exit_code == 2
+        assert "no .xsd or .dtd" in capsys.readouterr().err
+
+
+class TestExperimentCommand:
+    def test_runs_figure4_at_quick_scale(self, capsys):
+        exit_code = main(["experiment", "figure4", "--scale", "quick"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        exit_code = main(["experiment", "table99"])
+        assert exit_code == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,56 @@
+"""Tests for the named counter set."""
+
+import pytest
+
+from repro.utils.counters import CounterSet
+
+
+def test_counter_starts_at_zero():
+    counters = CounterSet()
+    assert counters.get("anything") == 0
+    assert "anything" not in counters
+
+
+def test_increment_returns_new_value():
+    counters = CounterSet()
+    assert counters.increment("partial_mappings") == 1
+    assert counters.increment("partial_mappings", 4) == 5
+    assert counters["partial_mappings"] == 5
+
+
+def test_increment_rejects_negative_amounts():
+    counters = CounterSet()
+    with pytest.raises(ValueError):
+        counters.increment("x", -1)
+
+
+def test_set_overrides_value():
+    counters = CounterSet()
+    counters.increment("iterations", 3)
+    counters.set("iterations", 1)
+    assert counters.get("iterations") == 1
+
+
+def test_initial_values_are_copied():
+    counters = CounterSet({"a": 2})
+    assert counters.get("a") == 2
+
+
+def test_merge_adds_counters():
+    first = CounterSet({"a": 1, "b": 2})
+    second = CounterSet({"b": 3, "c": 4})
+    first.merge(second)
+    assert first.as_dict() == {"a": 1, "b": 5, "c": 4}
+
+
+def test_iteration_is_sorted_by_name():
+    counters = CounterSet({"z": 1, "a": 2})
+    assert [name for name, _ in counters] == ["a", "z"]
+
+
+def test_len_counts_distinct_names():
+    counters = CounterSet()
+    counters.increment("a")
+    counters.increment("a")
+    counters.increment("b")
+    assert len(counters) == 2

@@ -1,0 +1,50 @@
+"""Tests for the bucketed histogram used by the Figure 4 experiment."""
+
+import pytest
+
+from repro.utils.histogram import Histogram, exponential_buckets
+
+
+def test_exponential_buckets_match_paper_layout():
+    buckets = exponential_buckets(255)
+    assert buckets[:4] == [(1, 1), (2, 3), (4, 7), (8, 15)]
+    assert buckets[-1] == (128, 255)
+
+
+def test_exponential_buckets_reject_non_positive():
+    with pytest.raises(ValueError):
+        exponential_buckets(0)
+
+
+def test_histogram_counts_values_into_buckets():
+    histogram = Histogram.exponential(15)
+    histogram.add_all([1, 2, 2, 5, 9, 15])
+    assert histogram.as_dict() == {"[1,1]": 1, "[2,3]": 2, "[4,7]": 1, "[8,15]": 2}
+    assert histogram.total == 6
+    assert histogram.overflow == 0
+
+
+def test_histogram_overflow():
+    histogram = Histogram.exponential(7)
+    histogram.add(100)
+    assert histogram.overflow == 1
+    assert histogram.total == 1
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram([])
+    with pytest.raises(ValueError):
+        Histogram([(2, 1)])
+    with pytest.raises(ValueError):
+        Histogram([(1, 3), (2, 5)])
+
+
+def test_histogram_render_mentions_every_bucket():
+    histogram = Histogram.exponential(7)
+    histogram.add_all([1, 4, 4])
+    rendered = histogram.render(width=10)
+    assert "[1,1]" in rendered and "[4,7]" in rendered
+    # The largest bucket gets the longest bar.
+    lines = rendered.splitlines()
+    assert lines[-1].count("#") >= lines[0].count("#")

@@ -1,0 +1,76 @@
+"""Tests for the deterministic RNG helpers."""
+
+import pytest
+
+from repro.utils.rng import SeededRandom, derive_seed, round_robin
+
+
+def test_same_seed_same_stream():
+    first = SeededRandom(42)
+    second = SeededRandom(42)
+    assert [first.randint(0, 100) for _ in range(10)] == [second.randint(0, 100) for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    first = [SeededRandom(1).randint(0, 1000) for _ in range(5)]
+    second = [SeededRandom(2).randint(0, 1000) for _ in range(5)]
+    assert first != second
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    assert derive_seed(7, "tree", 3) == derive_seed(7, "tree", 3)
+    assert derive_seed(7, "tree", 3) != derive_seed(7, "tree", 4)
+    assert derive_seed(7, "tree", 3) != derive_seed(8, "tree", 3)
+
+
+def test_spawn_creates_independent_reproducible_children():
+    parent = SeededRandom(99)
+    child_a = parent.spawn("a")
+    child_b = parent.spawn("b")
+    assert child_a.seed != child_b.seed
+    assert SeededRandom(99).spawn("a").randint(0, 10**6) == child_a.randint(0, 10**6)
+
+
+def test_choice_rejects_empty_sequence():
+    with pytest.raises(ValueError):
+        SeededRandom(1).choice([])
+
+
+def test_geometric_respects_bounds():
+    rng = SeededRandom(5)
+    values = [rng.geometric(0.4, 6) for _ in range(200)]
+    assert all(1 <= value <= 6 for value in values)
+    assert min(values) == 1  # the mode of a geometric distribution
+
+
+def test_geometric_rejects_invalid_p():
+    with pytest.raises(ValueError):
+        SeededRandom(1).geometric(0.0, 5)
+
+
+def test_partition_sums_to_total_with_positive_parts():
+    rng = SeededRandom(3)
+    parts = rng.partition(50, 7)
+    assert sum(parts) == 50
+    assert len(parts) == 7
+    assert all(part >= 1 for part in parts)
+
+
+def test_partition_single_part():
+    assert SeededRandom(1).partition(9, 1) == [9]
+
+
+def test_partition_rejects_impossible_split():
+    with pytest.raises(ValueError):
+        SeededRandom(1).partition(3, 5)
+
+
+def test_shuffle_returns_permutation():
+    rng = SeededRandom(11)
+    items = list(range(20))
+    shuffled = rng.shuffle(list(items))
+    assert sorted(shuffled) == items
+
+
+def test_round_robin_interleaves():
+    assert round_robin([[1, 2, 3], ["a", "b"]]) == [1, "a", 2, "b", 3]

@@ -1,0 +1,55 @@
+"""Tests for ASCII table rendering and number formatting."""
+
+import pytest
+
+from repro.utils.tables import AsciiTable, format_number, format_percent
+
+
+def test_format_number_integers_use_thousands_separator():
+    assert format_number(1234567) == "1,234,567"
+
+
+def test_format_number_floats_respect_decimals():
+    assert format_number(3.14159, decimals=2) == "3.14"
+
+
+def test_format_number_nan():
+    assert format_number(float("nan")) == "nan"
+
+
+def test_format_percent():
+    assert format_percent(0.1234) == "12.3%"
+    assert format_percent(1.0, decimals=0) == "100%"
+
+
+def test_table_requires_columns():
+    with pytest.raises(ValueError):
+        AsciiTable([])
+
+
+def test_table_rejects_mismatched_rows():
+    table = AsciiTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_table_renders_header_separator_and_rows():
+    table = AsciiTable(["variant", "clusters"], title="Demo")
+    table.add_row(["small", 251])
+    table.add_row(["tree", 95])
+    rendered = table.render()
+    lines = rendered.splitlines()
+    assert lines[0] == "Demo"
+    assert "variant" in lines[1] and "clusters" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert "small" in lines[3] and "251" in lines[3]
+    assert "tree" in lines[4]
+
+
+def test_table_aligns_columns():
+    table = AsciiTable(["name", "value"])
+    table.add_row(["x", 1])
+    table.add_row(["longer-name", 1000])
+    lines = table.render().splitlines()
+    # All data lines have the same width because cells are padded.
+    assert len(lines[1]) == len(lines[2]) == len(lines[3])

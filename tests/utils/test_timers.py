@@ -1,0 +1,73 @@
+"""Tests for wall-clock timers."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import StageTimer, Timer
+
+
+def test_timer_accumulates_elapsed_time():
+    timer = Timer()
+    timer.start()
+    time.sleep(0.01)
+    first = timer.stop()
+    assert first > 0.0
+    timer.start()
+    timer.stop()
+    assert timer.elapsed >= first
+
+
+def test_timer_cannot_start_twice():
+    timer = Timer().start()
+    with pytest.raises(RuntimeError):
+        timer.start()
+    timer.stop()
+
+
+def test_timer_cannot_stop_when_not_running():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+def test_timer_context_manager():
+    timer = Timer()
+    with timer:
+        time.sleep(0.001)
+    assert not timer.running
+    assert timer.elapsed > 0.0
+
+
+def test_timer_reset():
+    timer = Timer()
+    with timer:
+        pass
+    timer.reset()
+    assert timer.elapsed == 0.0
+
+
+def test_stage_timer_measures_named_stages():
+    stages = StageTimer()
+    with stages.measure("clustering"):
+        time.sleep(0.001)
+    with stages.measure("generation"):
+        pass
+    elapsed = stages.elapsed()
+    assert set(elapsed) == {"clustering", "generation"}
+    assert elapsed["clustering"] > 0.0
+    assert stages.total() == pytest.approx(sum(elapsed.values()))
+
+
+def test_stage_timer_merge_adds_totals():
+    first = StageTimer()
+    second = StageTimer()
+    with first.measure("a"):
+        time.sleep(0.001)
+    with second.measure("a"):
+        time.sleep(0.001)
+    with second.measure("b"):
+        pass
+    before = first.elapsed()["a"]
+    first.merge(second)
+    assert first.elapsed()["a"] > before
+    assert "b" in first.elapsed()

@@ -1,0 +1,119 @@
+"""Tests for the synthetic repository generator and name perturbation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.schema.stats import RepositoryStatistics
+from repro.schema.validation import validate_repository
+from repro.utils.rng import SeededRandom
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+from repro.workload.vocabulary import DOMAINS, NamePerturber, domain_by_name
+
+
+class TestProfileValidation:
+    def test_defaults_are_valid(self):
+        RepositoryProfile()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"target_node_count": 0},
+            {"min_tree_size": 50, "max_tree_size": 10},
+            {"max_depth": 0},
+            {"max_fanout": 0},
+            {"fanout_geometric_p": 0.0},
+            {"attribute_probability": 1.5},
+            {"perturbation_strength": -1.0},
+            {"domains": ()},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            RepositoryProfile(**kwargs)
+
+    def test_scaled_profile_keeps_shape(self):
+        base = RepositoryProfile(target_node_count=5000, seed=3)
+        scaled = base.scaled(1000)
+        assert scaled.target_node_count == 1000
+        assert scaled.seed == base.seed
+        assert scaled.min_tree_size == base.min_tree_size
+
+
+class TestGeneration:
+    def test_repository_is_structurally_valid(self, synthetic_repository):
+        validate_repository(synthetic_repository)
+
+    def test_size_close_to_target(self, synthetic_repository):
+        target = 1200
+        assert target <= synthetic_repository.node_count <= target + 120
+
+    def test_tree_sizes_respect_profile_bounds(self, synthetic_repository):
+        for tree in synthetic_repository.trees():
+            assert tree.node_count <= 90
+
+    def test_generation_is_deterministic(self):
+        profile = RepositoryProfile(target_node_count=600, seed=77)
+        first = RepositoryGenerator(profile).generate()
+        second = RepositoryGenerator(profile).generate()
+        assert first.node_count == second.node_count
+        assert [t.node_count for t in first.trees()] == [t.node_count for t in second.trees()]
+        assert [n.name for _, n in first.iter_nodes()] == [n.name for _, n in second.iter_nodes()]
+
+    def test_different_seeds_differ(self):
+        first = RepositoryGenerator(RepositoryProfile(target_node_count=600, seed=1)).generate()
+        second = RepositoryGenerator(RepositoryProfile(target_node_count=600, seed=2)).generate()
+        assert [n.name for _, n in first.iter_nodes()] != [n.name for _, n in second.iter_nodes()]
+
+    def test_contains_contact_vocabulary(self, synthetic_repository):
+        names = {node.name.lower() for _, node in synthetic_repository.iter_nodes()}
+        # Contact blocks guarantee candidates for the paper's personal schema.
+        assert any("name" in name for name in names)
+        assert any("addr" in name or "location" in name for name in names)
+
+    def test_statistics_are_realistic(self, synthetic_repository):
+        stats = RepositoryStatistics.of(synthetic_repository)
+        assert stats.tree_count >= 10
+        assert 2 <= stats.average_tree_size <= 90
+        assert stats.max_height <= 7
+        assert stats.distinct_names >= 50
+        assert stats.attribute_count > 0
+
+
+class TestVocabulary:
+    def test_domain_lookup(self):
+        assert domain_by_name("library").name == "library"
+        with pytest.raises(WorkloadError):
+            domain_by_name("unknown-domain")
+
+    def test_all_domains_have_vocabulary(self):
+        for domain in DOMAINS:
+            assert domain.roots and domain.containers and domain.leaves
+            assert 0.0 <= domain.contact_block_probability <= 1.0
+
+
+class TestNamePerturber:
+    def test_deterministic_for_same_seed(self):
+        first = NamePerturber(SeededRandom(9))
+        second = NamePerturber(SeededRandom(9))
+        names = ["address", "authorName", "price", "customer"] * 5
+        assert [first.perturb(n) for n in names] == [second.perturb(n) for n in names]
+
+    def test_zero_probabilities_are_identity(self):
+        perturber = NamePerturber(
+            SeededRandom(1),
+            abbreviation_probability=0.0,
+            synonym_probability=0.0,
+            style_probability=0.0,
+            suffix_probability=0.0,
+            typo_probability=0.0,
+        )
+        assert perturber.perturb("authorName") == "authorName"
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(WorkloadError):
+            NamePerturber(SeededRandom(1), typo_probability=2.0)
+
+    def test_style_toggle_round_trips_shapes(self):
+        perturber = NamePerturber(SeededRandom(1))
+        assert perturber._toggle_style("author_name") == "authorName"
+        assert perturber._toggle_style("authorName") == "author_name"

@@ -1,0 +1,95 @@
+"""Tests for personal-schema builders, the bundled corpus and repository sampling."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.schema.validation import validate_repository, validate_tree
+from repro.workload.corpus import bundled_corpus_documents, load_bundled_corpus
+from repro.workload.personal import (
+    book_personal_schema,
+    contact_personal_schema,
+    paper_personal_schema,
+    publication_personal_schema,
+    purchase_personal_schema,
+)
+from repro.workload.sampling import sample_repository
+
+
+class TestPersonalSchemas:
+    def test_paper_schema_shape(self):
+        schema = paper_personal_schema()
+        assert schema.node_count == 3
+        assert schema.edge_count == 2
+        assert schema.root.name == "name"
+        assert sorted(schema.names()) == ["address", "email", "name"]
+
+    def test_book_schema_matches_fig1(self):
+        schema = book_personal_schema()
+        assert schema.root.name == "book"
+        assert sorted(schema.names()) == ["author", "book", "title"]
+
+    @pytest.mark.parametrize(
+        "builder, expected_nodes",
+        [
+            (contact_personal_schema, 4),
+            (publication_personal_schema, 5),
+            (purchase_personal_schema, 6),
+        ],
+    )
+    def test_other_schemas_are_valid_trees(self, builder, expected_nodes):
+        schema = builder()
+        validate_tree(schema)
+        assert schema.node_count == expected_nodes
+
+
+class TestBundledCorpus:
+    def test_documents_cover_both_formats(self):
+        documents = bundled_corpus_documents()
+        formats = {fmt for fmt, _ in documents.values()}
+        assert formats == {"dtd", "xsd"}
+        assert len(documents) >= 5
+
+    def test_corpus_loads_into_valid_repository(self):
+        repository = load_bundled_corpus()
+        validate_repository(repository)
+        assert repository.tree_count >= 6
+        assert repository.node_count >= 60
+
+    def test_corpus_contains_contact_like_elements(self):
+        repository = load_bundled_corpus()
+        names = {node.name.lower() for _, node in repository.iter_nodes()}
+        assert "name" in names or "fullname" in names
+        assert any("mail" in name for name in names)
+        assert any("addr" in name or "location" in name for name in names)
+
+
+class TestSampling:
+    def test_sample_reaches_target(self, synthetic_repository):
+        sample = sample_repository(synthetic_repository, target_node_count=400, seed=3)
+        validate_repository(sample)
+        assert sample.node_count >= 400
+        # Overshoot is bounded by one tree.
+        largest = max(tree.node_count for tree in synthetic_repository.trees())
+        assert sample.node_count <= 400 + largest
+
+    def test_sample_is_deterministic(self, synthetic_repository):
+        first = sample_repository(synthetic_repository, 300, seed=5)
+        second = sample_repository(synthetic_repository, 300, seed=5)
+        assert [t.name for t in first.trees()] == [t.name for t in second.trees()]
+
+    def test_sample_clones_trees(self, synthetic_repository):
+        sample = sample_repository(synthetic_repository, 200, seed=1)
+        for tree in sample.trees():
+            assert tree is not synthetic_repository.tree(0)
+
+    def test_sampling_whole_repository_when_target_exceeds_size(self, synthetic_repository):
+        sample = sample_repository(synthetic_repository, 10**9, seed=1)
+        assert sample.tree_count == synthetic_repository.tree_count
+
+    def test_invalid_arguments(self, synthetic_repository):
+        from repro.schema.repository import SchemaRepository
+
+        with pytest.raises(WorkloadError):
+            sample_repository(synthetic_repository, 0)
+        with pytest.raises(WorkloadError):
+            sample_repository(SchemaRepository("empty"), 10)
