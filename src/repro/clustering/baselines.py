@@ -41,7 +41,7 @@ class TreeClusterer(Clusterer):
         started = time.perf_counter()
         counters = CounterSet()
         by_tree: Dict[int, set] = {}
-        for element in candidates.all_elements():
+        for element in candidates.iter_all_elements():
             by_tree.setdefault(element.ref.tree_id, set()).add(element.ref)
 
         clusters = ClusterSet()
@@ -113,14 +113,14 @@ class FragmentClusterer(Clusterer):
         counters = CounterSet()
 
         # Fragment only the trees that actually contain mapping elements.
-        trees_with_elements = {element.ref.tree_id for element in candidates.all_elements()}
+        trees_with_elements = {element.ref.tree_id for element in candidates.iter_all_elements()}
         fragment_of: Dict[int, Dict[int, int]] = {}
         for tree_id in trees_with_elements:
             fragment_of[tree_id] = self._fragment_tree(repository.tree(tree_id))
             counters.increment("fragmented_trees")
 
         grouped: Dict[tuple, set] = {}
-        for element in candidates.all_elements():
+        for element in candidates.iter_all_elements():
             key = (element.ref.tree_id, fragment_of[element.ref.tree_id][element.ref.node_id])
             grouped.setdefault(key, set()).add(element.ref)
 

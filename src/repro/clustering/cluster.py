@@ -71,7 +71,7 @@ class Cluster:
     def mapping_elements(self, candidates: MappingElementSets) -> List[MappingElement]:
         """All mapping elements (personal node, repository node) falling in this cluster."""
         member_ids = self.member_global_ids()
-        return [element for element in candidates.all_elements() if element.ref.global_id in member_ids]
+        return [element for element in candidates.iter_all_elements() if element.ref.global_id in member_ids]
 
     def mapping_element_count(self, candidates: MappingElementSets) -> int:
         """Number of mapping elements in the cluster (Fig. 4's cluster size)."""

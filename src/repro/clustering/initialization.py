@@ -78,7 +78,7 @@ class RandomInitializer(CentroidInitializer):
         repository: SchemaRepository,
     ) -> List[RepositoryNodeRef]:
         unique: Dict[int, RepositoryNodeRef] = {
-            element.ref.global_id: element.ref for element in candidates.all_elements()
+            element.ref.global_id: element.ref for element in candidates.iter_all_elements()
         }
         refs = [unique[global_id] for global_id in sorted(unique)]
         if not refs:
@@ -110,7 +110,7 @@ class PerTreeInitializer(CentroidInitializer):
         repository: SchemaRepository,
     ) -> List[RepositoryNodeRef]:
         by_tree: Dict[int, Dict[int, RepositoryNodeRef]] = {}
-        for element in candidates.all_elements():
+        for element in candidates.iter_all_elements():
             by_tree.setdefault(element.ref.tree_id, {})[element.ref.global_id] = element.ref
         if not by_tree:
             raise ClusteringError("no mapping elements to seed centroids from")

@@ -126,7 +126,7 @@ class KMeansClusterer(Clusterer):
         # belong to the same cluster, so clustering the distinct nodes is
         # equivalent and cheaper.
         items: Dict[int, RepositoryNodeRef] = {
-            element.ref.global_id: element.ref for element in candidates.all_elements()
+            element.ref.global_id: element.ref for element in candidates.iter_all_elements()
         }
         item_list = [items[global_id] for global_id in sorted(items)]
         counters.set("clustered_items", len(item_list))

@@ -16,6 +16,7 @@ from repro.matchers.selection import MappingElementSelector, MappingElementSets
 from repro.objective.bellflower import BellflowerObjective
 from repro.schema.repository import SchemaRepository
 from repro.schema.tree import SchemaTree
+from repro.utils.counters import CounterSet
 from repro.workload.generator import RepositoryGenerator, RepositoryProfile
 from repro.workload.personal import paper_personal_schema
 
@@ -80,6 +81,7 @@ class ExperimentWorkload:
     repository: SchemaRepository
     personal_schema: SchemaTree
     candidates: MappingElementSets
+    element_counters: CounterSet = field(default_factory=CounterSet)
 
     @property
     def mapping_element_count(self) -> int:
@@ -89,16 +91,29 @@ class ExperimentWorkload:
 def build_workload(
     config: Optional[ExperimentConfig] = None,
     personal_schema: Optional[SchemaTree] = None,
+    use_batch: Optional[bool] = None,
 ) -> ExperimentWorkload:
-    """Generate the repository and run element matching once."""
+    """Generate the repository and run element matching once.
+
+    The element stage runs through the batch (indexed) selector by default;
+    ``use_batch=False`` forces the naive per-pair scan (the two are
+    output-identical, so every experiment sees the same candidates either
+    way).  The stage's counters — including the batch path's
+    ``comparisons_pruned`` and ``index_hits`` — are kept on the workload for
+    reports and benchmarks.
+    """
     config = config or ExperimentConfig.paper_scale()
     repository = RepositoryGenerator(config.repository_profile()).generate()
     schema = personal_schema or paper_personal_schema()
-    selector = MappingElementSelector(FuzzyNameMatcher(), threshold=config.element_threshold)
-    candidates = selector.select(schema, repository)
+    selector = MappingElementSelector(
+        FuzzyNameMatcher(), threshold=config.element_threshold, use_batch=use_batch
+    )
+    counters = CounterSet()
+    candidates = selector.select(schema, repository, counters=counters)
     return ExperimentWorkload(
         config=config,
         repository=repository,
         personal_schema=schema,
         candidates=candidates,
+        element_counters=counters,
     )

@@ -40,21 +40,26 @@ class TreeDistanceOracle:
 
     def _build_euler_tour(self) -> None:
         # Iterative Euler tour: every time a node is entered or returned to
-        # after a child, it is appended to the tour.
+        # after a child, it is appended to the tour.  Depths are carried on the
+        # stack so the tour never re-queries the tree per entry (a tour has
+        # 2n - 1 entries, and each depth lookup used to cost a bounds-checked
+        # method call).
         tree = self.tree
-        stack: List[Tuple[int, int]] = [(tree.root_id, 0)]
+        stack: List[Tuple[int, int, int]] = [(tree.root_id, 0, 0)]
         children_cache: Dict[int, List[int]] = {}
         while stack:
-            node_id, child_index = stack.pop()
+            node_id, child_index, depth = stack.pop()
             if child_index == 0:
                 if self._first_occurrence[node_id] == -1:
                     self._first_occurrence[node_id] = len(self._euler_nodes)
             self._euler_nodes.append(node_id)
-            self._euler_depths.append(tree.depth(node_id))
-            children = children_cache.setdefault(node_id, tree.children_ids(node_id))
+            self._euler_depths.append(depth)
+            children = children_cache.get(node_id)
+            if children is None:
+                children = children_cache[node_id] = tree.children_ids(node_id)
             if child_index < len(children):
-                stack.append((node_id, child_index + 1))
-                stack.append((children[child_index], 0))
+                stack.append((node_id, child_index + 1, depth))
+                stack.append((children[child_index], 0, depth + 1))
 
     # -- queries -------------------------------------------------------------
 

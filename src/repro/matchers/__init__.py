@@ -15,12 +15,14 @@ Fig. 2 architecture is available: token/synonym name matching (COMA-style),
 data-type compatibility, and structural context matching (Cupid-style).
 """
 
-from repro.matchers.base import ElementMatcher, MatchContext
+from repro.matchers.base import BatchElementMatcher, ElementMatcher, MatchContext
 from repro.matchers.combiner import AverageCombiner, MatcherCombination, MaxCombiner, WeightedCombiner
 from repro.matchers.datatype import DataTypeMatcher
-from repro.matchers.name import FuzzyNameMatcher, TokenNameMatcher
+from repro.matchers.index import LRUMemo, RepositoryNameIndex
+from repro.matchers.name import FuzzyNameMatcher, NGramNameMatcher, TokenNameMatcher
 from repro.matchers.selection import MappingElement, MappingElementSelector, MappingElementSets
 from repro.matchers.string_metrics import (
+    bounded_damerau_levenshtein,
     damerau_levenshtein_distance,
     fuzzy_similarity,
     jaro_winkler_similarity,
@@ -33,19 +35,24 @@ from repro.matchers.tokenize import expand_abbreviations, normalize_name, tokeni
 
 __all__ = [
     "AverageCombiner",
+    "BatchElementMatcher",
     "DataTypeMatcher",
     "ElementMatcher",
     "FuzzyNameMatcher",
+    "LRUMemo",
     "MappingElement",
     "MappingElementSelector",
     "MappingElementSets",
     "MatchContext",
     "MatcherCombination",
     "MaxCombiner",
+    "NGramNameMatcher",
+    "RepositoryNameIndex",
     "StructuralContextMatcher",
     "SynonymDictionary",
     "TokenNameMatcher",
     "WeightedCombiner",
+    "bounded_damerau_levenshtein",
     "damerau_levenshtein_distance",
     "default_synonyms",
     "expand_abbreviations",

@@ -10,11 +10,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.schema.node import SchemaNode
 from repro.schema.repository import RepositoryNodeRef, SchemaRepository
 from repro.schema.tree import SchemaTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.matchers.index import RepositoryNameIndex
+    from repro.utils.counters import CounterSet
 
 
 @dataclass(frozen=True)
@@ -78,3 +82,50 @@ class ElementMatcher(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BatchElementMatcher(ElementMatcher):
+    """An element matcher that can score a personal node against a whole
+    repository through a :class:`~repro.matchers.index.RepositoryNameIndex`.
+
+    Name-based (localized) matchers depend on the two nodes only through their
+    names, so a matching run can score each *unique* repository name once and
+    fan the score out to every node sharing the name.
+    :class:`~repro.matchers.selection.MappingElementSelector` dispatches to
+    :meth:`batch_scores` when a matcher subclasses this interface (and
+    ``supports_batch`` is true); the resulting mapping-element sets are
+    required to be identical — same pairs, same similarity floats — to the
+    per-pair loop over :meth:`ElementMatcher.similarity`.
+    """
+
+    #: Subclasses may turn this into a property when batch support depends on
+    #: configuration (e.g. an n-gram size the shared index does not carry).
+    supports_batch: bool = True
+
+    @abc.abstractmethod
+    def name_index(self, repository: SchemaRepository) -> "RepositoryNameIndex":
+        """The (cached) repository name index this matcher scores against.
+
+        Matchers choose the case mode here: a case-insensitive matcher indexes
+        folded names, a case-sensitive one indexes raw names.
+        """
+
+    @abc.abstractmethod
+    def batch_scores(
+        self,
+        personal_name: str,
+        index: "RepositoryNameIndex",
+        threshold: float,
+        counters: Optional["CounterSet"] = None,
+    ) -> Mapping[int, float]:
+        """Similarity per surviving index name id for one personal name.
+
+        The returned mapping must contain every name id whose similarity is
+        ``>= threshold`` *and* ``> 0`` (with its exact score, equal to what
+        :meth:`ElementMatcher.similarity` would produce) — exact-zero scores
+        never become mapping elements and may be dropped, mirroring the naive
+        loop's ``score >= threshold and score > 0.0`` filter; ids scoring
+        below the threshold may be omitted or included — the selector
+        re-applies the threshold test either way.  Implementations update the
+        ``comparisons_pruned`` / ``index_hits`` counters when given.
+        """

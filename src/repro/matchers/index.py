@@ -1,0 +1,274 @@
+"""Repository name index and lossless candidate blocking for batch matching.
+
+Element matching is the pipeline's hottest path: the naive selector runs one
+string comparison per (personal node, repository node) pair.  Web-harvested
+repositories repeat element names heavily, so this module deduplicates the
+work at the *name* level: :class:`RepositoryNameIndex` groups repository nodes
+by (optionally case-folded) name, each unique ``(personal name, repository
+name)`` pair is scored once and fanned out to every node sharing the name, and
+a trigram/length prefilter removes names that provably cannot clear the
+selection threshold before any edit-distance DP runs.
+
+Prefilter invariants (losslessness proof sketch)
+------------------------------------------------
+
+The selector keeps a pair when ``sim(a, b) = 1 - d(a, b) / max(|a|, |b|)`` is
+at least the threshold ``t``, where ``d`` is the unrestricted
+Damerau–Levenshtein distance.  Both filters are derived from the per-pair edit
+budget ``limit = edit_budget(t, max(|a|, |b|)) = int((1 - t) * max(|a|, |b|)) + 1``
+(the same helper the kernel path in ``fuzzy_similarity`` uses), which satisfies
+``limit > (1 - t) * max(|a|, |b|)``; hence ``sim(a, b) >= t`` implies
+``d(a, b) <= limit`` with at least one full edit operation of slack, so no
+floating-point rounding of the threshold comparison can be affected.
+
+1. **Length bound** — every edit operation changes the string length by at
+   most one, so ``d(a, b) >= ||a| - |b||``.  Names whose length difference
+   exceeds ``limit`` cannot score ``>= t`` and are pruned without scoring.
+
+2. **Trigram bound** — let ``G(x)`` be the set of padded character trigrams of
+   ``x`` (:func:`~repro.matchers.string_metrics._ngrams` with ``size=3``).  A
+   single Levenshtein operation destroys at most ``q = 3`` padded q-gram
+   occurrences (the grams overlapping the edited position), and a
+   Damerau–Levenshtein script of cost ``d`` can be rewritten as a Levenshtein
+   script of cost at most ``2 d`` (each transposition step of cost ``c``
+   becomes at most ``c + 1 <= 2 c`` substitutions/insertions/deletions).  A
+   trigram of ``a`` that appears nowhere in ``b`` must have had every one of
+   its occurrences destroyed, so the number of *distinct* trigrams of ``a``
+   missing from ``b`` is at most ``2 q d``.  Therefore
+   ``d(a, b) <= limit`` implies
+   ``|G(a) ∩ G(b)| >= |G(a)| - 2 q * limit``, and a name can be pruned when
+   its posting-list overlap count falls below that bound.  When the bound is
+   ``<= 0`` nothing is pruned (the filter degrades gracefully instead of
+   dropping candidates).
+
+Both filters only ever *remove* pairs whose similarity is provably below the
+threshold, so the batch path's surviving pairs — and, because the survivors
+are scored with the exact kernel — the resulting ``MappingElementSets`` are
+identical to the naive all-pairs loop.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.matchers.string_metrics import _ngrams, edit_budget
+
+#: Size of the character q-grams in the blocking index (padded trigrams).
+_GRAM_SIZE = 3
+
+#: Distinct query q-grams that one unit of Damerau–Levenshtein cost can make
+#: disappear (see the module docstring's proof sketch): ``2 * gram size``.
+#: Derived, not hardcoded — the prefilter's losslessness depends on the two
+#: staying in lockstep.
+_GRAM_SLACK_PER_EDIT = 2 * _GRAM_SIZE
+
+_VERSION_COUNTER = itertools.count(1)
+
+
+class LRUMemo:
+    """A tiny bounded least-recently-used memo (insertion-ordered dict based).
+
+    Batch matchers use it to reuse per-query score tables across personal
+    schemas — the paper's repeated-query / heavy-traffic scenario — without
+    unbounded growth on adversarial workloads.  A lock guards the recency
+    bookkeeping so matchers can be shared across concurrent matching runs
+    (the memo ops are rare next to the kernel work they save).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ValueError(f"memo capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class RepositoryNameIndex:
+    """Repository nodes grouped by (case-folded) name, with blocking indexes.
+
+    The index stores, per unique name key:
+
+    * the list of :class:`RepositoryNodeRef` sharing the name, in global-id
+      order (so fanned-out mapping elements sort exactly like the naive scan);
+    * a length bucket (for the length-difference bound);
+    * trigram posting lists (for the overlap bound).
+
+    Instances are immutable snapshots; ``version`` is a process-unique token
+    used as a memo key, and ``node_count`` lets caches detect a repository
+    that has grown since the index was built.
+    """
+
+    gram_size = _GRAM_SIZE
+
+    def __init__(self, repository: SchemaRepository, case_sensitive: bool = False) -> None:
+        self.case_sensitive = case_sensitive
+        self.version = next(_VERSION_COUNTER)
+        self.node_count = repository.node_count
+        keys: List[str] = []
+        refs: List[List[RepositoryNodeRef]] = []
+        key_to_id: Dict[str, int] = {}
+        for ref, node in repository.iter_nodes():
+            key = node.name if case_sensitive else node.name.lower()
+            name_id = key_to_id.get(key)
+            if name_id is None:
+                key_to_id[key] = len(keys)
+                keys.append(key)
+                refs.append([ref])
+            else:
+                refs[name_id].append(ref)
+        self.keys = keys
+        self._refs = refs
+        self._key_to_id = key_to_id
+
+        # The blocking structures (length buckets + trigram posting lists) are
+        # only needed by the fuzzy/n-gram prefilter paths; exact-name lookups
+        # (find_by_name) and the token matcher never read them, so they are
+        # built lazily on first use.
+        self._ids_by_length: Optional[Dict[int, List[int]]] = None
+        self._pairs_by_length: Dict[int, int] = {}
+        self._gram_counts: List[int] = []
+        self._postings: Dict[str, List[int]] = {}
+
+    def _ensure_blocking(self) -> Dict[int, List[int]]:
+        ids_by_length = self._ids_by_length
+        if ids_by_length is not None:
+            return ids_by_length
+        ids_by_length = {}
+        pairs_by_length: Dict[int, int] = {}
+        gram_counts: List[int] = []
+        postings: Dict[str, List[int]] = {}
+        refs = self._refs
+        for name_id, key in enumerate(self.keys):
+            length = len(key)
+            ids_by_length.setdefault(length, []).append(name_id)
+            pairs_by_length[length] = pairs_by_length.get(length, 0) + len(refs[name_id])
+            grams = _ngrams(key, self.gram_size)
+            gram_counts.append(len(grams))
+            for gram in grams:
+                postings.setdefault(gram, []).append(name_id)
+        self._pairs_by_length = pairs_by_length
+        self._gram_counts = gram_counts
+        self._postings = postings
+        self._ids_by_length = ids_by_length
+        return ids_by_length
+
+    # -- construction / caching -------------------------------------------------
+
+    @classmethod
+    def for_repository(
+        cls, repository: SchemaRepository, case_sensitive: bool = False
+    ) -> "RepositoryNameIndex":
+        """The repository's cached index, (re)built when the repository grew.
+
+        The cache lives on the repository object itself (one entry per case
+        mode) and is invalidated by :meth:`SchemaRepository.add_tree`.
+        """
+        cache = repository._name_index_cache
+        key = bool(case_sensitive)
+        index = cache.get(key)
+        if index is None or index.node_count != repository.node_count:
+            index = cls(repository, case_sensitive=case_sensitive)
+            cache[key] = index
+        return index
+
+    # -- lookups ----------------------------------------------------------------
+
+    @property
+    def unique_name_count(self) -> int:
+        return len(self.keys)
+
+    def id_for(self, key: str) -> Optional[int]:
+        """Name id of an exact (already folded) name key, or ``None``."""
+        return self._key_to_id.get(key)
+
+    def refs_for_id(self, name_id: int) -> List[RepositoryNodeRef]:
+        """Node refs sharing a name, in global-id order (treat as read-only)."""
+        return self._refs[name_id]
+
+    def fanout(self, name_id: int) -> int:
+        return len(self._refs[name_id])
+
+    def gram_count(self, name_id: int) -> int:
+        self._ensure_blocking()
+        return self._gram_counts[name_id]
+
+    def query_grams(self, query: str):
+        """Padded trigram set of a (folded) query string."""
+        return _ngrams(query, self.gram_size)
+
+    def gram_overlap_counts(self, query_grams) -> Dict[int, int]:
+        """``name_id -> |G(query) ∩ G(name)|`` for names sharing any trigram."""
+        self._ensure_blocking()
+        counts: Dict[int, int] = {}
+        postings = self._postings
+        get = counts.get
+        for gram in query_grams:
+            for name_id in postings.get(gram, ()):
+                counts[name_id] = get(name_id, 0) + 1
+        return counts
+
+    # -- fuzzy-name blocking -----------------------------------------------------
+
+    def fuzzy_candidates(self, query: str, threshold: float) -> Tuple[List[int], int]:
+        """Name ids that may score ``>= threshold`` against ``query``.
+
+        Applies the length-difference bound and the trigram overlap bound from
+        the module docstring; both are lossless, so every name scoring at or
+        above the threshold survives.  Returns ``(surviving name ids,
+        pruned pair count)`` where the pair count weights each pruned name by
+        its node fanout (for the ``comparisons_pruned`` counter).
+        """
+        ids_by_length = self._ensure_blocking()
+        query_length = len(query)
+        query_grams = self.query_grams(query) if threshold > 0.0 else ()
+        query_gram_count = len(query_grams)
+
+        survivors: List[int] = []
+        pruned_pairs = 0
+        # The posting-list scan is only paid for once some length bucket can
+        # actually use the trigram bound (``min_overlap > 0`` needs a high
+        # threshold); at typical thresholds the length bound does all the
+        # pruning and the overlap counts would be discarded unread.
+        counts: Optional[Dict[int, int]] = None
+        for length, name_ids in ids_by_length.items():
+            longest = length if length > query_length else query_length
+            limit = edit_budget(threshold, longest)
+            if abs(length - query_length) > limit:
+                pruned_pairs += self._pairs_by_length[length]
+                continue
+            min_overlap = query_gram_count - limit * _GRAM_SLACK_PER_EDIT
+            if min_overlap > 0:
+                if counts is None:
+                    counts = self.gram_overlap_counts(query_grams)
+                counts_get = counts.get
+                for name_id in name_ids:
+                    if counts_get(name_id, 0) < min_overlap:
+                        pruned_pairs += len(self._refs[name_id])
+                    else:
+                        survivors.append(name_id)
+            else:
+                survivors.extend(name_ids)
+        return survivors, pruned_pairs

@@ -8,21 +8,35 @@ abbreviations expanded and tokens aligned greedily, with an optional synonym
 dictionary granting full credit to synonymous tokens.  It is not needed to
 reproduce the paper's numbers but completes the Fig. 2 architecture and is used
 by the ablation benchmarks.
+
+:class:`NGramNameMatcher` scores names by the Dice coefficient over padded
+character trigrams, the classic blocking-friendly measure from the
+approximate-string-join literature.
+
+All three are :class:`~repro.matchers.base.BatchElementMatcher`\\ s: they score
+each *unique* repository name once per personal name (fanning the score out to
+every node sharing the name through the
+:class:`~repro.matchers.index.RepositoryNameIndex`), memoize per-query score
+tables across personal schemas, and — where the metric admits a lossless bound
+— prune candidates before running any dynamic program.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import MatcherError
-from repro.matchers.base import ElementMatcher, MatchContext
-from repro.matchers.string_metrics import fuzzy_similarity
+from repro.matchers.base import BatchElementMatcher, MatchContext
+from repro.matchers.index import LRUMemo, RepositoryNameIndex
+from repro.matchers.string_metrics import _ngrams, fuzzy_similarity, ngram_similarity
 from repro.matchers.synonyms import SynonymDictionary
 from repro.matchers.tokenize import expand_abbreviations, tokenize_name
 from repro.schema.node import SchemaNode
+from repro.schema.repository import SchemaRepository
+from repro.utils.counters import CounterSet
 
 
-class FuzzyNameMatcher(ElementMatcher):
+class FuzzyNameMatcher(BatchElementMatcher):
     """Bellflower's ``sim(n, n')``: normalized fuzzy similarity of element names.
 
     Parameters
@@ -35,17 +49,28 @@ class FuzzyNameMatcher(ElementMatcher):
         node name against every repository name, and repositories repeat names
         heavily; the cache is bounded to avoid unbounded growth on adversarial
         inputs.
+    memo_size:
+        Batch queries additionally memoize the whole per-query score table
+        (keyed by index version, query name and threshold), which serves the
+        repeated-query scenario — many personal schemas probing one repository
+        — without recomputing a single kernel call.
     """
 
     name = "fuzzy-name"
     is_structural = False
 
-    def __init__(self, case_sensitive: bool = False, cache_size: int = 200_000) -> None:
+    def __init__(
+        self,
+        case_sensitive: bool = False,
+        cache_size: int = 200_000,
+        memo_size: int = 4096,
+    ) -> None:
         if cache_size < 0:
             raise MatcherError("cache_size must be non-negative")
         self.case_sensitive = case_sensitive
         self._cache_size = cache_size
         self._cache: Dict[Tuple[str, str], float] = {}
+        self._batch_memo = LRUMemo(memo_size)
 
     def similarity(
         self,
@@ -64,8 +89,46 @@ class FuzzyNameMatcher(ElementMatcher):
             self._cache[key] = score
         return score
 
+    # -- batch interface ---------------------------------------------------------
 
-class TokenNameMatcher(ElementMatcher):
+    def name_index(self, repository: SchemaRepository) -> RepositoryNameIndex:
+        return RepositoryNameIndex.for_repository(repository, case_sensitive=self.case_sensitive)
+
+    def batch_scores(
+        self,
+        personal_name: str,
+        index: RepositoryNameIndex,
+        threshold: float,
+        counters: Optional[CounterSet] = None,
+    ) -> Mapping[int, float]:
+        query = personal_name if self.case_sensitive else personal_name.lower()
+        memo_key = (index.version, query, threshold)
+        cached = self._batch_memo.get(memo_key)
+        if cached is not None:
+            if counters is not None:
+                counters.increment("index_hits", index.node_count)
+            return cached
+
+        candidate_ids, pruned_pairs = index.fuzzy_candidates(query, threshold)
+        keys = index.keys
+        scores: Dict[int, float] = {}
+        kernel_runs = 0
+        for name_id in candidate_ids:
+            kernel_runs += 1
+            score = fuzzy_similarity(
+                query, keys[name_id], case_sensitive=True, min_similarity=threshold
+            )
+            if score > 0.0:
+                scores[name_id] = score
+        if counters is not None:
+            counters.increment("comparisons_pruned", pruned_pairs)
+            counters.increment("index_hits", index.node_count - pruned_pairs - kernel_runs)
+            counters.increment("similarity_kernel_calls", kernel_runs)
+        self._batch_memo.put(memo_key, scores)
+        return scores
+
+
+class TokenNameMatcher(BatchElementMatcher):
     """Token-level name matcher with abbreviation expansion and synonyms.
 
     The similarity is a greedy best-pair alignment of the two token lists: each
@@ -73,6 +136,11 @@ class TokenNameMatcher(ElementMatcher):
     other list (synonyms score 1.0, otherwise fuzzy similarity), and the mean
     alignment score is scaled by the token-count overlap so that
     ``authorName`` vs ``author`` scores high but not 1.0.
+
+    The batch path indexes *raw* names (tokenization is case-normalizing but
+    not case-invariant, so folding keys here could merge names that tokenize
+    differently); it deduplicates and memoizes but — the alignment score
+    admitting no edit-distance bound — does not prefilter.
     """
 
     name = "token-name"
@@ -83,12 +151,17 @@ class TokenNameMatcher(ElementMatcher):
         synonyms: Optional[SynonymDictionary] = None,
         expand: bool = True,
         coverage_weight: float = 0.5,
+        memo_size: int = 1024,
     ) -> None:
         if not 0.0 <= coverage_weight <= 1.0:
             raise MatcherError(f"coverage_weight must be in [0, 1], got {coverage_weight}")
         self.synonyms = synonyms
         self.expand = expand
         self.coverage_weight = coverage_weight
+        self._batch_memo = LRUMemo(memo_size)
+        # Token lists of an index's unique keys, computed once per index
+        # snapshot (keyed by version) instead of once per query.
+        self._key_tokens_memo = LRUMemo(4)
 
     def _tokens(self, name: str) -> List[str]:
         tokens = tokenize_name(name)
@@ -103,14 +176,10 @@ class TokenNameMatcher(ElementMatcher):
             return 1.0
         return fuzzy_similarity(first, second, case_sensitive=True)
 
-    def similarity(
-        self,
-        personal_node: SchemaNode,
-        repository_node: SchemaNode,
-        context: Optional[MatchContext] = None,
-    ) -> float:
-        first_tokens = self._tokens(personal_node.name)
-        second_tokens = self._tokens(repository_node.name)
+    def _score_names(self, first_name: str, second_name: str) -> float:
+        return self._score_token_lists(self._tokens(first_name), self._tokens(second_name))
+
+    def _score_token_lists(self, first_tokens: List[str], second_tokens: List[str]) -> float:
         if not first_tokens or not second_tokens:
             return 0.0
         if first_tokens == second_tokens:
@@ -134,3 +203,127 @@ class TokenNameMatcher(ElementMatcher):
         alignment = sum(alignment_scores) / len(alignment_scores)
         coverage = len(shorter) / len(longer)
         return alignment * (1.0 - self.coverage_weight + self.coverage_weight * coverage)
+
+    def similarity(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        return self._score_names(personal_node.name, repository_node.name)
+
+    # -- batch interface ---------------------------------------------------------
+
+    def name_index(self, repository: SchemaRepository) -> RepositoryNameIndex:
+        return RepositoryNameIndex.for_repository(repository, case_sensitive=True)
+
+    def batch_scores(
+        self,
+        personal_name: str,
+        index: RepositoryNameIndex,
+        threshold: float,
+        counters: Optional[CounterSet] = None,
+    ) -> Mapping[int, float]:
+        memo_key = (index.version, personal_name)
+        cached = self._batch_memo.get(memo_key)
+        if cached is not None:
+            if counters is not None:
+                counters.increment("index_hits", index.node_count)
+            return cached
+        key_tokens = self._key_tokens_memo.get(index.version)
+        if key_tokens is None:
+            key_tokens = [self._tokens(key) for key in index.keys]
+            self._key_tokens_memo.put(index.version, key_tokens)
+        query_tokens = self._tokens(personal_name)
+        scores: Dict[int, float] = {}
+        for name_id, tokens in enumerate(key_tokens):
+            score = self._score_token_lists(query_tokens, tokens)
+            if score > 0.0:
+                scores[name_id] = score
+        if counters is not None:
+            counters.increment("index_hits", index.node_count - index.unique_name_count)
+            counters.increment("similarity_kernel_calls", index.unique_name_count)
+        self._batch_memo.put(memo_key, scores)
+        return scores
+
+
+class NGramNameMatcher(BatchElementMatcher):
+    """Dice coefficient over padded character n-grams of the element names.
+
+    With the default trigrams, the batch path computes the overlap counts
+    directly from the name index's posting lists: names sharing no trigram
+    with the query have a Dice score of exactly 0 and are never materialized,
+    which makes the scan output-sensitive.  Non-default sizes fall back to the
+    per-pair loop (``supports_batch`` is false) because the shared index only
+    carries trigrams.
+    """
+
+    name = "ngram-name"
+    is_structural = False
+
+    def __init__(self, size: int = 3, case_sensitive: bool = False, memo_size: int = 4096) -> None:
+        if size < 1:
+            raise MatcherError(f"n-gram size must be positive, got {size}")
+        self.size = size
+        self.case_sensitive = case_sensitive
+        self._batch_memo = LRUMemo(memo_size)
+
+    @property
+    def supports_batch(self) -> bool:  # type: ignore[override]
+        return self.size == RepositoryNameIndex.gram_size
+
+    def similarity(
+        self,
+        personal_node: SchemaNode,
+        repository_node: SchemaNode,
+        context: Optional[MatchContext] = None,
+    ) -> float:
+        return ngram_similarity(
+            personal_node.name,
+            repository_node.name,
+            size=self.size,
+            case_sensitive=self.case_sensitive,
+        )
+
+    # -- batch interface ---------------------------------------------------------
+
+    def name_index(self, repository: SchemaRepository) -> RepositoryNameIndex:
+        return RepositoryNameIndex.for_repository(repository, case_sensitive=self.case_sensitive)
+
+    def batch_scores(
+        self,
+        personal_name: str,
+        index: RepositoryNameIndex,
+        threshold: float,
+        counters: Optional[CounterSet] = None,
+    ) -> Mapping[int, float]:
+        query = personal_name if self.case_sensitive else personal_name.lower()
+        memo_key = (index.version, query)
+        cached = self._batch_memo.get(memo_key)
+        if cached is not None:
+            if counters is not None:
+                counters.increment("index_hits", index.node_count)
+            return cached
+        query_grams = _ngrams(query, self.size)
+        counts = index.gram_overlap_counts(query_grams)
+        query_gram_count = len(query_grams)
+        scores: Dict[int, float] = {}
+        # Padding guarantees every name (the empty one included) produces at
+        # least one trigram, so an identical name always shares grams with the
+        # query and lands in ``counts`` — the equality fast path below covers
+        # ``ngram_similarity``'s ``first == second`` case exhaustively.
+        for name_id, overlap in counts.items():
+            if index.keys[name_id] == query:
+                scores[name_id] = 1.0
+                continue
+            candidate_gram_count = index.gram_count(name_id)
+            if query_gram_count and candidate_gram_count:
+                scores[name_id] = 2.0 * overlap / (query_gram_count + candidate_gram_count)
+        if counters is not None:
+            computed = len(counts)
+            zero_overlap_pairs = index.node_count - sum(index.fanout(name_id) for name_id in counts)
+            counters.increment("comparisons_pruned", zero_overlap_pairs)
+            counters.increment("index_hits", index.node_count - zero_overlap_pairs - computed)
+            counters.increment("similarity_kernel_calls", computed)
+        self._batch_memo.put(memo_key, scores)
+        return scores

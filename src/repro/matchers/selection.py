@@ -11,10 +11,10 @@ similarity indexes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import MatcherError
-from repro.matchers.base import ElementMatcher, MatchContext
+from repro.matchers.base import BatchElementMatcher, ElementMatcher, MatchContext
 from repro.schema.repository import RepositoryNodeRef, SchemaRepository
 from repro.schema.tree import SchemaTree
 from repro.utils.counters import CounterSet
@@ -59,12 +59,28 @@ class MappingElementSets:
         return list(self._sets)
 
     def elements_for(self, personal_node_id: int) -> List[MappingElement]:
-        if personal_node_id not in self._sets:
+        """The node's mapping elements, in insertion order.
+
+        Returns the live internal list (no defensive copy — this is on the hot
+        path of every clusterer and generator); callers must treat it as
+        read-only.
+        """
+        elements = self._sets.get(personal_node_id)
+        if elements is None:
             raise MatcherError(f"personal node {personal_node_id} is not part of this matching problem")
-        return list(self._sets[personal_node_id])
+        return elements
 
     def all_elements(self) -> List[MappingElement]:
+        """Every mapping element as a fresh flat list.
+
+        Prefer :meth:`iter_all_elements` on hot read paths that only iterate.
+        """
         return [element for elements in self._sets.values() for element in elements]
+
+    def iter_all_elements(self) -> Iterator[MappingElement]:
+        """Iterate over every mapping element without materializing a list."""
+        for elements in self._sets.values():
+            yield from elements
 
     def sizes(self) -> Dict[int, int]:
         """Number of mapping elements per personal node (``|MEn|``)."""
@@ -81,17 +97,20 @@ class MappingElementSets:
         """
         return min(self._sets, key=lambda node_id: (len(self._sets[node_id]), node_id))
 
-    def restrict_to_refs(self, global_ids: set[int]) -> "MappingElementSets":
+    def restrict_to_refs(self, global_ids: Set[int]) -> "MappingElementSets":
         """A copy containing only mapping elements whose repository node is in ``global_ids``.
 
         The mapping generator calls this once per cluster: the cluster's member
-        set restricts the candidate lists.
+        set restricts the candidate lists.  The copy is built by filtering the
+        already-validated, already-ordered internal lists directly — elements
+        this collection holds need no re-validation, and filtering preserves
+        their order.
         """
-        restricted = MappingElementSets(self.personal_node_ids)
-        for node_id, elements in self._sets.items():
-            for element in elements:
-                if element.ref.global_id in global_ids:
-                    restricted.add(element)
+        restricted = MappingElementSets.__new__(MappingElementSets)
+        restricted._sets = {
+            node_id: [element for element in elements if element.ref.global_id in global_ids]
+            for node_id, elements in self._sets.items()
+        }
         return restricted
 
     def is_complete(self) -> bool:
@@ -120,6 +139,16 @@ class MappingElementSelector:
     top_k:
         Optional cap on the number of candidates kept per personal node (best
         ``k`` by similarity).  ``None`` keeps everything above the threshold.
+    use_batch:
+        ``None`` (the default) dispatches to the indexed batch path whenever
+        the matcher is a :class:`BatchElementMatcher`; ``False`` forces the
+        exact per-pair loop (useful for benchmarking and equivalence tests);
+        ``True`` requires batch support and raises when the matcher has none.
+        Both paths produce identical mapping-element sets and identical
+        ``element_comparisons`` / ``mapping_elements`` counters; the batch
+        path additionally reports ``comparisons_pruned`` (pairs eliminated by
+        the lossless prefilter) and ``index_hits`` (pairs answered from the
+        name index's fan-out or the cross-query memo).
     """
 
     def __init__(
@@ -127,6 +156,7 @@ class MappingElementSelector:
         matcher: ElementMatcher,
         threshold: float = 0.5,
         top_k: Optional[int] = None,
+        use_batch: Optional[bool] = None,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise MatcherError(f"selection threshold must be in [0, 1], got {threshold}")
@@ -135,6 +165,14 @@ class MappingElementSelector:
         self.matcher = matcher
         self.threshold = threshold
         self.top_k = top_k
+        self.use_batch = use_batch
+
+    def _batch_capable(self) -> bool:
+        return (
+            isinstance(self.matcher, BatchElementMatcher)
+            and bool(getattr(self.matcher, "supports_batch", False))
+            and not getattr(self.matcher, "is_structural", False)
+        )
 
     def select(
         self,
@@ -146,6 +184,13 @@ class MappingElementSelector:
         counters = counters if counters is not None else CounterSet()
         personal_ids = list(personal_schema.node_ids())
         sets = MappingElementSets(personal_ids)
+
+        if self.use_batch or (self.use_batch is None and self._batch_capable()):
+            if not self._batch_capable():
+                raise MatcherError(
+                    f"matcher {self.matcher!r} does not support batch selection"
+                )
+            return self._select_batch(personal_schema, repository, sets, personal_ids, counters)
 
         needs_context = getattr(self.matcher, "is_structural", False)
         for personal_id in personal_ids:
@@ -166,10 +211,57 @@ class MappingElementSelector:
                     candidates.append(
                         MappingElement(personal_node_id=personal_id, ref=ref, similarity=score)
                     )
-            if self.top_k is not None and len(candidates) > self.top_k:
-                candidates.sort(key=lambda element: (-element.similarity, element.ref.global_id))
-                candidates = candidates[: self.top_k]
-            for element in sorted(candidates):
-                sets.add(element)
-            counters.increment("mapping_elements", len(candidates))
+            self._keep(sets, personal_id, candidates, counters)
         return sets
+
+    def _select_batch(
+        self,
+        personal_schema: SchemaTree,
+        repository: SchemaRepository,
+        sets: MappingElementSets,
+        personal_ids: Sequence[int],
+        counters: CounterSet,
+    ) -> MappingElementSets:
+        """The indexed, deduplicated, pruned element-matching pipeline.
+
+        Each personal name is scored once per *unique* repository name (see
+        :meth:`BatchElementMatcher.batch_scores`) and the score is fanned out
+        to every node sharing the name.  The matcher's prefilter only removes
+        pairs that provably score below the threshold, and survivors carry the
+        exact similarity, so the produced sets — including ``top_k``
+        tie-breaking, which orders by ``(-similarity, global_id)`` exactly as
+        the naive loop does — are identical to the per-pair scan.
+        """
+        matcher = self.matcher
+        assert isinstance(matcher, BatchElementMatcher)
+        index = matcher.name_index(repository)
+        node_count = repository.node_count
+        threshold = self.threshold
+        for personal_id in personal_ids:
+            personal_node = personal_schema.node(personal_id)
+            scores = matcher.batch_scores(personal_node.name, index, threshold, counters)
+            counters.increment("element_comparisons", node_count)
+            candidates: List[MappingElement] = []
+            for name_id, score in scores.items():
+                if score >= threshold and score > 0.0:
+                    for ref in index.refs_for_id(name_id):
+                        candidates.append(
+                            MappingElement(personal_node_id=personal_id, ref=ref, similarity=score)
+                        )
+            self._keep(sets, personal_id, candidates, counters)
+        return sets
+
+    def _keep(
+        self,
+        sets: MappingElementSets,
+        personal_id: int,
+        candidates: List[MappingElement],
+        counters: CounterSet,
+    ) -> None:
+        """Apply the shared top-k / ordering / counting tail of both paths."""
+        if self.top_k is not None and len(candidates) > self.top_k:
+            candidates.sort(key=lambda element: (-element.similarity, element.ref.global_id))
+            candidates = candidates[: self.top_k]
+        for element in sorted(candidates):
+            sets.add(element)
+        counters.increment("mapping_elements", len(candidates))

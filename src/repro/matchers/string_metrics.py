@@ -14,7 +14,24 @@ measures.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Sequence, Set
+
+#: Barrier value used in place of per-call ``infinity`` borders.  Any value
+#: larger than every achievable edit cost behaves identically inside ``min``.
+_BIG = 1 << 30
+
+#: Per-thread reusable buffers for :func:`bounded_damerau_levenshtein`: the
+#: all-barrier border row (the DP table's row 0) and the row pool.  Reusing
+#: rows across calls removes the per-call table allocation that dominates the
+#: cost of comparing short element names; keeping the pool thread-local makes
+#: the kernel safe under concurrent matching runs.
+_KERNEL_BUFFERS = threading.local()
+
+#: Strings longer than this bypass the pooled buffers (fresh per-call rows):
+#: element names are short, and one adversarially long pair must not pin an
+#: O(len(a) * len(b)) pool for the rest of the process.
+_MAX_POOLED_LEN = 512
 
 
 def levenshtein_distance(first: str, second: str) -> int:
@@ -97,21 +114,173 @@ def damerau_levenshtein_distance(first: str, second: str) -> int:
     return table[len(first) + 1][len(second) + 1]
 
 
-def fuzzy_similarity(first: str, second: str, case_sensitive: bool = False) -> float:
+def edit_budget(threshold: float, longest: int) -> int:
+    """Per-pair Damerau–Levenshtein budget for a similarity threshold.
+
+    ``sim(a, b) >= threshold`` implies ``d(a, b) <= edit_budget(threshold,
+    max(|a|, |b|))``, with at least one full edit operation of slack
+    (``budget > (1 - threshold) * longest`` by construction), so no
+    floating-point rounding of the threshold comparison can be affected.
+
+    The trigram/length prefilter (:mod:`repro.matchers.index`) and the pruned
+    kernel path in :func:`fuzzy_similarity` must derive their limits from this
+    one helper: prefilter losslessness requires the prefilter's budget to be
+    at least the kernel's.
+    """
+    return int((1.0 - threshold) * longest) + 1
+
+
+def bounded_damerau_levenshtein(first: str, second: str, limit: int) -> int:
+    """Unrestricted Damerau–Levenshtein distance with an early-abandon budget.
+
+    Returns the *exact* distance (identical to
+    :func:`damerau_levenshtein_distance`) whenever it is ``<= limit``, and
+    ``limit + 1`` as soon as the distance provably exceeds ``limit``.  Three
+    optimizations make this the batch-matching kernel:
+
+    * **fast paths** for equal strings, empty strings, length differences
+      beyond the budget, and prefix pairs (``d(a, ab') = |b'|`` exactly,
+      because edit distance is bounded below by the length difference and
+      above by appending the missing suffix);
+    * **reusable row buffers**: the DP rows live in a thread-local pool, so a
+      matching run performs no per-call row-table allocations (only the small
+      last-match-row dict is allocated per call).
+      Every cell that a call can read is written first, so stale values from
+      earlier calls are never observed, and each thread owns its buffers;
+    * **early abandon**: after filling the row for prefix length ``i`` the
+      kernel gives up when ``min_j d(a[:i], b[:j]) > limit`` (the row minimum
+      including the ``j = 0`` border).  This is sound for the *unrestricted*
+      recurrence, transposition look-back included: a later cell derived from
+      a look-back row ``r <= i`` costs at least ``d(a[:r], b[:c]) + (i' - r)``
+      for a row ``i' > i``, and ``d(a[:i], b[:c]) <= d(a[:r], b[:c]) + (i - r)``
+      (delete the extra characters), so every such cell is bounded below by
+      the row-``i`` minimum; cells derived from rows ``> i`` follow by
+      induction because all recurrence increments are non-negative.
+    """
+    if limit < 0:
+        raise ValueError(f"edit budget must be non-negative, got {limit}")
+    if first == second:
+        return 0
+    len_first = len(first)
+    len_second = len(second)
+    if abs(len_first - len_second) > limit:
+        return limit + 1
+    if not first or not second:
+        return max(len_first, len_second)
+    if first.startswith(second) or second.startswith(first):
+        return abs(len_first - len_second)
+
+    width = len_second + 2
+    if len_first <= _MAX_POOLED_LEN and len_second <= _MAX_POOLED_LEN:
+        try:
+            border_row = _KERNEL_BUFFERS.border_row
+            row_pool = _KERNEL_BUFFERS.row_pool
+        except AttributeError:
+            border_row = _KERNEL_BUFFERS.border_row = []
+            row_pool = _KERNEL_BUFFERS.row_pool = []
+        if len(border_row) < width:
+            border_row.extend([_BIG] * (width - len(border_row)))
+        while len(row_pool) < len_first + 1:
+            row_pool.append([])
+        rows: List[List[int]] = [border_row]
+        for pooled in row_pool[: len_first + 1]:
+            if len(pooled) < width:
+                pooled.extend([0] * (width - len(pooled)))
+            rows.append(pooled)
+    else:
+        rows = [[_BIG] * width]
+        for _ in range(len_first + 1):
+            rows.append([0] * width)
+
+    row_one = rows[1]
+    row_one[0] = _BIG
+    for j in range(len_second + 1):
+        row_one[j + 1] = j
+
+    last_row: Dict[str, int] = {}
+    for i in range(1, len_first + 1):
+        first_char = first[i - 1]
+        previous = rows[i]
+        current = rows[i + 1]
+        current[0] = _BIG
+        current[1] = i
+        row_min = i
+        last_match_column = 0
+        for j in range(1, len_second + 1):
+            second_char = second[j - 1]
+            row_of_last_match = last_row.get(second_char, 0)
+            column_of_last_match = last_match_column
+            if first_char == second_char:
+                cost = 0
+                last_match_column = j
+            else:
+                cost = 1
+            value = previous[j] + cost
+            insertion = current[j] + 1
+            if insertion < value:
+                value = insertion
+            deletion = previous[j + 1] + 1
+            if deletion < value:
+                value = deletion
+            transposition = (
+                rows[row_of_last_match][column_of_last_match]
+                + (i - row_of_last_match - 1)
+                + 1
+                + (j - column_of_last_match - 1)
+            )
+            if transposition < value:
+                value = transposition
+            current[j + 1] = value
+            if value < row_min:
+                row_min = value
+        last_row[first_char] = i
+        if row_min > limit:
+            return limit + 1
+    distance = rows[len_first + 1][len_second + 1]
+    return distance if distance <= limit else limit + 1
+
+
+def fuzzy_similarity(
+    first: str,
+    second: str,
+    case_sensitive: bool = False,
+    min_similarity: float = 0.0,
+) -> float:
     """Normalized Damerau–Levenshtein similarity in ``[0, 1]``.
 
     ``1.0`` means identical strings (after optional case folding); ``0.0`` means
     the edit distance equals the longer string's length (no shared structure).
     This is the library's stand-in for the paper's ``CompareStringFuzzy``.
+
+    ``min_similarity`` is a prune hint for callers that discard scores below a
+    threshold: when the length-difference bound
+    (``distance >= |len(a) - len(b)|``) already caps the achievable similarity
+    below ``min_similarity``, the DP is skipped entirely, and otherwise the
+    pruned :func:`bounded_damerau_levenshtein` kernel runs with the matching
+    edit budget.  Scores ``>= min_similarity`` are always exact (bit-identical
+    to the default path); scores below the hint may be reported as ``0.0``.
     """
     if not case_sensitive:
         first = first.lower()
         second = second.lower()
-    if not first and not second:
+    if first == second:
         return 1.0
     longest = max(len(first), len(second))
+    shortest = min(len(first), len(second))
     if longest == 0:
         return 1.0
+    if shortest == 0:
+        # Length bound as an equality: against an empty string the distance is
+        # exactly ``longest``, which forces the normalized similarity to 0.
+        return 0.0
+    if min_similarity > 0.0:
+        if 1.0 - (longest - shortest) / longest < min_similarity:
+            return 0.0
+        limit = edit_budget(min_similarity, longest)
+        distance = bounded_damerau_levenshtein(first, second, limit)
+        if distance > limit:
+            return 0.0
+        return max(0.0, 1.0 - distance / longest)
     distance = damerau_levenshtein_distance(first, second)
     return max(0.0, 1.0 - distance / longest)
 

@@ -47,6 +47,10 @@ class SchemaRepository:
         self._trees: List[SchemaTree] = []
         self._offsets: List[int] = []
         self._total_nodes = 0
+        # Per-case-mode name indexes, built lazily by the batch element
+        # matchers (see repro.matchers.index.RepositoryNameIndex) and
+        # invalidated whenever a tree is added.
+        self._name_index_cache: Dict[bool, object] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -62,6 +66,7 @@ class SchemaRepository:
         self._trees.append(tree)
         self._offsets.append(self._total_nodes)
         self._total_nodes += tree.node_count
+        self._name_index_cache.clear()
         return tree.tree_id
 
     def add_trees(self, trees: Iterable[SchemaTree]) -> List[int]:
@@ -145,15 +150,27 @@ class SchemaRepository:
 
     # -- queries ----------------------------------------------------------------
 
+    def name_index(self, case_sensitive: bool = False):
+        """The repository's cached name index (see :mod:`repro.matchers.index`).
+
+        Groups nodes by (optionally case-folded) name for batch element
+        matching; built lazily on first use and invalidated by
+        :meth:`add_tree`.  Node names are assumed stable after insertion —
+        renaming a :class:`SchemaNode` in place is not supported and would
+        leave this index (and the matcher caches built on it) stale.  Imported
+        lazily to keep the schema layer free of a static dependency on the
+        matcher layer.
+        """
+        from repro.matchers.index import RepositoryNameIndex
+
+        return RepositoryNameIndex.for_repository(self, case_sensitive=case_sensitive)
+
     def find_by_name(self, name: str, case_sensitive: bool = False) -> List[RepositoryNodeRef]:
-        """All repository nodes with the given name."""
-        matches: List[RepositoryNodeRef] = []
+        """All repository nodes with the given name (served by the name index)."""
         target = name if case_sensitive else name.lower()
-        for ref, node in self.iter_nodes():
-            value = node.name if case_sensitive else node.name.lower()
-            if value == target:
-                matches.append(ref)
-        return matches
+        index = self.name_index(case_sensitive=case_sensitive)
+        name_id = index.id_for(target)
+        return [] if name_id is None else list(index.refs_for_id(name_id))
 
     def distance(self, first: RepositoryNodeRef, second: RepositoryNodeRef) -> Optional[int]:
         """Tree distance between two repository nodes, ``None`` across trees.

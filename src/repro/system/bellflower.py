@@ -64,6 +64,12 @@ class Bellflower:
         Minimum element similarity for a pair to become a mapping element.
     delta:
         Default objective-function threshold ``δ`` for :meth:`match`.
+    use_batch_matching:
+        Forwarded to :class:`MappingElementSelector`: ``None`` (default) uses
+        the indexed batch element-matching path whenever the matcher supports
+        it, ``False`` forces the exact per-pair scan.  Both produce identical
+        mapping elements; the batch path is several times faster on large
+        repositories.
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class Bellflower:
         element_threshold: float = 0.6,
         delta: float = 0.75,
         variant_name: Optional[str] = None,
+        use_batch_matching: Optional[bool] = None,
     ) -> None:
         if repository.tree_count == 0:
             raise ConfigurationError("Bellflower needs a non-empty schema repository")
@@ -89,6 +96,7 @@ class Bellflower:
         self.element_threshold = element_threshold
         self.delta = delta
         self.variant_name = variant_name or self.clusterer.name
+        self.use_batch_matching = use_batch_matching
         self.oracle = RepositoryDistanceOracle(repository)
 
     # -- stage 1: element matching -------------------------------------------------
@@ -97,7 +105,11 @@ class Bellflower:
         self, personal_schema: SchemaTree, counters: Optional[CounterSet] = None
     ) -> MappingElementSets:
         """Run the element matcher over (personal schema × repository)."""
-        selector = MappingElementSelector(self.matcher, threshold=self.element_threshold)
+        selector = MappingElementSelector(
+            self.matcher,
+            threshold=self.element_threshold,
+            use_batch=self.use_batch_matching,
+        )
         return selector.select(personal_schema, self.repository, counters=counters)
 
     # -- stage 2: clustering ---------------------------------------------------------

@@ -5,12 +5,16 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.matchers.string_metrics import (
+    bounded_damerau_levenshtein,
     damerau_levenshtein_distance,
     fuzzy_similarity,
     levenshtein_distance,
 )
 
 words = st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12)
+# A tiny alphabet maximizes transpositions and look-back hits, the cases where
+# the unrestricted recurrence differs from the simpler OSA variant.
+dense_words = st.text(alphabet=st.sampled_from("abc"), max_size=10)
 
 
 @given(words, words)
@@ -58,3 +62,56 @@ def test_single_edit_changes_distance_by_at_most_one(a):
     modified = a + "x"
     assert abs(levenshtein_distance(a, modified)) == 1
     assert damerau_levenshtein_distance(a, modified) == 1
+
+
+@given(words, words)
+@settings(max_examples=300, deadline=None)
+def test_bounded_kernel_equals_reference_with_loose_budget(a, b):
+    """With a budget covering the worst case, the pruned kernel is exact."""
+    limit = max(len(a), len(b))
+    assert bounded_damerau_levenshtein(a, b, limit) == damerau_levenshtein_distance(a, b)
+
+
+@given(dense_words, dense_words, st.integers(min_value=0, max_value=12))
+@settings(max_examples=500, deadline=None)
+def test_bounded_kernel_contract_under_any_budget(a, b, limit):
+    """Exact when the reference distance fits the budget, ``limit + 1`` otherwise."""
+    reference = damerau_levenshtein_distance(a, b)
+    expected = reference if reference <= limit else limit + 1
+    assert bounded_damerau_levenshtein(a, b, limit) == expected
+
+
+@given(dense_words, dense_words)
+@settings(max_examples=300, deadline=None)
+def test_bounded_kernel_handles_transposition_lookback(a, b):
+    """Unrestricted transpositions (e.g. d('ca','abc') = 2, not 3) survive pruning."""
+    reference = damerau_levenshtein_distance(a, b)
+    assert bounded_damerau_levenshtein(a, b, reference) == reference
+
+
+def test_bounded_kernel_known_unrestricted_case():
+    # The classic case separating unrestricted Damerau-Levenshtein (2) from
+    # the restricted/OSA variant (3).
+    assert damerau_levenshtein_distance("ca", "abc") == 2
+    assert bounded_damerau_levenshtein("ca", "abc", 5) == 2
+    assert bounded_damerau_levenshtein("ca", "abc", 1) == 2
+
+
+def test_bounded_kernel_rejects_negative_budget():
+    import pytest
+
+    with pytest.raises(ValueError):
+        bounded_damerau_levenshtein("a", "b", -1)
+
+
+@given(words, words, st.sampled_from([0.2, 0.5, 0.75, 0.9, 1.0]))
+@settings(max_examples=300, deadline=None)
+def test_fuzzy_similarity_min_similarity_hint_is_consistent(a, b, threshold):
+    """Scores >= the hint are exact; scores below it may collapse to 0."""
+    plain = fuzzy_similarity(a, b)
+    hinted = fuzzy_similarity(a, b, min_similarity=threshold)
+    if plain >= threshold:
+        assert hinted == plain
+    else:
+        assert hinted == plain or hinted == 0.0
+        assert hinted < threshold
