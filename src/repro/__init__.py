@@ -58,6 +58,13 @@ from repro.system import (
     preservation_curve,
     standard_variants,
 )
+from repro.service import (
+    MatchingService,
+    SerialExecutor,
+    ThreadPoolTaskExecutor,
+    load_snapshot,
+    write_snapshot,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +87,7 @@ __all__ = [
     "MappingError",
     "MatchResult",
     "MatcherError",
+    "MatchingService",
     "NodeKind",
     "ObjectiveError",
     "ReproError",
@@ -89,6 +97,8 @@ __all__ = [
     "SchemaParseError",
     "SchemaRepository",
     "SchemaTree",
+    "SerialExecutor",
+    "ThreadPoolTaskExecutor",
     "TokenNameMatcher",
     "TreeBuilder",
     "TreeClusterer",
@@ -96,8 +106,10 @@ __all__ = [
     "WorkloadError",
     "__version__",
     "clustering_variant",
+    "load_snapshot",
     "parse_dtd",
     "parse_xsd",
     "preservation_curve",
     "standard_variants",
+    "write_snapshot",
 ]

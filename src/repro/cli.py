@@ -1,6 +1,6 @@
 """Command-line interface for the Bellflower matcher.
 
-Three subcommands cover the typical usage of the library without writing code:
+Six subcommands cover the typical usage of the library without writing code:
 
 ``match``
     Match a personal schema (given as a nested JSON specification) against a
@@ -16,6 +16,20 @@ Three subcommands cover the typical usage of the library without writing code:
     Run one of the registered paper experiments (``table1``, ``figure4``,
     ``figure5``, ``figure6``, ``ablations``) and print its table.
 
+``snapshot``
+    Build a :class:`~repro.service.MatchingService` over a repository, eagerly
+    materialize all derived state (name/trigram index, distance oracles,
+    repository partition) and persist everything as one snapshot file.
+
+``query``
+    Load a snapshot and answer a single personal-schema query (what ``match``
+    does, minus rebuilding the derived state).
+
+``serve``
+    Load a snapshot and answer a stream of queries: one JSON document per
+    stdin line, one JSON result per stdout line, until EOF.  ``{"add": ...}``
+    and ``{"remove": ...}`` lines mutate the live repository incrementally.
+
 Examples
 --------
 ::
@@ -25,6 +39,11 @@ Examples
         --personal '{"book": ["title", "author"]}' --variant medium --top 5
     python -m repro.cli match --schema-dir ./schemas --personal '{"contact": ["name", "email"]}'
     python -m repro.cli experiment table1 --scale quick
+    python -m repro.cli snapshot --repository repo.json --out repo.snapshot.json
+    python -m repro.cli query --snapshot repo.snapshot.json \\
+        --personal '{"person": ["name", "email"]}' --top 5
+    echo '{"personal": {"person": ["name", "email"]}}' | \\
+        python -m repro.cli serve --snapshot repo.snapshot.json --workers 4
 """
 
 from __future__ import annotations
@@ -81,6 +100,24 @@ def _personal_schema_from_json(text: str):
     return TreeBuilder.from_nested(spec, name="personal")
 
 
+def _print_result(repository, personal, result, top: int, delta: float, variant_name: str) -> None:
+    summary = result.summary()
+    print(
+        f"repository: {repository.tree_count} trees, {repository.node_count} nodes; "
+        f"mapping elements: {result.candidates.total()}; variant: {variant_name}"
+    )
+    print(
+        f"useful clusters: {summary['useful_clusters']}, search space: {summary['search_space']}, "
+        f"partial mappings: {summary['partial_mappings']}, mappings >= {delta}: {summary['mappings']}"
+    )
+    for rank, mapping in enumerate(result.mappings[:top], start=1):
+        tree = repository.tree(mapping.tree_id)
+        print(f"#{rank} Δ={mapping.score:.3f} in {tree.name}")
+        for node_id, element in sorted(mapping.assignment.items()):
+            path = "/".join(tree.root_path_names(element.ref.node_id))
+            print(f"    {personal.node(node_id).name} -> /{path}")
+
+
 def _command_match(args: argparse.Namespace) -> int:
     repository = _load_repository_argument(args)
     personal = _personal_schema_from_json(args.personal)
@@ -93,21 +130,7 @@ def _command_match(args: argparse.Namespace) -> int:
         variant_name=variant.name,
     )
     result = system.match(personal)
-    summary = result.summary()
-    print(
-        f"repository: {repository.tree_count} trees, {repository.node_count} nodes; "
-        f"mapping elements: {result.candidates.total()}; variant: {variant.name}"
-    )
-    print(
-        f"useful clusters: {summary['useful_clusters']}, search space: {summary['search_space']}, "
-        f"partial mappings: {summary['partial_mappings']}, mappings >= {args.delta}: {summary['mappings']}"
-    )
-    for rank, mapping in enumerate(result.mappings[: args.top], start=1):
-        tree = repository.tree(mapping.tree_id)
-        print(f"#{rank} Δ={mapping.score:.3f} in {tree.name}")
-        for node_id, element in sorted(mapping.assignment.items()):
-            path = "/".join(tree.root_path_names(element.ref.node_id))
-            print(f"    {personal.node(node_id).name} -> /{path}")
+    _print_result(repository, personal, result, args.top, args.delta, variant.name)
     return 0
 
 
@@ -143,6 +166,145 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_service(repository, args: argparse.Namespace):
+    from repro.service import MatchingService
+
+    return MatchingService(
+        repository,
+        variant=getattr(args, "variant", "partition"),
+        element_threshold=args.element_threshold,
+        delta=args.delta,
+        partition_max_fragment_size=args.max_fragment_size,
+    )
+
+
+def _make_executor(workers: int):
+    from repro.utils.executor import ThreadPoolTaskExecutor
+
+    return ThreadPoolTaskExecutor(workers) if workers > 1 else None
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    from repro.service import write_snapshot
+
+    repository = _load_repository_argument(args)
+    service = _make_service(repository, args)
+    payload = write_snapshot(service, Path(args.out))
+    print(
+        f"wrote snapshot of {repository.node_count} nodes in {repository.tree_count} trees "
+        f"to {args.out} (variant {service.variant_name}, "
+        f"{len(payload['oracles'])} oracles, {len(payload['name_indexes'])} name indexes)"
+    )
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.service import load_snapshot
+
+    service = load_snapshot(Path(args.snapshot), executor=_make_executor(args.workers))
+    personal = _personal_schema_from_json(args.personal)
+    result = service.match(personal, delta=args.delta)
+    _print_result(
+        service.repository,
+        personal,
+        result,
+        args.top,
+        service.delta if args.delta is None else args.delta,
+        service.variant_name or "custom",
+    )
+    return 0
+
+
+def _mapping_to_dict(repository, personal, mapping) -> dict:
+    # The assignment is a list of pairs, not a dict keyed by node name —
+    # personal schemas may repeat names, and a name-keyed object would
+    # silently drop all but one of the duplicates.
+    tree = repository.tree(mapping.tree_id)
+    return {
+        "score": round(mapping.score, 6),
+        "tree": tree.name,
+        "assignment": [
+            {
+                "personal": "/" + "/".join(personal.root_path_names(node_id)),
+                "repository": "/" + "/".join(tree.root_path_names(element.ref.node_id)),
+            }
+            for node_id, element in sorted(mapping.assignment.items())
+        ],
+    }
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """JSON-lines request loop over stdin/stdout (the service process demo).
+
+    Request documents: ``{"personal": {...}, "delta"?, "top"?}`` runs a query;
+    ``{"add": {...}, "name"?}`` registers a new tree incrementally;
+    ``{"remove": <tree_id>}`` unregisters one; ``{"stats": true}`` reports the
+    service counters.  One JSON response per line; malformed requests produce
+    an ``{"error": ...}`` response instead of terminating the loop.
+
+    Tree ids are positional: removing a tree shifts every later tree's id
+    down by one (see :meth:`SchemaRepository.remove_tree`), so ids returned by
+    earlier ``add`` responses are invalidated by any ``remove``.  Mutation
+    responses therefore echo the current tree count, and clients that remove
+    by id should re-resolve ids via ``stats``/tree names after a removal.
+    """
+    from repro.service import load_snapshot
+
+    service = load_snapshot(Path(args.snapshot), executor=_make_executor(args.workers))
+    print(
+        json.dumps(
+            {"ready": True, "trees": service.repository.tree_count, "nodes": service.repository.node_count}
+        ),
+        flush=True,
+    )
+    added = 0
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ReproError("request must be a JSON object")
+            if "personal" in request:
+                personal = TreeBuilder.from_nested(request["personal"], name="personal")
+                result = service.match(personal, delta=request.get("delta"))
+                top = int(request.get("top", args.top))
+                response = {
+                    "mappings": [
+                        _mapping_to_dict(service.repository, personal, mapping)
+                        for mapping in result.mappings[:top]
+                    ],
+                    "mapping_count": len(result.mappings),
+                    "elapsed_seconds": round(result.total_seconds, 6),
+                }
+            elif "add" in request:
+                added += 1
+                tree = TreeBuilder.from_nested(
+                    request["add"], name=str(request.get("name", f"added-{added}"))
+                )
+                response = {
+                    "ok": True,
+                    "tree_id": service.add_tree(tree),
+                    "trees": service.repository.tree_count,
+                }
+            elif "remove" in request:
+                removed = service.remove_tree(int(request["remove"]))
+                response = {
+                    "ok": True,
+                    "removed": removed.name,
+                    "trees": service.repository.tree_count,
+                }
+            elif "stats" in request:
+                response = {"stats": service.stats()}
+            else:
+                raise ReproError("request needs one of: personal, add, remove, stats")
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            response = {"error": str(error)}
+        print(json.dumps(response), flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +334,35 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("name", help="experiment id (table1, figure4, figure5, figure6, ablations)")
     experiment_parser.add_argument("--scale", choices=("quick", "paper"), default="quick")
     experiment_parser.set_defaults(handler=_command_experiment)
+
+    service_variants = ["partition", *available_variant_names()]
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="build a matching service and persist it (repository + derived state)"
+    )
+    snapshot_parser.add_argument("--repository", help="repository JSON file written by 'generate'")
+    snapshot_parser.add_argument("--schema-dir", help="directory of .xsd/.dtd files to serve")
+    snapshot_parser.add_argument("--variant", default="partition", choices=service_variants, help="clustering configuration ('partition' is the precomputable default)")
+    snapshot_parser.add_argument("--element-threshold", type=float, default=0.45)
+    snapshot_parser.add_argument("--delta", type=float, default=0.7)
+    snapshot_parser.add_argument("--max-fragment-size", type=int, default=20, help="partition fragment size cap")
+    snapshot_parser.add_argument("--out", required=True, help="output snapshot file")
+    snapshot_parser.set_defaults(handler=_command_snapshot)
+
+    query_parser = subparsers.add_parser("query", help="answer one query from a snapshot")
+    query_parser.add_argument("--snapshot", required=True, help="snapshot file written by 'snapshot'")
+    query_parser.add_argument("--personal", required=True, help="personal schema as nested JSON")
+    query_parser.add_argument("--delta", type=float, default=None, help="override the snapshot's δ")
+    query_parser.add_argument("--top", type=int, default=10, help="number of mappings to print")
+    query_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation threads")
+    query_parser.set_defaults(handler=_command_query)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve JSON-line queries from stdin against a snapshot"
+    )
+    serve_parser.add_argument("--snapshot", required=True, help="snapshot file written by 'snapshot'")
+    serve_parser.add_argument("--top", type=int, default=10, help="default mappings per response")
+    serve_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation threads")
+    serve_parser.set_defaults(handler=_command_serve)
 
     return parser
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-from repro.clustering.cluster import Cluster, ClusterSet
+from repro.clustering.cluster import clusters_from_groups
 from repro.clustering.kmeans import Clusterer, ClusteringResult
 from repro.errors import ClusteringError
 from repro.labeling.distance import RepositoryDistanceOracle
@@ -40,26 +40,51 @@ class TreeClusterer(Clusterer):
     ) -> ClusteringResult:
         started = time.perf_counter()
         counters = CounterSet()
-        by_tree: Dict[int, set] = {}
+        by_tree: Dict[tuple, set] = {}
         for element in candidates.iter_all_elements():
-            by_tree.setdefault(element.ref.tree_id, set()).add(element.ref)
+            by_tree.setdefault((element.ref.tree_id,), set()).add(element.ref)
 
-        clusters = ClusterSet()
-        for new_id, tree_id in enumerate(sorted(by_tree)):
-            members = by_tree[tree_id]
-            clusters.add(
-                Cluster(
-                    cluster_id=new_id,
-                    tree_id=tree_id,
-                    members=set(members),
-                    centroid=min(members, key=lambda ref: ref.global_id),
-                )
-            )
+        clusters = clusters_from_groups(by_tree)
         counters.set("iterations", 0)
         counters.set("clustered_items", sum(len(members) for members in by_tree.values()))
         return ClusteringResult(
             clusters=clusters, counters=counters, elapsed_seconds=time.perf_counter() - started
         )
+
+
+def fragment_tree(tree: SchemaTree, max_fragment_size: int) -> Dict[int, int]:
+    """Assign every node of ``tree`` to a fragment id (local to the tree).
+
+    A subtree of at most ``max_fragment_size`` nodes becomes one fragment;
+    larger subtrees delegate to their children, the splitting node anchoring
+    its own (small) fragment so it is never lost.  Deterministic in the tree
+    alone, which is what lets :class:`repro.service.RepositoryPartition`
+    refragment a single tree on incremental updates and provably match a full
+    rebuild.
+    """
+    if max_fragment_size < 1:
+        raise ClusteringError(f"max_fragment_size must be positive, got {max_fragment_size}")
+    assignment: Dict[int, int] = {}
+    next_fragment = 0
+
+    def assign_subtree(node_id: int, fragment: int) -> None:
+        for descendant in tree.preorder(node_id):
+            assignment[descendant] = fragment
+
+    def split(node_id: int) -> None:
+        nonlocal next_fragment
+        if tree.subtree_size(node_id) <= max_fragment_size:
+            assign_subtree(node_id, next_fragment)
+            next_fragment += 1
+            return
+        # The splitting node anchors its own (small) fragment so it is never lost.
+        assignment[node_id] = next_fragment
+        next_fragment += 1
+        for child_id in tree.children_ids(node_id):
+            split(child_id)
+
+    split(tree.root_id)
+    return assignment
 
 
 class FragmentClusterer(Clusterer):
@@ -80,28 +105,7 @@ class FragmentClusterer(Clusterer):
         self.max_fragment_size = max_fragment_size
 
     def _fragment_tree(self, tree: SchemaTree) -> Dict[int, int]:
-        """Assign every node of ``tree`` to a fragment id (local to the tree)."""
-        assignment: Dict[int, int] = {}
-        next_fragment = 0
-
-        def assign_subtree(node_id: int, fragment: int) -> None:
-            for descendant in tree.preorder(node_id):
-                assignment[descendant] = fragment
-
-        def split(node_id: int) -> None:
-            nonlocal next_fragment
-            if tree.subtree_size(node_id) <= self.max_fragment_size:
-                assign_subtree(node_id, next_fragment)
-                next_fragment += 1
-                return
-            # The splitting node anchors its own (small) fragment so it is never lost.
-            assignment[node_id] = next_fragment
-            next_fragment += 1
-            for child_id in tree.children_ids(node_id):
-                split(child_id)
-
-        split(tree.root_id)
-        return assignment
+        return fragment_tree(tree, self.max_fragment_size)
 
     def cluster(
         self,
@@ -124,17 +128,7 @@ class FragmentClusterer(Clusterer):
             key = (element.ref.tree_id, fragment_of[element.ref.tree_id][element.ref.node_id])
             grouped.setdefault(key, set()).add(element.ref)
 
-        clusters = ClusterSet()
-        for new_id, key in enumerate(sorted(grouped)):
-            members = grouped[key]
-            clusters.add(
-                Cluster(
-                    cluster_id=new_id,
-                    tree_id=key[0],
-                    members=set(members),
-                    centroid=min(members, key=lambda ref: ref.global_id),
-                )
-            )
+        clusters = clusters_from_groups(grouped)
         counters.set("iterations", 0)
         counters.set("clustered_items", sum(len(m) for m in grouped.values()))
         return ClusteringResult(

@@ -92,6 +92,29 @@ class Cluster:
         return f"Cluster(id={self.cluster_id}, tree={self.tree_id}, size={self.size})"
 
 
+def clusters_from_groups(grouped: Dict[tuple, Set[RepositoryNodeRef]]) -> ClusterSet:
+    """Assemble grouped members into a canonical :class:`ClusterSet`.
+
+    Shared by every offline clusterer (tree, fragment, precomputed partition):
+    groups are renumbered in sorted key order — keys must start with the tree
+    id — and each cluster's centroid is its smallest member by global id.
+    Keeping this in one place is what lets the tests pin different clusterers'
+    outputs as identical.
+    """
+    clusters = ClusterSet()
+    for new_id, key in enumerate(sorted(grouped)):
+        members = grouped[key]
+        clusters.add(
+            Cluster(
+                cluster_id=new_id,
+                tree_id=key[0],
+                members=set(members),
+                centroid=min(members, key=lambda ref: ref.global_id),
+            )
+        )
+    return clusters
+
+
 class ClusterSet:
     """The collection of clusters produced by one clustering run."""
 

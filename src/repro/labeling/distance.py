@@ -17,11 +17,12 @@ of path lengths".
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import LabelingError, UnknownNodeError
 from repro.labeling.sparse_table import SparseTable
-from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository, shift_tree_keys
 from repro.schema.tree import SchemaTree
 
 
@@ -37,6 +38,42 @@ class TreeDistanceOracle:
         self._first_occurrence: List[int] = [-1] * tree.node_count
         self._build_euler_tour()
         self._rmq = SparseTable(self._euler_depths)
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """The oracle's tables as JSON-friendly lists (repository snapshots).
+
+        The sparse-table levels are included so a snapshot load skips the
+        doubling construction entirely; they are pure derived data, so a
+        corrupt payload can at worst produce wrong distances — the round-trip
+        tests pin exact equality against a fresh build.
+        """
+        return {
+            "euler_nodes": list(self._euler_nodes),
+            "euler_depths": list(self._euler_depths),
+            "first_occurrence": list(self._first_occurrence),
+            "rmq_levels": self._rmq.levels(),
+        }
+
+    @classmethod
+    def from_payload(cls, tree: SchemaTree, payload: Dict[str, object]) -> "TreeDistanceOracle":
+        """Rebuild an oracle from :meth:`to_payload` output for the same tree."""
+        euler_nodes = list(payload["euler_nodes"])
+        euler_depths = list(payload["euler_depths"])
+        first_occurrence = list(payload["first_occurrence"])
+        if len(first_occurrence) != tree.node_count or len(euler_nodes) != 2 * tree.node_count - 1:
+            raise LabelingError(
+                f"serialized oracle does not fit tree {tree.name!r} "
+                f"({tree.node_count} nodes, tour length {len(euler_nodes)})"
+            )
+        oracle = cls.__new__(cls)
+        oracle.tree = tree
+        oracle._euler_nodes = euler_nodes
+        oracle._euler_depths = euler_depths
+        oracle._first_occurrence = first_occurrence
+        oracle._rmq = SparseTable.from_built(euler_depths, payload["rmq_levels"])
+        return oracle
 
     def _build_euler_tour(self) -> None:
         # Iterative Euler tour: every time a node is entered or returned to
@@ -116,14 +153,51 @@ class RepositoryDistanceOracle:
     def __init__(self, repository: SchemaRepository) -> None:
         self.repository = repository
         self._oracles: Dict[int, TreeDistanceOracle] = {}
+        # Concurrent per-cluster mapping generation (repro.service) may query
+        # the oracle from several worker threads; the lock only guards the
+        # build-and-insert of a missing per-tree oracle, not the O(1) queries.
+        self._build_lock = threading.Lock()
 
     def oracle(self, tree_id: int) -> TreeDistanceOracle:
-        """The (cached) oracle for one repository tree."""
+        """The (cached) oracle for one repository tree (thread-safe build)."""
         oracle = self._oracles.get(tree_id)
         if oracle is None:
-            oracle = TreeDistanceOracle(self.repository.tree(tree_id))
-            self._oracles[tree_id] = oracle
+            with self._build_lock:
+                oracle = self._oracles.get(tree_id)
+                if oracle is None:
+                    oracle = TreeDistanceOracle(self.repository.tree(tree_id))
+                    self._oracles[tree_id] = oracle
         return oracle
+
+    def build_all(self) -> None:
+        """Materialize the oracle of every repository tree (service warm-up)."""
+        for tree in self.repository.trees():
+            self.oracle(tree.tree_id)
+
+    def on_tree_removed(self, removed_tree_id: int) -> None:
+        """Re-key the cache after ``SchemaRepository.remove_tree``.
+
+        Only the removed tree's oracle row is dropped; oracles of later trees
+        are reused under their decremented tree id (their underlying
+        :class:`SchemaTree` objects are untouched by the removal, so every
+        cached table stays valid).
+        """
+        with self._build_lock:
+            self._oracles = shift_tree_keys(self._oracles, removed_tree_id)
+
+    def install(self, tree_id: int, oracle: TreeDistanceOracle) -> None:
+        """Install a deserialized per-tree oracle (snapshot load)."""
+        if oracle.tree is not self.repository.tree(tree_id):
+            raise LabelingError(
+                f"oracle for tree {oracle.tree.name!r} does not belong to "
+                f"tree id {tree_id} of repository {self.repository.name!r}"
+            )
+        with self._build_lock:
+            self._oracles[tree_id] = oracle
+
+    def built_tree_ids(self) -> List[int]:
+        """Tree ids whose oracles are currently materialized (snapshot write)."""
+        return sorted(self._oracles)
 
     @property
     def built_oracle_count(self) -> int:

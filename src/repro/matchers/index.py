@@ -102,6 +102,10 @@ class LRUMemo:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
 
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -126,6 +130,7 @@ class RepositoryNameIndex:
     def __init__(self, repository: SchemaRepository, case_sensitive: bool = False) -> None:
         self.case_sensitive = case_sensitive
         self.version = next(_VERSION_COUNTER)
+        self.repository_version = getattr(repository, "version", 0)
         self.node_count = repository.node_count
         keys: List[str] = []
         refs: List[List[RepositoryNodeRef]] = []
@@ -181,18 +186,249 @@ class RepositoryNameIndex:
     def for_repository(
         cls, repository: SchemaRepository, case_sensitive: bool = False
     ) -> "RepositoryNameIndex":
-        """The repository's cached index, (re)built when the repository grew.
+        """The repository's cached index, (re)built when the repository mutated.
 
         The cache lives on the repository object itself (one entry per case
-        mode) and is invalidated by :meth:`SchemaRepository.add_tree`.
+        mode), is invalidated by every repository mutation (``add_tree`` /
+        ``remove_tree``), and staleness is detected through the repository's
+        mutation :attr:`~repro.schema.repository.SchemaRepository.version` —
+        not the node count, which cannot see equal-size mutations (remove one
+        tree, add another with the same number of nodes).
         """
         cache = repository._name_index_cache
         key = bool(case_sensitive)
         index = cache.get(key)
-        if index is None or index.node_count != repository.node_count:
+        if index is None or index.repository_version != getattr(repository, "version", 0):
             index = cls(repository, case_sensitive=case_sensitive)
             cache[key] = index
         return index
+
+    @classmethod
+    def from_serialized(
+        cls,
+        repository: SchemaRepository,
+        case_sensitive: bool,
+        keys: List[str],
+        node_name_ids: Sequence[int],
+    ) -> "RepositoryNameIndex":
+        """Rebuild an index from its snapshot payload without scanning names.
+
+        ``node_name_ids`` holds one name id per repository node in global-id
+        order (the shape written by :mod:`repro.service.snapshot`), so the
+        per-name ref lists fall out of a single pass over the repository's
+        node refs — no name folding, no dict probing, and the global-id
+        ordering within each list holds by construction.  Blocking structures
+        stay lazy unless the snapshot installs them too.
+        """
+        if len(node_name_ids) != repository.node_count:
+            raise ValueError(
+                f"serialized name index covers {len(node_name_ids)} nodes but repository "
+                f"{repository.name!r} has {repository.node_count}"
+            )
+        if node_name_ids and not 0 <= min(node_name_ids) <= max(node_name_ids) < len(keys):
+            # A corrupt payload must fail loudly — negative ids would silently
+            # file nodes under the wrong name via Python's tail indexing.
+            raise ValueError(
+                f"serialized name index references name ids outside [0, {len(keys)})"
+            )
+        clone = cls.__new__(cls)
+        clone.case_sensitive = case_sensitive
+        clone.version = next(_VERSION_COUNTER)
+        clone.repository_version = getattr(repository, "version", 0)
+        clone.node_count = repository.node_count
+        refs: List[List[RepositoryNodeRef]] = [[] for _ in keys]
+        for ref, name_id in zip(repository.node_refs(), node_name_ids):
+            refs[name_id].append(ref)
+        clone.keys = list(keys)
+        clone._refs = refs
+        clone._key_to_id = {key: name_id for name_id, key in enumerate(clone.keys)}
+        clone._reset_blocking()
+        return clone
+
+    def node_name_ids(self) -> List[int]:
+        """Per-node name ids in global-id order (the snapshot wire form)."""
+        ids = [0] * self.node_count
+        for name_id, refs in enumerate(self._refs):
+            for ref in refs:
+                ids[ref.global_id] = name_id
+        return ids
+
+    # -- blocking persistence ----------------------------------------------------
+
+    def ensure_blocking(self) -> None:
+        """Force the lazy blocking structures (service warm-up / snapshot write)."""
+        self._ensure_blocking()
+
+    def blocking_payload(self) -> Optional[Dict[str, object]]:
+        """Raw blocking structures for snapshots, ``None`` when not yet built."""
+        if self._ids_by_length is None:
+            return None
+        return {"gram_counts": list(self._gram_counts), "postings": dict(self._postings)}
+
+    def install_blocking(self, gram_counts: List[int], postings: Dict[str, List[int]]) -> None:
+        """Install deserialized blocking structures (snapshot load).
+
+        The cheap length buckets are recomputed from the keys; only the
+        trigram structures — the expensive part — come from the payload.
+        """
+        if len(gram_counts) != len(self.keys):
+            raise ValueError(
+                f"blocking payload has {len(gram_counts)} gram counts for "
+                f"{len(self.keys)} names"
+            )
+        self._gram_counts = list(gram_counts)
+        self._postings = {gram: list(ids) for gram, ids in postings.items()}
+        self._rebuild_length_buckets()
+
+    # -- incremental updates -----------------------------------------------------
+
+    def with_tree_added(self, repository: SchemaRepository, tree_id: int) -> "RepositoryNameIndex":
+        """A new index equal to a fresh build after ``tree_id`` was added.
+
+        Only the postings touched by the new tree are recomputed: the new
+        tree's nodes are folded and appended to the existing per-name ref
+        lists (copy-on-write — this index is immutable and stays valid), and
+        trigram posting lists gain entries only for names first introduced by
+        the new tree.  Because the new tree's global ids are larger than every
+        existing id and its nodes are scanned in node-id order, the result is
+        *identical* to rebuilding the index from scratch — same key order,
+        same name ids, same ref order, same postings.
+        """
+        clone = RepositoryNameIndex.__new__(RepositoryNameIndex)
+        clone.case_sensitive = self.case_sensitive
+        clone.version = next(_VERSION_COUNTER)
+        clone.repository_version = getattr(repository, "version", 0)
+        clone.node_count = repository.node_count
+
+        keys = list(self.keys)
+        refs = list(self._refs)
+        key_to_id = dict(self._key_to_id)
+        touched: set = set()
+        new_name_ids: List[int] = []
+        tree = repository.tree(tree_id)
+        offset = repository.tree_offset(tree_id)
+        case_sensitive = self.case_sensitive
+        for node_id in tree.node_ids():
+            name = tree.node(node_id).name
+            key = name if case_sensitive else name.lower()
+            ref = RepositoryNodeRef(global_id=offset + node_id, tree_id=tree_id, node_id=node_id)
+            name_id = key_to_id.get(key)
+            if name_id is None:
+                name_id = len(keys)
+                key_to_id[key] = name_id
+                keys.append(key)
+                refs.append([ref])
+                new_name_ids.append(name_id)
+            else:
+                if name_id not in touched:
+                    refs[name_id] = list(refs[name_id])
+                    touched.add(name_id)
+                refs[name_id].append(ref)
+        clone.keys = keys
+        clone._refs = refs
+        clone._key_to_id = key_to_id
+
+        if self._ids_by_length is None:
+            clone._reset_blocking()
+        else:
+            gram_counts = list(self._gram_counts)
+            postings = dict(self._postings)
+            for name_id in new_name_ids:
+                grams = _ngrams(keys[name_id], self.gram_size)
+                gram_counts.append(len(grams))
+                for gram in grams:
+                    existing = postings.get(gram)
+                    postings[gram] = [*existing, name_id] if existing else [name_id]
+            clone._gram_counts = gram_counts
+            clone._postings = postings
+            clone._rebuild_length_buckets()
+        return clone
+
+    def with_tree_removed(
+        self, repository: SchemaRepository, removed_tree_id: int, removed_node_count: int
+    ) -> "RepositoryNameIndex":
+        """A new index valid after ``removed_tree_id`` was removed.
+
+        Per-name ref lists are filtered and shifted (trees after the removed
+        one slid down by one tree id and ``removed_node_count`` global ids);
+        names that only occurred in the removed tree are dropped and the
+        surviving name ids are compacted *in their existing order*, so trigram
+        postings and gram counts are remapped without recomputing a single
+        n-gram.  The result is observably equivalent to a fresh build — same
+        name → refs mapping, same blocking decisions — though the internal
+        name-id numbering may differ from a from-scratch scan (fresh builds
+        number names by first occurrence over the surviving nodes; every
+        consumer sorts its output, so this is invisible downstream).
+        """
+        clone = RepositoryNameIndex.__new__(RepositoryNameIndex)
+        clone.case_sensitive = self.case_sensitive
+        clone.version = next(_VERSION_COUNTER)
+        clone.repository_version = getattr(repository, "version", 0)
+        clone.node_count = repository.node_count
+
+        keys: List[str] = []
+        refs: List[List[RepositoryNodeRef]] = []
+        key_to_id: Dict[str, int] = {}
+        id_map: Dict[int, int] = {}
+        for old_id, old_refs in enumerate(self._refs):
+            survivors = [
+                ref
+                if ref.tree_id < removed_tree_id
+                else RepositoryNodeRef(
+                    global_id=ref.global_id - removed_node_count,
+                    tree_id=ref.tree_id - 1,
+                    node_id=ref.node_id,
+                )
+                for ref in old_refs
+                if ref.tree_id != removed_tree_id
+            ]
+            if not survivors:
+                continue
+            new_id = len(keys)
+            id_map[old_id] = new_id
+            key_to_id[self.keys[old_id]] = new_id
+            keys.append(self.keys[old_id])
+            refs.append(survivors)
+        clone.keys = keys
+        clone._refs = refs
+        clone._key_to_id = key_to_id
+
+        if self._ids_by_length is None:
+            clone._reset_blocking()
+        else:
+            clone._gram_counts = [
+                count for old_id, count in enumerate(self._gram_counts) if old_id in id_map
+            ]
+            postings: Dict[str, List[int]] = {}
+            for gram, name_ids in self._postings.items():
+                remapped = [id_map[name_id] for name_id in name_ids if name_id in id_map]
+                if remapped:
+                    postings[gram] = remapped
+            clone._postings = postings
+            clone._rebuild_length_buckets()
+        return clone
+
+    def _reset_blocking(self) -> None:
+        self._ids_by_length = None
+        self._pairs_by_length = {}
+        self._gram_counts = []
+        self._postings = {}
+
+    def _rebuild_length_buckets(self) -> None:
+        """Recompute the (cheap) length-bucket structures from keys and refs.
+
+        Called by the incremental constructors after the expensive trigram
+        structures have been updated in place; a fresh pass over the unique
+        names costs O(#names), far below re-deriving n-grams.
+        """
+        ids_by_length: Dict[int, List[int]] = {}
+        pairs_by_length: Dict[int, int] = {}
+        for name_id, key in enumerate(self.keys):
+            length = len(key)
+            ids_by_length.setdefault(length, []).append(name_id)
+            pairs_by_length[length] = pairs_by_length.get(length, 0) + len(self._refs[name_id])
+        self._pairs_by_length = pairs_by_length
+        self._ids_by_length = ids_by_length
 
     # -- lookups ----------------------------------------------------------------
 

@@ -9,21 +9,27 @@ single integer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
 
 from repro.errors import SchemaError, UnknownNodeError
 from repro.schema.node import SchemaNode
 from repro.schema.tree import SchemaTree
 
 
-@dataclass(frozen=True, order=True)
-class RepositoryNodeRef:
+class RepositoryNodeRef(NamedTuple):
     """A reference to one repository node.
 
     ``global_id`` is unique across the whole repository; ``tree_id`` and
     ``node_id`` locate the node inside its tree.  Mapping elements are
     represented as node refs throughout the matching pipeline.
+
+    A ``NamedTuple`` rather than a frozen dataclass: refs are created by the
+    hundred thousand (every index build, clustering pass and snapshot load),
+    and tuple construction is several times cheaper than ``object.__setattr__``
+    per frozen-dataclass field while keeping the same ordering, hashing and
+    immutability semantics.
     """
 
     global_id: int
@@ -32,6 +38,23 @@ class RepositoryNodeRef:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NodeRef(g={self.global_id}, tree={self.tree_id}, node={self.node_id})"
+
+
+def shift_tree_keys(mapping: Dict[int, "T"], removed_tree_id: int) -> Dict[int, "T"]:
+    """Re-key a per-tree table after :meth:`SchemaRepository.remove_tree`.
+
+    Drops the removed tree's entry and slides entries of later trees down by
+    one, mirroring the repository's id reassignment.  Every derived structure
+    keyed by tree id (distance-oracle rows, partition fragments, …) must apply
+    exactly this transform on removal — sharing it keeps the
+    incremental-equals-rebuild invariant in one place.
+    """
+    shifted: Dict[int, "T"] = {}
+    for tree_id, value in mapping.items():
+        if tree_id == removed_tree_id:
+            continue
+        shifted[tree_id - 1 if tree_id > removed_tree_id else tree_id] = value
+    return shifted
 
 
 class SchemaRepository:
@@ -47,12 +70,28 @@ class SchemaRepository:
         self._trees: List[SchemaTree] = []
         self._offsets: List[int] = []
         self._total_nodes = 0
+        self._version = 0
         # Per-case-mode name indexes, built lazily by the batch element
         # matchers (see repro.matchers.index.RepositoryNameIndex) and
-        # invalidated whenever a tree is added.
+        # invalidated whenever the forest mutates (add or remove).
         self._name_index_cache: Dict[bool, object] = {}
 
     # -- construction -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter, bumped by every ``add_tree``/``remove_tree``.
+
+        Derived state (name indexes, oracles, partitions) records the version
+        it was built against; a mismatch means the state is stale.  Unlike a
+        node count, the version also detects equal-size mutations (remove one
+        tree, add another of the same size).
+        """
+        return self._version
+
+    def _invalidate_derived_state(self) -> None:
+        self._version += 1
+        self._name_index_cache.clear()
 
     def add_tree(self, tree: SchemaTree) -> int:
         """Register a tree and return its assigned ``tree_id``."""
@@ -66,11 +105,36 @@ class SchemaRepository:
         self._trees.append(tree)
         self._offsets.append(self._total_nodes)
         self._total_nodes += tree.node_count
-        self._name_index_cache.clear()
+        self._invalidate_derived_state()
         return tree.tree_id
 
     def add_trees(self, trees: Iterable[SchemaTree]) -> List[int]:
         return [self.add_tree(tree) for tree in trees]
+
+    def remove_tree(self, tree_id: int) -> SchemaTree:
+        """Unregister a tree and return it.
+
+        Trees registered after the removed one slide down: their ``tree_id``
+        decreases by one and their nodes' global ids decrease by the removed
+        tree's node count.  The resulting repository is indistinguishable from
+        one freshly built by adding the surviving trees in order, which is what
+        makes incremental updates provably equivalent to a full rebuild (see
+        :mod:`repro.service`).  The returned tree has ``tree_id`` reset to
+        ``-1`` and may be registered again (here or in another repository).
+        """
+        removed = self.tree(tree_id)
+        del self._trees[tree_id]
+        removed.tree_id = -1
+        for shifted in self._trees[tree_id:]:
+            shifted.tree_id -= 1
+        self._offsets = []
+        total = 0
+        for tree in self._trees:
+            self._offsets.append(total)
+            total += tree.node_count
+        self._total_nodes = total
+        self._invalidate_derived_state()
+        return removed
 
     # -- sizes ----------------------------------------------------------------
 
@@ -150,12 +214,38 @@ class SchemaRepository:
 
     # -- queries ----------------------------------------------------------------
 
+    def cached_name_indexes(self) -> Dict[bool, object]:
+        """Snapshot of the currently cached name indexes, keyed by case mode.
+
+        The service layer reads this before a mutation so it can derive the
+        post-mutation indexes incrementally (see
+        :meth:`repro.matchers.index.RepositoryNameIndex.with_tree_added`)
+        instead of letting the next query rebuild them from scratch.
+        """
+        return dict(self._name_index_cache)
+
+    def install_name_index(self, index) -> None:
+        """Install an externally built name index into the cache.
+
+        The index must have been built against (or incrementally updated to)
+        the repository's current :attr:`version`; installing a stale index
+        would silently corrupt every batch matching run, so that is an error.
+        """
+        if getattr(index, "repository_version", None) != self._version:
+            raise SchemaError(
+                f"cannot install a name index built for repository version "
+                f"{getattr(index, 'repository_version', None)!r} into repository "
+                f"{self.name!r} at version {self._version}"
+            )
+        self._name_index_cache[bool(index.case_sensitive)] = index
+
     def name_index(self, case_sensitive: bool = False):
         """The repository's cached name index (see :mod:`repro.matchers.index`).
 
         Groups nodes by (optionally case-folded) name for batch element
-        matching; built lazily on first use and invalidated by
-        :meth:`add_tree`.  Node names are assumed stable after insertion —
+        matching; built lazily on first use and invalidated by every mutation
+        (:meth:`add_tree` / :meth:`remove_tree`).  Node names are assumed
+        stable after insertion —
         renaming a :class:`SchemaNode` in place is not supported and would
         leave this index (and the matcher caches built on it) stale.  Imported
         lazily to keep the schema layer free of a static dependency on the

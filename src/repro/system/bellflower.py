@@ -40,6 +40,7 @@ from repro.schema.repository import SchemaRepository
 from repro.schema.tree import SchemaTree
 from repro.system.results import ClusterReport, MatchResult
 from repro.utils.counters import CounterSet
+from repro.utils.executor import TaskExecutor
 from repro.utils.timers import StageTimer
 
 
@@ -70,6 +71,11 @@ class Bellflower:
         it, ``False`` forces the exact per-pair scan.  Both produce identical
         mapping elements; the batch path is several times faster on large
         repositories.
+    executor:
+        Optional :class:`~repro.utils.executor.TaskExecutor` the per-cluster
+        mapping generation is dispatched through (``None`` runs clusters
+        serially inline).  Executors return results in cluster order, so the
+        merged ranking, counters and reports are identical for every executor.
     """
 
     def __init__(
@@ -83,6 +89,7 @@ class Bellflower:
         delta: float = 0.75,
         variant_name: Optional[str] = None,
         use_batch_matching: Optional[bool] = None,
+        executor: Optional[TaskExecutor] = None,
     ) -> None:
         if repository.tree_count == 0:
             raise ConfigurationError("Bellflower needs a non-empty schema repository")
@@ -97,6 +104,7 @@ class Bellflower:
         self.delta = delta
         self.variant_name = variant_name or self.clusterer.name
         self.use_batch_matching = use_batch_matching
+        self.executor = executor
         self.oracle = RepositoryDistanceOracle(repository)
 
     # -- stage 1: element matching -------------------------------------------------
@@ -127,23 +135,33 @@ class Bellflower:
         clustering: ClusteringResult,
         delta: float,
     ) -> tuple[GenerationResult, List[ClusterReport]]:
-        """Search every useful cluster and merge the per-cluster results."""
+        """Search every useful cluster and merge the per-cluster results.
+
+        The per-cluster searches are independent (each gets its own restricted
+        candidate sets and its own result object); when an ``executor`` is
+        configured they are dispatched through it and gathered back *in
+        cluster order*, so mappings, counters and reports are bit-identical to
+        the serial path.  With an executor, ``elapsed_seconds`` remains the
+        sum of per-cluster search times (CPU time), which can exceed the
+        wall-clock ``generation`` stage timer.
+        """
         merged = GenerationResult()
         reports: List[ClusterReport] = []
-        per_cluster_mappings = []
+        problems: List[MappingProblem] = []
         for cluster in clustering.clusters:
             restricted = cluster.restricted_candidates(candidates)
             if not restricted.is_complete():
                 continue
-            problem = MappingProblem(
-                personal_schema=personal_schema,
-                candidates=restricted,
-                oracle=self.oracle,
-                objective=self.objective,
-                delta=delta,
-                cluster_id=cluster.cluster_id,
+            problems.append(
+                MappingProblem(
+                    personal_schema=personal_schema,
+                    candidates=restricted,
+                    oracle=self.oracle,
+                    objective=self.objective,
+                    delta=delta,
+                    cluster_id=cluster.cluster_id,
+                )
             )
-            result = self.generator.generate(problem)
             reports.append(
                 ClusterReport(
                     cluster_id=cluster.cluster_id,
@@ -153,6 +171,12 @@ class Bellflower:
                     search_space=candidate_search_space(restricted),
                 )
             )
+        if self.executor is not None:
+            results = self.executor.map(self.generator.generate, problems)
+        else:
+            results = [self.generator.generate(problem) for problem in problems]
+        per_cluster_mappings = []
+        for result in results:
             per_cluster_mappings.append(result.mappings)
             merged.counters.merge(result.counters)
             merged.elapsed_seconds += result.elapsed_seconds

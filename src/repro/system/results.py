@@ -94,6 +94,17 @@ class MatchResult:
         """Canonical identities of all discovered mappings (for preservation metrics)."""
         return {mapping.signature() for mapping in self.mappings}
 
+    def ranking_key(self) -> List[tuple]:
+        """Canonical (score, signature) list — the bit-identity of a ranking.
+
+        Two results with equal ranking keys hold the same mappings, in the
+        same order, with identical scores.  The service-layer equivalence
+        tests, the incremental example and the snapshot benchmark all compare
+        results through this one definition so the notion of "bit-identical"
+        cannot drift between them.
+        """
+        return [(mapping.score, mapping.signature()) for mapping in self.mappings]
+
     def summary(self) -> Dict[str, object]:
         """A flat dictionary used by reports and benchmark output."""
         return {

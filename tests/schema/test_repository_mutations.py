@@ -1,0 +1,119 @@
+"""Repository mutation tests: remove_tree, versioning, symmetric invalidation.
+
+The regression pinned here: before the service PR, only ``add_tree``
+invalidated the cached name index, and staleness was detected by comparing
+node counts — so removing a tree (or swapping a tree for another of the same
+size) could silently serve a stale index.  Mutations now bump a version
+counter that every derived structure checks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.matchers.index import RepositoryNameIndex
+from repro.schema.builder import TreeBuilder
+from repro.schema.repository import SchemaRepository
+
+
+def _tree(name: str, *children: str):
+    builder = TreeBuilder(name)
+    root = builder.root(name)
+    for child in children:
+        builder.child(root, child)
+    return builder.build()
+
+
+@pytest.fixture
+def forest() -> SchemaRepository:
+    repository = SchemaRepository(name="mutable")
+    repository.add_tree(_tree("alpha", "name", "email"))
+    repository.add_tree(_tree("beta", "title", "author"))
+    repository.add_tree(_tree("gamma", "price", "name"))
+    return repository
+
+
+class TestRemoveTree:
+    def test_remove_shifts_ids_offsets_and_counts(self, forest):
+        removed = forest.remove_tree(1)
+        assert removed.name == "beta"
+        assert removed.tree_id == -1
+        assert forest.tree_count == 2
+        assert [tree.name for tree in forest.trees()] == ["alpha", "gamma"]
+        assert [tree.tree_id for tree in forest.trees()] == [0, 1]
+        assert forest.tree_offset(1) == forest.tree(0).node_count
+        assert forest.node_count == sum(tree.node_count for tree in forest.trees())
+
+    def test_removed_repository_equals_fresh_build(self, forest):
+        forest.remove_tree(0)
+        fresh = SchemaRepository(name="fresh")
+        for name, children in (("beta", ("title", "author")), ("gamma", ("price", "name"))):
+            fresh.add_tree(_tree(name, *children))
+        assert [ref for ref in forest.node_refs()] == [ref for ref in fresh.node_refs()]
+        assert [node.name for _, node in forest.iter_nodes()] == [
+            node.name for _, node in fresh.iter_nodes()
+        ]
+
+    def test_removed_tree_can_be_registered_again(self, forest):
+        removed = forest.remove_tree(2)
+        new_id = forest.add_tree(removed)
+        assert new_id == 2
+        assert forest.tree(2) is removed
+
+    def test_remove_unknown_tree_raises(self, forest):
+        with pytest.raises(SchemaError):
+            forest.remove_tree(3)
+        with pytest.raises(SchemaError):
+            forest.remove_tree(-1)
+
+    def test_locate_after_removal(self, forest):
+        forest.remove_tree(1)
+        for ref in forest.node_refs():
+            assert forest.locate(ref.global_id) == ref
+
+
+class TestVersioningAndInvalidation:
+    def test_every_mutation_bumps_the_version(self, forest):
+        version = forest.version
+        forest.add_tree(_tree("delta", "x"))
+        assert forest.version == version + 1
+        forest.remove_tree(3)
+        assert forest.version == version + 2
+
+    def test_add_invalidates_name_index(self, forest):
+        assert forest.find_by_name("zeta") == []
+        forest.add_tree(_tree("zeta", "name"))
+        assert len(forest.find_by_name("zeta")) == 1
+
+    def test_remove_invalidates_name_index(self, forest):
+        assert len(forest.find_by_name("beta")) == 1
+        forest.remove_tree(1)
+        assert forest.find_by_name("beta") == []
+        # Survivors are still found, at their shifted coordinates.
+        (ref,) = forest.find_by_name("gamma")
+        assert ref.tree_id == 1
+
+    def test_equal_size_swap_is_detected(self, forest):
+        """The node-count staleness check could not see this mutation pair."""
+        stale = forest.name_index()
+        node_count = forest.node_count
+        forest.remove_tree(0)
+        forest.add_tree(_tree("omega", "name", "email"))  # same node count as alpha
+        assert forest.node_count == node_count
+        fresh = forest.name_index()
+        assert fresh is not stale
+        assert forest.find_by_name("alpha") == []
+        assert len(forest.find_by_name("omega")) == 1
+
+    def test_install_rejects_stale_index(self, forest):
+        index = RepositoryNameIndex.for_repository(forest)
+        forest.add_tree(_tree("delta", "x"))
+        with pytest.raises(SchemaError):
+            forest.install_name_index(index)
+
+    def test_install_accepts_incrementally_updated_index(self, forest):
+        index = RepositoryNameIndex.for_repository(forest)
+        tree_id = forest.add_tree(_tree("delta", "x"))
+        forest.install_name_index(index.with_tree_added(forest, tree_id))
+        assert forest.name_index().node_count == forest.node_count

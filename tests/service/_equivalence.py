@@ -1,0 +1,30 @@
+"""Shared equivalence keys for the service test modules.
+
+"Bit-identical" claims are asserted through these canonical projections; keep
+them in one place so every service test checks the same identity.  (The
+benchmark and example scripts carry their own minimal copies — they must stay
+runnable standalone.)
+"""
+
+from __future__ import annotations
+
+
+def result_key(result):
+    """Ranked mappings as (score, signature) pairs — the mapping identity."""
+    return result.ranking_key()
+
+
+def candidates_key(sets):
+    """MappingElementSets as per-node (global id, similarity) lists."""
+    return {
+        node_id: [(e.ref.global_id, e.similarity) for e in sets.elements_for(node_id)]
+        for node_id in sets.personal_node_ids
+    }
+
+
+def cluster_key(result):
+    """Cluster reports as comparable tuples."""
+    return [
+        (report.cluster_id, report.tree_id, report.member_count, report.search_space)
+        for report in result.cluster_reports
+    ]

@@ -1,0 +1,199 @@
+"""MatchingService behaviour: query cache, executors, partition clusterer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.baselines import FragmentClusterer
+from repro.errors import ConfigurationError
+from repro.matchers.selection import MappingElementSelector
+from repro.matchers.name import FuzzyNameMatcher
+from repro.schema.builder import TreeBuilder
+from repro.service import (
+    MatchingService,
+    PartitionClusterer,
+    RepositoryPartition,
+    schema_fingerprint,
+)
+from repro.utils.executor import SerialExecutor, ThreadPoolTaskExecutor
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+from repro.workload.personal import contact_personal_schema, paper_personal_schema
+
+from _equivalence import result_key
+
+
+@pytest.fixture(scope="module")
+def service_repository():
+    profile = RepositoryProfile(
+        target_node_count=600, min_tree_size=12, max_tree_size=60, seed=17, name="svc"
+    )
+    return RepositoryGenerator(profile).generate()
+
+
+class TestQueryCache:
+    def test_repeated_query_hits_and_is_bit_identical(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        cold = service.match(paper_personal_schema())
+        warm = service.match(paper_personal_schema())
+        assert service.counters.get("query_cache_misses") == 1
+        assert service.counters.get("query_cache_hits") == 1
+        assert result_key(cold) == result_key(warm)
+        # The cached table is reused as-is, not recomputed.
+        assert warm.candidates is cold.candidates
+        assert warm.element_matching_seconds == 0.0
+
+    def test_structurally_identical_schemas_share_an_entry(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        service.match(paper_personal_schema())
+        service.match(paper_personal_schema())  # a fresh but identical tree
+        assert service.counters.get("query_cache_hits") == 1
+        assert service.query_cache_len == 1
+
+    def test_different_schemas_get_different_entries(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        service.match(paper_personal_schema())
+        service.match(contact_personal_schema())
+        assert service.counters.get("query_cache_misses") == 2
+        assert service.query_cache_len == 2
+
+    def test_cache_capacity_is_bounded(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5, query_cache_size=1)
+        service.match(paper_personal_schema())
+        service.match(contact_personal_schema())
+        assert service.query_cache_len == 1
+
+    def test_cache_can_be_disabled(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5, query_cache_size=0)
+        first = service.match(paper_personal_schema())
+        second = service.match(paper_personal_schema())
+        assert service.query_cache_len == 0
+        # A disabled cache reports no hit/miss statistics at all.
+        assert service.counters.get("query_cache_hits") == 0
+        assert service.counters.get("query_cache_misses") == 0
+        assert service.counters.get("queries") == 2
+        assert result_key(first) == result_key(second)
+
+
+class TestFingerprint:
+    def test_name_of_tree_is_ignored_but_structure_is_not(self):
+        builder_a = TreeBuilder("one")
+        root = builder_a.root("book")
+        builder_a.child(root, "title")
+        builder_a.child(root, "author")
+        tree_a = builder_a.build()
+        builder_b = TreeBuilder("two")
+        root = builder_b.root("book")
+        builder_b.child(root, "title")
+        builder_b.child(root, "author")
+        assert schema_fingerprint(tree_a) == schema_fingerprint(builder_b.build())
+
+        builder_c = TreeBuilder("three")
+        root = builder_c.root("book")
+        title = builder_c.child(root, "title")
+        builder_c.child(title, "author")  # same names, different parent structure
+        assert schema_fingerprint(tree_a) != schema_fingerprint(builder_c.build())
+
+    def test_names_kinds_and_datatypes_matter(self):
+        base = TreeBuilder("base")
+        root = base.root("book")
+        base.child(root, "title", datatype="string")
+        renamed = TreeBuilder("renamed")
+        root = renamed.root("book")
+        renamed.child(root, "titel", datatype="string")
+        retyped = TreeBuilder("retyped")
+        root = retyped.root("book")
+        retyped.child(root, "title", datatype="integer")
+        fingerprints = {
+            schema_fingerprint(base.build()),
+            schema_fingerprint(renamed.build()),
+            schema_fingerprint(retyped.build()),
+        }
+        assert len(fingerprints) == 3
+
+
+class TestExecutors:
+    @pytest.mark.parametrize(
+        "executor", [None, SerialExecutor(), ThreadPoolTaskExecutor(4)], ids=["inline", "serial", "threads"]
+    )
+    def test_all_executors_produce_identical_results(self, service_repository, executor):
+        service = MatchingService(service_repository, element_threshold=0.5, executor=executor)
+        reference = MatchingService(service_repository, element_threshold=0.5)
+        for schema in (paper_personal_schema(), contact_personal_schema()):
+            assert result_key(service.match(schema)) == result_key(reference.match(schema))
+        if isinstance(executor, ThreadPoolTaskExecutor):
+            executor.close()
+
+    def test_threaded_kmeans_variant_matches_serial(self, service_repository):
+        with ThreadPoolTaskExecutor(4) as executor:
+            threaded = MatchingService(
+                service_repository, variant="medium", element_threshold=0.5, executor=executor
+            )
+            serial = MatchingService(service_repository, variant="medium", element_threshold=0.5)
+            assert result_key(threaded.match(paper_personal_schema())) == result_key(
+                serial.match(paper_personal_schema())
+            )
+
+
+class TestPartitionClusterer:
+    def test_matches_fragment_clusterer_without_reclustering(self, service_repository):
+        """The precomputed partition must reproduce the online fragmenter exactly."""
+        selector = MappingElementSelector(FuzzyNameMatcher(), threshold=0.5)
+        candidates = selector.select(paper_personal_schema(), service_repository)
+        online = FragmentClusterer(max_fragment_size=20).cluster(candidates, service_repository)
+        partition = RepositoryPartition(max_fragment_size=20)
+        precomputed = PartitionClusterer(partition).cluster(candidates, service_repository)
+        online_clusters = sorted(
+            (cluster.tree_id, tuple(sorted(cluster.member_global_ids())))
+            for cluster in online.clusters
+        )
+        precomputed_clusters = sorted(
+            (cluster.tree_id, tuple(sorted(cluster.member_global_ids())))
+            for cluster in precomputed.clusters
+        )
+        assert online_clusters == precomputed_clusters
+
+    def test_partition_builds_lazily_per_queried_tree(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        result = service.match(paper_personal_schema())
+        trees_with_elements = {
+            element.ref.tree_id for element in result.candidates.iter_all_elements()
+        }
+        # Exactly the trees holding mapping elements were fragmented — no more.
+        assert service.partition.built_tree_count == len(trees_with_elements)
+
+
+class TestConfiguration:
+    def test_clusterer_and_variant_are_mutually_exclusive(self, service_repository):
+        with pytest.raises(ConfigurationError):
+            MatchingService(
+                service_repository,
+                variant="medium",
+                clusterer=PartitionClusterer(RepositoryPartition()),
+            )
+
+    def test_variant_name_round_trips_through_constructor(self, service_repository):
+        """The name the service reports must be accepted back by the constructor."""
+        service = MatchingService(service_repository)
+        again = MatchingService(service_repository, variant=service.variant_name)
+        assert again.variant_name == "partition"
+        assert again.partition is not None
+
+    def test_cannot_remove_last_tree(self):
+        builder = TreeBuilder("only")
+        root = builder.root("only")
+        builder.child(root, "name")
+        from repro.schema.repository import SchemaRepository
+
+        repository = SchemaRepository()
+        repository.add_tree(builder.build())
+        service = MatchingService(repository)
+        with pytest.raises(ConfigurationError):
+            service.remove_tree(0)
+
+    def test_stats_reports_the_essentials(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        service.match(paper_personal_schema())
+        stats = service.stats()
+        assert stats["variant"] == "partition"
+        assert stats["queries"] == 1
+        assert stats["trees"] == service_repository.tree_count

@@ -1,0 +1,76 @@
+"""Tests for the pluggable task executors (order contract, pooling, errors)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.utils.executor import SerialExecutor, TaskExecutor, ThreadPoolTaskExecutor
+
+
+@pytest.mark.parametrize("executor", [SerialExecutor(), ThreadPoolTaskExecutor(4)], ids=["serial", "threads"])
+def test_map_preserves_input_order(executor):
+    items = list(range(50))
+    assert executor.map(lambda value: value * value, items) == [value * value for value in items]
+    executor.close()
+
+
+def test_thread_pool_actually_uses_worker_threads():
+    seen = set()
+    barrier = threading.Barrier(2, timeout=5)
+
+    def record(_):
+        try:
+            barrier.wait()
+        except threading.BrokenBarrierError:  # pragma: no cover - defensive
+            pass
+        seen.add(threading.current_thread().name)
+        return threading.current_thread().name
+
+    with ThreadPoolTaskExecutor(2) as executor:
+        executor.map(record, [0, 1])
+    assert all(name.startswith("repro-query") for name in seen)
+
+
+def test_thread_pool_single_item_runs_inline():
+    with ThreadPoolTaskExecutor(2) as executor:
+        (name,) = executor.map(lambda _: threading.current_thread().name, [0])
+    assert name == threading.main_thread().name
+
+
+def test_task_errors_propagate():
+    def boom(value):
+        raise ValueError(f"bad {value}")
+
+    with pytest.raises(ValueError):
+        SerialExecutor().map(boom, [1])
+    with ThreadPoolTaskExecutor(2) as executor:
+        with pytest.raises(ValueError):
+            executor.map(boom, [1, 2, 3])
+
+
+def test_close_is_idempotent_and_pool_restarts():
+    executor = ThreadPoolTaskExecutor(2)
+    assert executor.map(lambda value: value + 1, [1, 2]) == [2, 3]
+    executor.close()
+    executor.close()
+    # A closed executor lazily re-creates its pool on next use.
+    assert executor.map(lambda value: value + 1, [3, 4]) == [4, 5]
+    executor.close()
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError):
+        ThreadPoolTaskExecutor(0)
+
+
+def test_subclass_contract():
+    class Doubling(TaskExecutor):
+        name = "doubling"
+
+        def map(self, fn, items):
+            return [fn(item) for item in items]
+
+    with Doubling() as executor:
+        assert executor.map(lambda value: value * 2, [1, 2]) == [2, 4]
