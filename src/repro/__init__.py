@@ -49,6 +49,7 @@ from repro.mapping import (
     BranchAndBoundGenerator,
     ExhaustiveGenerator,
     SchemaMapping,
+    TopKPool,
 )
 from repro.clustering import FragmentClusterer, KMeansClusterer, TreeClusterer
 from repro.system import (
@@ -60,6 +61,7 @@ from repro.system import (
 )
 from repro.service import (
     MatchingService,
+    ProcessPoolTaskExecutor,
     SerialExecutor,
     ThreadPoolTaskExecutor,
     load_snapshot,
@@ -90,6 +92,7 @@ __all__ = [
     "MatchingService",
     "NodeKind",
     "ObjectiveError",
+    "ProcessPoolTaskExecutor",
     "ReproError",
     "SchemaError",
     "SchemaMapping",
@@ -100,6 +103,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadPoolTaskExecutor",
     "TokenNameMatcher",
+    "TopKPool",
     "TreeBuilder",
     "TreeClusterer",
     "UnknownNodeError",

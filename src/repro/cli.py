@@ -178,10 +178,14 @@ def _make_service(repository, args: argparse.Namespace):
     )
 
 
-def _make_executor(workers: int):
-    from repro.utils.executor import ThreadPoolTaskExecutor
+def _make_executor(workers: int, kind: str = "thread"):
+    from repro.utils.executor import ProcessPoolTaskExecutor, ThreadPoolTaskExecutor
 
-    return ThreadPoolTaskExecutor(workers) if workers > 1 else None
+    if workers <= 1:
+        return None
+    if kind == "process":
+        return ProcessPoolTaskExecutor(workers)
+    return ThreadPoolTaskExecutor(workers)
 
 
 def _command_snapshot(args: argparse.Namespace) -> int:
@@ -201,9 +205,11 @@ def _command_snapshot(args: argparse.Namespace) -> int:
 def _command_query(args: argparse.Namespace) -> int:
     from repro.service import load_snapshot
 
-    service = load_snapshot(Path(args.snapshot), executor=_make_executor(args.workers))
+    service = load_snapshot(
+        Path(args.snapshot), executor=_make_executor(args.workers, args.executor)
+    )
     personal = _personal_schema_from_json(args.personal)
-    result = service.match(personal, delta=args.delta)
+    result = service.match(personal, delta=args.delta, top_k=args.top_k)
     _print_result(
         service.repository,
         personal,
@@ -233,14 +239,89 @@ def _mapping_to_dict(repository, personal, mapping) -> dict:
     }
 
 
+def _handle_serve_request(service, request: dict, args: argparse.Namespace, added_counter: List[int]) -> dict:
+    """Dispatch one parsed serve request to the service and build the response."""
+    if "personal" in request:
+        personal = TreeBuilder.from_nested(request["personal"], name="personal")
+        top_k = request.get("top_k", args.top_k)
+        result = service.match(
+            personal,
+            delta=request.get("delta"),
+            top_k=None if top_k is None else int(top_k),
+        )
+        top = int(request.get("top", args.top))
+        if top < 0:
+            raise ReproError(f"top must be non-negative, got {top}")
+        return {
+            "mappings": [
+                _mapping_to_dict(service.repository, personal, mapping)
+                for mapping in result.mappings[:top]
+            ],
+            "mapping_count": len(result.mappings),
+            "elapsed_seconds": round(result.total_seconds, 6),
+        }
+    if "add" in request:
+        added_counter[0] += 1
+        tree = TreeBuilder.from_nested(
+            request["add"], name=str(request.get("name", f"added-{added_counter[0]}"))
+        )
+        return {
+            "ok": True,
+            "tree_id": service.add_tree(tree),
+            "trees": service.repository.tree_count,
+        }
+    if "remove" in request:
+        removed = service.remove_tree(int(request["remove"]))
+        return {
+            "ok": True,
+            "removed": removed.name,
+            "trees": service.repository.tree_count,
+        }
+    if "stats" in request:
+        return {"stats": service.stats()}
+    raise ReproError("request needs one of: personal, add, remove, stats")
+
+
+def serve_loop(service, lines, out, args: argparse.Namespace) -> int:
+    """The JSON-lines request loop: one response per request line, no matter what.
+
+    Robustness contract: *nothing* a client sends — invalid JSON, a JSON line
+    that is not an object (``[1, 2]``, ``"hello"``), a structurally broken
+    schema specification, or an unexpected exception anywhere inside request
+    handling — may ever escape as a traceback and kill the server.  Every
+    failure is reported as an ``{"error": ...}`` JSON envelope (with the
+    exception class in ``"type"`` for unexpected errors) and the loop moves on
+    to the next line.
+    """
+    added_counter = [0]
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ReproError(f"request must be a JSON object, got {type(request).__name__}")
+            response = _handle_serve_request(service, request, args, added_counter)
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            response = {"error": str(error) or type(error).__name__}
+        except Exception as error:  # noqa: BLE001 - the serve loop must survive anything
+            response = {"error": str(error) or type(error).__name__, "type": type(error).__name__}
+        print(json.dumps(response), file=out, flush=True)
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """JSON-lines request loop over stdin/stdout (the service process demo).
 
-    Request documents: ``{"personal": {...}, "delta"?, "top"?}`` runs a query;
+    Request documents: ``{"personal": {...}, "delta"?, "top"?, "top_k"?}``
+    runs a query (``top_k`` bounds the *search* to the k best mappings with
+    cross-cluster pruning; ``top`` only trims the printed list);
     ``{"add": {...}, "name"?}`` registers a new tree incrementally;
     ``{"remove": <tree_id>}`` unregisters one; ``{"stats": true}`` reports the
-    service counters.  One JSON response per line; malformed requests produce
-    an ``{"error": ...}`` response instead of terminating the loop.
+    service counters.  One JSON response per line; malformed or failing
+    requests produce an ``{"error": ...}`` response instead of terminating
+    the loop (see :func:`serve_loop`).
 
     Tree ids are positional: removing a tree shifts every later tree's id
     down by one (see :meth:`SchemaRepository.remove_tree`), so ids returned by
@@ -250,59 +331,16 @@ def _command_serve(args: argparse.Namespace) -> int:
     """
     from repro.service import load_snapshot
 
-    service = load_snapshot(Path(args.snapshot), executor=_make_executor(args.workers))
+    service = load_snapshot(
+        Path(args.snapshot), executor=_make_executor(args.workers, args.executor)
+    )
     print(
         json.dumps(
             {"ready": True, "trees": service.repository.tree_count, "nodes": service.repository.node_count}
         ),
         flush=True,
     )
-    added = 0
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ReproError("request must be a JSON object")
-            if "personal" in request:
-                personal = TreeBuilder.from_nested(request["personal"], name="personal")
-                result = service.match(personal, delta=request.get("delta"))
-                top = int(request.get("top", args.top))
-                response = {
-                    "mappings": [
-                        _mapping_to_dict(service.repository, personal, mapping)
-                        for mapping in result.mappings[:top]
-                    ],
-                    "mapping_count": len(result.mappings),
-                    "elapsed_seconds": round(result.total_seconds, 6),
-                }
-            elif "add" in request:
-                added += 1
-                tree = TreeBuilder.from_nested(
-                    request["add"], name=str(request.get("name", f"added-{added}"))
-                )
-                response = {
-                    "ok": True,
-                    "tree_id": service.add_tree(tree),
-                    "trees": service.repository.tree_count,
-                }
-            elif "remove" in request:
-                removed = service.remove_tree(int(request["remove"]))
-                response = {
-                    "ok": True,
-                    "removed": removed.name,
-                    "trees": service.repository.tree_count,
-                }
-            elif "stats" in request:
-                response = {"stats": service.stats()}
-            else:
-                raise ReproError("request needs one of: personal, add, remove, stats")
-        except (ReproError, ValueError, KeyError, TypeError) as error:
-            response = {"error": str(error)}
-        print(json.dumps(response), flush=True)
-    return 0
+    return serve_loop(service, sys.stdin, sys.stdout, args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -353,7 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--personal", required=True, help="personal schema as nested JSON")
     query_parser.add_argument("--delta", type=float, default=None, help="override the snapshot's δ")
     query_parser.add_argument("--top", type=int, default=10, help="number of mappings to print")
-    query_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation threads")
+    query_parser.add_argument(
+        "--top-k", type=int, default=None, dest="top_k",
+        help="bound the search to the k best mappings (enables cross-cluster pruning; default: all mappings >= δ)",
+    )
+    query_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation workers")
+    query_parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker backend when --workers > 1 (process sidesteps the GIL for CPU-bound searches)",
+    )
     query_parser.set_defaults(handler=_command_query)
 
     serve_parser = subparsers.add_parser(
@@ -361,7 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument("--snapshot", required=True, help="snapshot file written by 'snapshot'")
     serve_parser.add_argument("--top", type=int, default=10, help="default mappings per response")
-    serve_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation threads")
+    serve_parser.add_argument(
+        "--top-k", type=int, default=None, dest="top_k",
+        help="default search bound per query (requests may override with \"top_k\")",
+    )
+    serve_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation workers")
+    serve_parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker backend when --workers > 1 (process sidesteps the GIL for CPU-bound searches)",
+    )
     serve_parser.set_defaults(handler=_command_serve)
 
     return parser

@@ -10,22 +10,35 @@ interface, together with the exhaustive baseline used to verify completeness.
 
 from repro.mapping.model import MappingProblem, SchemaMapping
 from repro.mapping.base import GenerationResult, MappingGenerator
+from repro.mapping.engine import (
+    BeamPolicy,
+    BestFirstPolicy,
+    DepthFirstPolicy,
+    SearchPolicy,
+    TopKPool,
+    TreeSearchContext,
+    run_search,
+)
 from repro.mapping.exhaustive import ExhaustiveGenerator
 from repro.mapping.branch_and_bound import BranchAndBoundGenerator
 from repro.mapping.beam import BeamSearchGenerator
 from repro.mapping.astar import AStarGenerator
 from repro.mapping.partial import PartialMappingGenerator, PartialSchemaMapping, partial_mappings_for_cluster
-from repro.mapping.ranking import merge_ranked, top_n
+from repro.mapping.ranking import merge_ranked, ranking_sort_key, top_n
 from repro.mapping.search_space import (
     clustered_search_space,
+    grouped_search_space,
     search_space_size,
     theoretical_reduction_factor,
 )
 
 __all__ = [
     "AStarGenerator",
+    "BeamPolicy",
     "BeamSearchGenerator",
+    "BestFirstPolicy",
     "BranchAndBoundGenerator",
+    "DepthFirstPolicy",
     "ExhaustiveGenerator",
     "GenerationResult",
     "MappingGenerator",
@@ -33,9 +46,15 @@ __all__ = [
     "PartialMappingGenerator",
     "PartialSchemaMapping",
     "SchemaMapping",
+    "SearchPolicy",
+    "TopKPool",
+    "TreeSearchContext",
     "partial_mappings_for_cluster",
     "clustered_search_space",
+    "grouped_search_space",
     "merge_ranked",
+    "ranking_sort_key",
+    "run_search",
     "search_space_size",
     "theoretical_reduction_factor",
     "top_n",

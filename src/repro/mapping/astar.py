@@ -5,19 +5,21 @@ repeatedly expands the most promising state.  With an admissible bound this is
 complete — it finds exactly the mappings Branch-and-Bound finds — but the
 expansion order differs, which matters for the *time-to-first-good-mapping*
 metric the paper lists as future work (cluster ordering).
+
+Since the unified search core (:mod:`repro.mapping.engine`) the class is a
+thin policy binding over :class:`~repro.mapping.engine.BestFirstPolicy`; the
+frontier loop and bound evaluation are shared with the Branch-and-Bound and
+beam generators, and so is top-``k`` incumbent pruning — except when
+``max_expansions`` is set, which makes the search incomplete and therefore
+opts it out of the shared floor (see
+:meth:`~repro.mapping.engine.SearchPolicy.supports_shared_pruning`).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import time
-from typing import Dict, FrozenSet, List, Tuple
-
-from repro.matchers.selection import MappingElement
 from repro.mapping.base import GenerationResult, MappingGenerator
+from repro.mapping.engine import BestFirstPolicy, run_search
 from repro.mapping.model import MappingProblem
-from repro.mapping.support import candidates_by_tree, incremental_path_edges
 
 
 class AStarGenerator(MappingGenerator):
@@ -39,74 +41,4 @@ class AStarGenerator(MappingGenerator):
         self.max_expansions = max_expansions
 
     def generate(self, problem: MappingProblem) -> GenerationResult:
-        result = GenerationResult()
-        started = time.perf_counter()
-        order = problem.assignment_order()
-        for tree_id, groups in sorted(candidates_by_tree(problem).items()):
-            self._search_tree(problem, order, groups, result)
-        result.elapsed_seconds = time.perf_counter() - started
-        result.sort()
-        return result
-
-    def _search_tree(
-        self,
-        problem: MappingProblem,
-        order: List[int],
-        groups: Dict[int, List[MappingElement]],
-        result: GenerationResult,
-    ) -> None:
-        best_similarity = {
-            node_id: max(element.similarity for element in elements)
-            for node_id, elements in groups.items()
-        }
-        tie_breaker = itertools.count()
-        # Heap entries: (-bound, tie, level, assignment dict, used ids, path edges)
-        heap: List[Tuple[float, int, int, Dict[int, MappingElement], FrozenSet[int], FrozenSet[int]]] = []
-        heapq.heappush(heap, (-1.0, next(tie_breaker), 0, {}, frozenset(), frozenset()))
-        expansions = 0
-
-        while heap:
-            negative_bound, _, level, assignment, used_globals, path_edges = heapq.heappop(heap)
-            if -negative_bound < problem.delta:
-                # Everything left in the heap is bounded below delta as well.
-                break
-            if level == len(order):
-                mapping = problem.evaluate(assignment)
-                result.counters.increment("evaluated_mappings")
-                if mapping.score >= problem.delta:
-                    result.mappings.append(mapping)
-                continue
-            if self.max_expansions is not None and expansions >= self.max_expansions:
-                result.counters.set("expansion_limit_reached", 1)
-                break
-            expansions += 1
-            result.counters.increment("expansions")
-
-            node_id = order[level]
-            remaining = {other: best_similarity[other] for other in order[level + 1 :]}
-            for element in groups[node_id]:
-                if problem.require_injective and element.ref.global_id in used_globals:
-                    continue
-                added = incremental_path_edges(problem, assignment, node_id, element)
-                new_edges = path_edges | frozenset(added)
-                new_assignment = dict(assignment)
-                new_assignment[node_id] = element
-                result.counters.increment("partial_mappings")
-                bound = problem.objective.bound(
-                    problem.personal_schema, new_assignment, remaining, len(new_edges)
-                )
-                result.counters.increment("bound_evaluations")
-                if bound < problem.delta:
-                    result.counters.increment("pruned_partial_mappings")
-                    continue
-                heapq.heappush(
-                    heap,
-                    (
-                        -bound,
-                        next(tie_breaker),
-                        level + 1,
-                        new_assignment,
-                        used_globals | {element.ref.global_id},
-                        new_edges,
-                    ),
-                )
+        return run_search(problem, BestFirstPolicy(max_expansions=self.max_expansions))

@@ -42,8 +42,10 @@ class GenerationResult:
         return self
 
     def sort(self) -> None:
-        """Order mappings by descending score with a deterministic tie-break."""
-        self.mappings.sort(key=lambda mapping: (-mapping.score, mapping.signature()))
+        """Order mappings by descending score with the canonical deterministic tie-break."""
+        from repro.mapping.ranking import ranking_sort_key
+
+        self.mappings.sort(key=ranking_sort_key)
 
 
 class MappingGenerator(abc.ABC):

@@ -5,30 +5,22 @@ Beam search explores the assignment levels breadth-first but keeps only the
 level.  It is *not* complete: mappings can be lost when the beam is too narrow,
 which makes it an interesting baseline to contrast with clustered matching —
 both trade effectiveness for efficiency, but in different ways.
+
+Since the unified search core (:mod:`repro.mapping.engine`) the class is a
+thin policy binding over :class:`~repro.mapping.engine.BeamPolicy`; the
+expansion step and bound evaluation are shared with the Branch-and-Bound and
+A* generators.  Beam search is incomplete, so it deliberately opts *out* of
+the shared top-``k`` incumbent pruning (its results would otherwise depend on
+when other clusters raised the floor): in top-``k`` mode it keeps δ-only
+pruning plus plain result truncation.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
-
 from repro.errors import MappingError
-from repro.matchers.selection import MappingElement
 from repro.mapping.base import GenerationResult, MappingGenerator
+from repro.mapping.engine import BeamPolicy, run_search
 from repro.mapping.model import MappingProblem
-from repro.mapping.support import candidates_by_tree, incremental_path_edges
-
-
-@dataclass(frozen=True)
-class _BeamState:
-    assignment: Tuple[Tuple[int, MappingElement], ...]
-    used_globals: FrozenSet[int]
-    path_edges: FrozenSet[int]
-    bound: float
-
-    def as_dict(self) -> Dict[int, MappingElement]:
-        return dict(self.assignment)
 
 
 class BeamSearchGenerator(MappingGenerator):
@@ -42,68 +34,4 @@ class BeamSearchGenerator(MappingGenerator):
         self.beam_width = beam_width
 
     def generate(self, problem: MappingProblem) -> GenerationResult:
-        result = GenerationResult()
-        started = time.perf_counter()
-        order = problem.assignment_order()
-        for tree_id, groups in sorted(candidates_by_tree(problem).items()):
-            self._search_tree(problem, order, groups, result)
-        result.elapsed_seconds = time.perf_counter() - started
-        result.sort()
-        return result
-
-    def _search_tree(
-        self,
-        problem: MappingProblem,
-        order: List[int],
-        groups: Dict[int, List[MappingElement]],
-        result: GenerationResult,
-    ) -> None:
-        best_similarity = {
-            node_id: max(element.similarity for element in elements)
-            for node_id, elements in groups.items()
-        }
-        beam: List[_BeamState] = [
-            _BeamState(assignment=(), used_globals=frozenset(), path_edges=frozenset(), bound=1.0)
-        ]
-
-        for level, node_id in enumerate(order):
-            remaining = {other: best_similarity[other] for other in order[level + 1 :]}
-            next_states: List[_BeamState] = []
-            for state in beam:
-                assignment = state.as_dict()
-                for element in groups[node_id]:
-                    if problem.require_injective and element.ref.global_id in state.used_globals:
-                        continue
-                    added = incremental_path_edges(problem, assignment, node_id, element)
-                    new_edges = state.path_edges | frozenset(added)
-                    new_assignment = assignment | {node_id: element}
-                    result.counters.increment("partial_mappings")
-                    bound = problem.objective.bound(
-                        problem.personal_schema, new_assignment, remaining, len(new_edges)
-                    )
-                    result.counters.increment("bound_evaluations")
-                    if bound < problem.delta:
-                        result.counters.increment("pruned_partial_mappings")
-                        continue
-                    next_states.append(
-                        _BeamState(
-                            assignment=tuple(sorted(new_assignment.items())),
-                            used_globals=state.used_globals | {element.ref.global_id},
-                            path_edges=new_edges,
-                            bound=bound,
-                        )
-                    )
-            # Keep the best states only; deterministic tie-break on the mapped ids.
-            next_states.sort(key=lambda s: (-s.bound, tuple(e.ref.global_id for _, e in s.assignment)))
-            dropped = max(0, len(next_states) - self.beam_width)
-            if dropped:
-                result.counters.increment("beam_dropped_states", dropped)
-            beam = next_states[: self.beam_width]
-            if not beam:
-                return
-
-        for state in beam:
-            mapping = problem.evaluate(state.as_dict())
-            result.counters.increment("evaluated_mappings")
-            if mapping.score >= problem.delta:
-                result.mappings.append(mapping)
+        return run_search(problem, BeamPolicy(beam_width=self.beam_width))

@@ -7,6 +7,11 @@ can reach; when the bound already falls below the threshold ``δ``, the whole
 subtree of the search is pruned ("early detection of mappings for which
 ``Δ(s, t) < δ``", Sec. 3).
 
+Since the unified search core (:mod:`repro.mapping.engine`) the class is a
+thin policy binding: the expansion loop, the bound evaluation and the
+(optional) top-``k`` incumbent pruning all live in the engine and are shared
+with the A* and beam generators.
+
 The number of partial mappings created — the paper's machine-independent
 efficiency indicator (Table 1b) — is reported via the ``partial_mappings``
 counter.
@@ -14,13 +19,9 @@ counter.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Set
-
-from repro.matchers.selection import MappingElement
 from repro.mapping.base import GenerationResult, MappingGenerator
+from repro.mapping.engine import DepthFirstPolicy, run_search
 from repro.mapping.model import MappingProblem
-from repro.mapping.support import candidates_by_tree, incremental_path_edges
 
 
 class BranchAndBoundGenerator(MappingGenerator):
@@ -41,72 +42,4 @@ class BranchAndBoundGenerator(MappingGenerator):
         self.use_bounding = use_bounding
 
     def generate(self, problem: MappingProblem) -> GenerationResult:
-        result = GenerationResult()
-        started = time.perf_counter()
-        order = problem.assignment_order()
-        for tree_id, groups in sorted(candidates_by_tree(problem).items()):
-            self._search_tree(problem, order, groups, result)
-        result.elapsed_seconds = time.perf_counter() - started
-        result.sort()
-        return result
-
-    def _search_tree(
-        self,
-        problem: MappingProblem,
-        order: List[int],
-        groups: Dict[int, List[MappingElement]],
-        result: GenerationResult,
-    ) -> None:
-        # The best similarity still reachable for the personal nodes that are
-        # assigned at or after a given level; used by the bound.
-        best_similarity = {
-            node_id: max(element.similarity for element in elements)
-            for node_id, elements in groups.items()
-        }
-
-        assignment: Dict[int, MappingElement] = {}
-        used_globals: Set[int] = set()
-        path_edges: Set[int] = set()
-
-        def remaining_best(level: int) -> Dict[int, float]:
-            return {node_id: best_similarity[node_id] for node_id in order[level:]}
-
-        def recurse(level: int) -> None:
-            if level == len(order):
-                mapping = problem.evaluate(assignment)
-                result.counters.increment("evaluated_mappings")
-                if mapping.score >= problem.delta:
-                    result.mappings.append(mapping)
-                return
-            node_id = order[level]
-            for element in groups[node_id]:
-                if problem.require_injective and element.ref.global_id in used_globals:
-                    continue
-                added_edges = incremental_path_edges(problem, assignment, node_id, element)
-                new_edges = added_edges - path_edges
-
-                assignment[node_id] = element
-                used_globals.add(element.ref.global_id)
-                path_edges.update(new_edges)
-                result.counters.increment("partial_mappings")
-
-                expand = True
-                if self.use_bounding:
-                    bound = problem.objective.bound(
-                        problem.personal_schema,
-                        assignment,
-                        remaining_best(level + 1),
-                        len(path_edges),
-                    )
-                    result.counters.increment("bound_evaluations")
-                    if bound < problem.delta:
-                        result.counters.increment("pruned_partial_mappings")
-                        expand = False
-                if expand:
-                    recurse(level + 1)
-
-                del assignment[node_id]
-                used_globals.discard(element.ref.global_id)
-                path_edges.difference_update(new_edges)
-
-        recurse(0)
+        return run_search(problem, DepthFirstPolicy(use_bounding=self.use_bounding))

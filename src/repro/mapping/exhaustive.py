@@ -33,6 +33,10 @@ class ExhaustiveGenerator(MappingGenerator):
             self._enumerate_tree(problem, order, groups, result)
         result.elapsed_seconds = time.perf_counter() - started
         result.sort()
+        if problem.top_k is not None:
+            # Exhaustive search never prunes, but it honours the problem's
+            # top-k *result* semantics so it stays a drop-in ground truth.
+            del result.mappings[problem.top_k :]
         return result
 
     def _enumerate_tree(

@@ -13,7 +13,7 @@ by its candidate sets and oracle).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import MappingError
 from repro.labeling.distance import RepositoryDistanceOracle
@@ -21,6 +21,9 @@ from repro.matchers.selection import MappingElement, MappingElementSets
 from repro.objective.base import ObjectiveFunction
 from repro.schema.repository import RepositoryNodeRef
 from repro.schema.tree import SchemaTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports model)
+    from repro.mapping.engine import TopKPool
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,15 @@ class MappingProblem:
     ``candidates`` usually describes a single cluster (or, for the non-clustered
     baseline, a single repository tree); the generator enforces that every
     produced mapping stays within one repository tree regardless.
+
+    ``top_k`` switches the pruning generators from "every mapping with
+    ``Δ >= δ``" to "the ``k`` best mappings with ``Δ >= δ``": bounds are then
+    additionally pruned against the ``k``-th best score found so far.  When
+    several per-cluster problems of one query share a :class:`~repro.mapping.engine.TopKPool`
+    via ``shared_pool``, that floor is shared across clusters — a good mapping
+    found in one cluster prunes the others (see :mod:`repro.mapping.engine`
+    for the exactness argument).  ``shared_pool`` is ignored unless ``top_k``
+    is set.
     """
 
     personal_schema: SchemaTree
@@ -96,10 +108,14 @@ class MappingProblem:
     delta: float
     cluster_id: Optional[int] = None
     require_injective: bool = True
+    top_k: Optional[int] = None
+    shared_pool: Optional["TopKPool"] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.delta <= 1.0:
             raise MappingError(f"threshold delta must be in [0, 1], got {self.delta}")
+        if self.top_k is not None and self.top_k < 1:
+            raise MappingError(f"top_k must be at least 1 when given, got {self.top_k}")
         personal_ids = set(self.personal_schema.node_ids())
         candidate_ids = set(self.candidates.personal_node_ids)
         if candidate_ids != personal_ids:

@@ -14,17 +14,38 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from repro.mapping.model import SchemaMapping
 
 
+def ranking_sort_key(mapping: SchemaMapping) -> Tuple[float, int, int, Tuple[int, ...]]:
+    """The canonical ranking key: score (descending), cluster id, signature.
+
+    Every ranked mapping list in the library sorts with this one key so that
+    equal-score mappings rank identically no matter which executor (serial,
+    thread pool, process pool) produced them or in which order per-cluster
+    results arrived.  The cluster id breaks ties before the signature so that
+    deduplication keeps a deterministic instance when the same mapping is
+    discovered in several overlapping clusters; clusterless mappings
+    (``cluster_id is None``) sort after clustered ones of the same score.
+    """
+    cluster_id = mapping.cluster_id
+    return (
+        -mapping.score,
+        1 if cluster_id is None else 0,
+        0 if cluster_id is None else cluster_id,
+        mapping.signature(),
+    )
+
+
 def merge_ranked(groups: Iterable[Sequence[SchemaMapping]], deduplicate: bool = True) -> List[SchemaMapping]:
     """Merge several mapping lists into one list ordered by descending score.
 
     When ``deduplicate`` is set, mappings with an identical signature (the same
     repository nodes for the same personal nodes) are reported once, keeping
-    the highest-scoring instance.
+    the highest-scoring instance (ties broken by the canonical ranking key,
+    i.e. the lowest cluster id wins).
     """
     merged: List[SchemaMapping] = []
     for group in groups:
         merged.extend(group)
-    merged.sort(key=lambda mapping: (-mapping.score, mapping.signature()))
+    merged.sort(key=ranking_sort_key)
     if not deduplicate:
         return merged
     seen: set = set()
@@ -42,7 +63,7 @@ def top_n(mappings: Sequence[SchemaMapping], n: int) -> List[SchemaMapping]:
     """The ``n`` best mappings (the list the interactive user is shown first)."""
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
-    ordered = sorted(mappings, key=lambda mapping: (-mapping.score, mapping.signature()))
+    ordered = sorted(mappings, key=ranking_sort_key)
     return ordered[:n]
 
 

@@ -39,6 +39,17 @@ def candidate_search_space(candidates: MappingElementSets) -> int:
     return search_space_size(candidates.sizes())
 
 
+def grouped_search_space(groups: Mapping[int, Sequence]) -> int:
+    """Search-space size of one repository tree's per-node candidate groups.
+
+    ``groups`` is the per-tree shape produced by
+    :func:`repro.mapping.support.candidates_by_tree` — personal node id to the
+    candidate elements within one tree — i.e. the space one
+    :class:`~repro.mapping.engine.TreeSearchContext` enumerates at most.
+    """
+    return search_space_size({node_id: len(elements) for node_id, elements in groups.items()})
+
+
 def clustered_search_space(cluster_candidates: Iterable[MappingElementSets]) -> int:
     """Total search space across clusters: the sum of the per-cluster spaces."""
     return sum(candidate_search_space(candidates) for candidates in cluster_candidates)

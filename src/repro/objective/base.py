@@ -64,6 +64,26 @@ class ObjectiveFunction(abc.ABC):
             to how paths were obtained).
         """
 
+    def fast_bound(
+        self,
+        personal_schema: SchemaTree,
+        assigned_similarity: float,
+        remaining_similarity: float,
+        partial_target_edge_count: int,
+    ) -> Optional[float]:
+        """O(1) variant of :meth:`bound` from precomputed similarity aggregates.
+
+        The unified search engine maintains the partial assignment's similarity
+        sum incrementally and precomputes, per assignment level, the total of
+        the best remaining per-node similarities.  Objectives whose bound only
+        depends on those two aggregates (and the partial edge count) can
+        implement this method and skip the per-expansion dictionary walk of
+        :meth:`bound` entirely; it must return exactly the value :meth:`bound`
+        would compute for the same state.  The default returns ``None``,
+        meaning "unsupported" — the engine then falls back to :meth:`bound`.
+        """
+        return None
+
     @abc.abstractmethod
     def bound(
         self,

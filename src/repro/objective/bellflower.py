@@ -120,6 +120,25 @@ class BellflowerObjective(ObjectiveFunction):
         path_bound = self.path_similarity(personal_schema, partial_target_edge_count)
         return self.alpha * _clamp_unit(sim_bound) + (1.0 - self.alpha) * path_bound
 
+    def fast_bound(
+        self,
+        personal_schema: SchemaTree,
+        assigned_similarity: float,
+        remaining_similarity: float,
+        partial_target_edge_count: int,
+    ) -> float:
+        """O(1) :meth:`bound`: Eq. 1/2 only need the two similarity totals.
+
+        Bit-identical to :meth:`bound` — the engine accumulates
+        ``assigned_similarity`` and ``remaining_similarity`` with the same
+        left-to-right addition order the generic path's ``sum`` calls use.
+        """
+        node_count = personal_schema.node_count
+        optimistic_similarity = assigned_similarity + remaining_similarity
+        sim_bound = optimistic_similarity / node_count if node_count else 0.0
+        path_bound = self.path_similarity(personal_schema, partial_target_edge_count)
+        return self.alpha * _clamp_unit(sim_bound) + (1.0 - self.alpha) * path_bound
+
 
 class NameOnlyObjective(BellflowerObjective):
     """Δ = Δsim: the degenerate α = 1 case, used in ablations and tests."""

@@ -26,11 +26,17 @@ from repro.service.snapshot import (
     snapshot_to_service,
     write_snapshot,
 )
-from repro.utils.executor import SerialExecutor, TaskExecutor, ThreadPoolTaskExecutor
+from repro.utils.executor import (
+    ProcessPoolTaskExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadPoolTaskExecutor,
+)
 
 __all__ = [
     "MatchingService",
     "PartitionClusterer",
+    "ProcessPoolTaskExecutor",
     "RepositoryPartition",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",

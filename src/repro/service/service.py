@@ -209,22 +209,49 @@ class MatchingService:
 
     # -- queries -------------------------------------------------------------
 
-    def match(self, personal_schema: SchemaTree, delta: Optional[float] = None) -> MatchResult:
+    def match(
+        self,
+        personal_schema: SchemaTree,
+        delta: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> MatchResult:
         """Match one personal schema, reusing cached element-match tables.
 
-        The cache key is :func:`~repro.service.fingerprint.schema_fingerprint`
-        of the personal schema; matcher and threshold are fixed per service
-        instance and every repository mutation clears the cache, so a hit can
-        only ever return the table a fresh run would recompute — cached and
-        uncached queries produce bit-identical mappings (only stage timers
-        and cache counters differ).
+        ``top_k`` restricts the query to the ``k`` best mappings and enables
+        cross-cluster bound sharing in the generator (see
+        :meth:`Bellflower.match <repro.system.bellflower.Bellflower.match>`);
+        ``None`` keeps the complete ``Δ >= δ`` semantics.
+
+        The cache key combines the
+        :func:`~repro.service.fingerprint.schema_fingerprint` of the personal
+        schema with the query's *effective* ``δ`` and the repository's
+        mutation :attr:`~repro.schema.repository.SchemaRepository.version`.
+        The cached value (the element-match table) does not itself depend on
+        ``δ``, but keying on the effective threshold guarantees a
+        ``match(tree, delta=...)`` override can never observe an entry cached
+        under different query semantics, and the version guard makes stale
+        hits impossible even when the repository is mutated *directly*
+        (bypassing :meth:`add_tree`/:meth:`remove_tree`, which also clear the
+        cache eagerly).  A hit can therefore only ever return the table a
+        fresh run would recompute — cached and uncached queries produce
+        bit-identical mappings (only stage timers and cache counters differ).
+        ``top_k`` is deliberately not part of the key: the element-match
+        table is computed before mapping generation and is identical for
+        every ``k``.
         """
+        effective_delta = self.delta if delta is None else delta
         cached = None
         key = None
         if self.query_cache_size:
-            key = schema_fingerprint(personal_schema)
+            key = (
+                schema_fingerprint(personal_schema),
+                effective_delta,
+                self.repository.version,
+            )
             cached = self._query_cache.get(key)
-        result = self._system.match(personal_schema, delta=delta, candidates=cached)
+        result = self._system.match(
+            personal_schema, delta=delta, candidates=cached, top_k=top_k
+        )
         if key is not None:
             if cached is not None:
                 self.counters.increment("query_cache_hits")

@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.labeling.distance import RepositoryDistanceOracle
 from repro.mapping.base import GenerationResult, MappingGenerator
 from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.engine import TopKPool
 from repro.mapping.model import MappingProblem
 from repro.mapping.ranking import merge_ranked
 from repro.mapping.search_space import candidate_search_space
@@ -134,6 +135,7 @@ class Bellflower:
         candidates: MappingElementSets,
         clustering: ClusteringResult,
         delta: float,
+        top_k: Optional[int] = None,
     ) -> tuple[GenerationResult, List[ClusterReport]]:
         """Search every useful cluster and merge the per-cluster results.
 
@@ -144,7 +146,18 @@ class Bellflower:
         the serial path.  With an executor, ``elapsed_seconds`` remains the
         sum of per-cluster search times (CPU time), which can exceed the
         wall-clock ``generation`` stage timer.
+
+        ``top_k`` restricts the search to the ``k`` best mappings overall: the
+        per-cluster problems then share one
+        :class:`~repro.mapping.engine.TopKPool` incumbent, so a good mapping
+        found in any cluster raises the pruning floor for all of them.  The
+        returned *mappings* stay deterministic across executors (see
+        :mod:`repro.mapping.engine`); the pruning *counters* become
+        timing-dependent under concurrent executors.
         """
+        if top_k is not None and top_k < 1:
+            raise ConfigurationError(f"top_k must be at least 1 when given, got {top_k}")
+        pool = TopKPool(top_k) if top_k is not None else None
         merged = GenerationResult()
         reports: List[ClusterReport] = []
         problems: List[MappingProblem] = []
@@ -160,6 +173,8 @@ class Bellflower:
                     objective=self.objective,
                     delta=delta,
                     cluster_id=cluster.cluster_id,
+                    top_k=top_k,
+                    shared_pool=pool,
                 )
             )
             reports.append(
@@ -181,6 +196,8 @@ class Bellflower:
             merged.counters.merge(result.counters)
             merged.elapsed_seconds += result.elapsed_seconds
         merged.mappings = merge_ranked(per_cluster_mappings)
+        if top_k is not None:
+            del merged.mappings[top_k:]
         return merged, reports
 
     # -- the full pipeline --------------------------------------------------------------
@@ -190,12 +207,16 @@ class Bellflower:
         personal_schema: SchemaTree,
         delta: Optional[float] = None,
         candidates: Optional[MappingElementSets] = None,
+        top_k: Optional[int] = None,
     ) -> MatchResult:
         """Run the full pipeline and return a :class:`MatchResult`.
 
         ``candidates`` allows the caller to supply a precomputed element-matching
         result, which the experiment harness uses to hold the element stage
-        constant while varying the clusterer.
+        constant while varying the clusterer.  ``top_k`` limits the result to
+        the ``k`` best mappings and lets the generator prune against the best
+        scores found so far across *all* clusters (cross-cluster bound
+        sharing); ``None`` keeps the complete ``Δ >= δ`` semantics.
         """
         if personal_schema.node_count == 0:
             raise ConfigurationError("cannot match an empty personal schema")
@@ -213,7 +234,7 @@ class Bellflower:
 
         with timers.measure("generation"):
             generation, reports = self.generate_mappings(
-                personal_schema, candidates, clustering, effective_delta
+                personal_schema, candidates, clustering, effective_delta, top_k=top_k
             )
 
         counters.merge(generation.counters)
@@ -228,6 +249,7 @@ class Bellflower:
             timers=timers,
             cluster_reports=reports,
             counters=counters,
+            top_k=top_k,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

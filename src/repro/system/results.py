@@ -42,6 +42,8 @@ class MatchResult:
     timers: StageTimer = field(default_factory=StageTimer)
     cluster_reports: List[ClusterReport] = field(default_factory=list)
     counters: CounterSet = field(default_factory=CounterSet)
+    #: The ``top_k`` the query ran with (``None``: complete ``Δ >= δ`` search).
+    top_k: Optional[int] = None
 
     # -- Table 1a style properties -------------------------------------------------
 

@@ -17,14 +17,19 @@ results stop being reproducible.
 The library is pure Python, so :class:`ThreadPoolTaskExecutor` is bounded by
 the GIL for CPU-heavy generators — it exists for the service scenario where
 per-cluster work blocks on shared caches or the workload mixes many small
-clusters, and as the seam where a process pool or a native kernel can be
-plugged in later without touching the pipeline.
+clusters.  :class:`ProcessPoolTaskExecutor` is the CPU-parallel backend: it
+ships picklable task payloads to worker processes in contiguous, input-ordered
+chunks (one pickle per chunk, so payloads sharing large state — e.g. the
+per-cluster mapping problems of one query, which all reference the same
+repository — serialize that state once per worker, not once per task) and
+reassembles the results in input order, preserving the determinism contract.
 """
 
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 _ItemT = TypeVar("_ItemT")
@@ -109,3 +114,94 @@ class ThreadPoolTaskExecutor(TaskExecutor):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ThreadPoolTaskExecutor(max_workers={self.max_workers})"
+
+
+def _run_task_chunk(fn: Callable[[_ItemT], _ResultT], chunk: List[_ItemT]) -> List[_ResultT]:
+    """Worker-side body of :meth:`ProcessPoolTaskExecutor.map` (module-level: picklable)."""
+    return [fn(item) for item in chunk]
+
+
+def split_into_chunks(items: Sequence[_ItemT], chunk_count: int) -> List[List[_ItemT]]:
+    """Split ``items`` into at most ``chunk_count`` contiguous, balanced chunks.
+
+    Contiguity is what keeps the process executor deterministic: flattening
+    the per-chunk results in submission order reproduces the input order
+    exactly.  Sizes differ by at most one (the first ``len % count`` chunks
+    get the extra item).
+    """
+    if chunk_count < 1:
+        raise ValueError(f"chunk_count must be positive, got {chunk_count}")
+    if not items:
+        return []
+    chunk_count = min(chunk_count, len(items))
+    base, extra = divmod(len(items), chunk_count)
+    chunks: List[List[_ItemT]] = []
+    start = 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+class ProcessPoolTaskExecutor(TaskExecutor):
+    """Dispatch tasks to a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Tasks are grouped into contiguous chunks (one chunk per worker by
+    default) and each chunk is submitted as a single unit; results are
+    gathered in submission order and flattened, so ``map`` preserves input
+    order like every other executor.  Chunking matters for two reasons:
+
+    * payloads that share big state (e.g. per-cluster
+      :class:`~repro.mapping.model.MappingProblem` objects all referencing
+      one repository) are pickled *once per chunk* — the pickle memo keeps
+      the shared objects shared;
+    * objects designed for intra-query sharing, such as the
+      :class:`~repro.mapping.engine.TopKPool` incumbent, stay shared among
+      the tasks of one chunk inside a worker process.  Cross-process the pool
+      degrades to a per-worker copy — results are still exact (the shared
+      floor only ever *prunes* work), just with less pruning than the thread
+      backend achieves.
+
+    The pool is created lazily on first use and reused across queries;
+    ``close()`` shuts it down.  ``fn`` and every item must be picklable.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be positive when given, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def map(
+        self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        if len(items) <= 1:
+            # No parallelism to extract; skip the process machinery (and the
+            # pickling round-trip) entirely.
+            return [fn(item) for item in items]
+        workers = self.max_workers or os.cpu_count() or 1
+        chunks = split_into_chunks(items, workers)
+        if len(chunks) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(_run_task_chunk, fn, chunk) for chunk in chunks]
+        results: List[_ResultT] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessPoolTaskExecutor(max_workers={self.max_workers})"

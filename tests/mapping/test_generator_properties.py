@@ -100,3 +100,18 @@ def test_every_reported_mapping_clears_delta_and_is_injective(problem):
         assert mapping.score >= problem.delta
         used = [element.ref.global_id for element in mapping.assignment.values()]
         assert len(used) == len(set(used))
+
+
+@given(random_problems(), st.sampled_from([1, 2, 4]))
+@settings(max_examples=60, deadline=None)
+def test_top_k_search_is_a_prefix_of_the_complete_ranking(problem, k):
+    """Incumbent pruning must be invisible in the top-k results themselves."""
+    for generator in (BranchAndBoundGenerator(), AStarGenerator()):
+        complete = generator.generate(problem)
+        problem.top_k = k
+        top = generator.generate(problem)
+        problem.top_k = None
+        ranked = [(mapping.score, mapping.signature()) for mapping in top.mappings]
+        reference = [(mapping.score, mapping.signature()) for mapping in complete.mappings]
+        assert ranked == reference[:k]
+        assert top.partial_mappings <= complete.partial_mappings

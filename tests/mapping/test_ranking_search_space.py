@@ -4,10 +4,17 @@ import pytest
 
 from repro.matchers.selection import MappingElement, MappingElementSets
 from repro.mapping.model import SchemaMapping
-from repro.mapping.ranking import above_threshold, merge_ranked, score_histogram, top_n
+from repro.mapping.ranking import (
+    above_threshold,
+    merge_ranked,
+    ranking_sort_key,
+    score_histogram,
+    top_n,
+)
 from repro.mapping.search_space import (
     candidate_search_space,
     clustered_search_space,
+    grouped_search_space,
     reduction_percentage,
     search_space_size,
     theoretical_reduction_factor,
@@ -46,6 +53,30 @@ class TestRanking:
         assert len(merged) == 1
         not_deduplicated = merge_ranked([[duplicate_a], [duplicate_b]], deduplicate=False)
         assert len(not_deduplicated) == 2
+
+    def test_equal_scores_rank_identically_regardless_of_arrival_order(self):
+        """The canonical key makes merged rankings independent of group order."""
+        a = make_mapping(0.8, (1, 2), cluster_id=2)
+        b = make_mapping(0.8, (3, 4), cluster_id=0)
+        c = make_mapping(0.8, (5, 6), cluster_id=1)
+        forward = merge_ranked([[a], [b], [c]])
+        backward = merge_ranked([[c], [b], [a]])
+        assert [m.signature() for m in forward] == [m.signature() for m in backward]
+        # Ties break on cluster id first: 0, 1, 2.
+        assert [m.cluster_id for m in forward] == [0, 1, 2]
+
+    def test_duplicate_survivor_is_deterministic(self):
+        """Dedup keeps the lowest-cluster instance of an equal-score duplicate."""
+        from_cluster_3 = make_mapping(0.8, (1, 2), cluster_id=3)
+        from_cluster_1 = make_mapping(0.8, (1, 2), cluster_id=1)
+        merged = merge_ranked([[from_cluster_3], [from_cluster_1]])
+        assert len(merged) == 1
+        assert merged[0].cluster_id == 1
+
+    def test_ranking_sort_key_places_clusterless_after_clustered(self):
+        clustered = make_mapping(0.8, (1, 2), cluster_id=7)
+        clusterless = make_mapping(0.8, (1, 2), cluster_id=None)
+        assert ranking_sort_key(clustered) < ranking_sort_key(clusterless)
 
     def test_top_n(self):
         mappings = [make_mapping(s, (int(s * 100), int(s * 100) + 1)) for s in (0.5, 0.9, 0.7)]
@@ -95,6 +126,11 @@ class TestSearchSpace:
 
         clusters = [make_sets([2, 2]), make_sets([3, 1])]
         assert clustered_search_space(clusters) == 4 + 3
+
+    def test_grouped_search_space(self):
+        groups = {0: ["a", "b", "c"], 1: ["d", "e"]}
+        assert grouped_search_space(groups) == 6
+        assert grouped_search_space({0: []}) == 0
 
     def test_theoretical_reduction_factor(self):
         # c^(|Ns|-1): with 10 clusters and 3 personal nodes the space shrinks ~100x.

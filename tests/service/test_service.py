@@ -111,6 +111,92 @@ class TestFingerprint:
         assert len(fingerprints) == 3
 
 
+class TestQueryCacheKeying:
+    """The cache key must cover the effective δ override and the repository version."""
+
+    def test_delta_override_is_a_distinct_cache_entry(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        schema = paper_personal_schema()
+        service.match(schema)
+        assert service.counters.get("query_cache_misses") == 1
+        # Same schema, different effective δ: must not hit the δ-default entry.
+        service.match(schema, delta=0.3)
+        assert service.counters.get("query_cache_misses") == 2
+        assert service.counters.get("query_cache_hits") == 0
+        # Repeating the override now hits its own entry.
+        service.match(schema, delta=0.3)
+        assert service.counters.get("query_cache_hits") == 1
+
+    def test_delta_override_after_cached_query_is_never_stale(self, service_repository):
+        cached = MatchingService(service_repository, element_threshold=0.5)
+        schema = paper_personal_schema()
+        cached.match(schema)  # populate the cache under the default δ
+        overridden = cached.match(schema, delta=0.3)
+        fresh = MatchingService(service_repository, element_threshold=0.5, query_cache_size=0)
+        assert result_key(overridden) == result_key(fresh.match(schema, delta=0.3))
+
+    def test_direct_repository_mutation_invalidates_via_version(self, service_repository):
+        """Mutations bypassing add_tree/remove_tree cannot serve stale hits."""
+        profile = RepositoryProfile(
+            target_node_count=300, min_tree_size=12, max_tree_size=60, seed=91, name="svc-direct"
+        )
+        repository = RepositoryGenerator(profile).generate()
+        service = MatchingService(repository, variant="tree", element_threshold=0.5)
+
+        personal = TreeBuilder("direct-personal")
+        root = personal.root("zqxcontainer")
+        personal.child(root, "zqxalpha", datatype="string")
+        personal.child(root, "zqxbeta", datatype="string")
+        schema = personal.build()
+
+        before = service.match(schema)
+        assert before.mapping_count == 0  # nothing in the repository matches
+
+        addition = TreeBuilder("zqx-tree")
+        root = addition.root("zqxcontainer")
+        addition.child(root, "zqxalpha", datatype="string")
+        addition.child(root, "zqxbeta", datatype="string")
+        # Mutate the repository directly — the service cache is NOT cleared.
+        repository.add_tree(addition.build())
+
+        after = service.match(schema)
+        assert after.mapping_count >= 1  # a stale cached table would report 0
+        assert service.counters.get("query_cache_hits") == 0
+        assert service.counters.get("query_cache_misses") == 2
+
+    def test_service_level_mutations_still_hit_after_requery(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        schema = paper_personal_schema()
+        first = service.match(schema)
+        tree = TreeBuilder("cache-key-tree")
+        root = tree.root("person")
+        tree.child(root, "name", datatype="string")
+        service.add_tree(tree.build())
+        second = service.match(schema)   # version changed: miss, recompute
+        third = service.match(schema)    # same version again: hit
+        assert service.counters.get("query_cache_misses") == 2
+        assert service.counters.get("query_cache_hits") == 1
+        assert result_key(second) == result_key(third)
+        assert first.candidates.total() <= second.candidates.total()
+
+
+class TestTopKQueries:
+    def test_top_k_is_prefix_of_complete_ranking(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        schema = paper_personal_schema()
+        complete = service.match(schema)
+        top = service.match(schema, top_k=3)
+        assert result_key(top) == result_key(complete)[:3]
+        assert len(top.mappings) <= 3
+
+    def test_top_k_reuses_the_cached_element_table(self, service_repository):
+        service = MatchingService(service_repository, element_threshold=0.5)
+        schema = paper_personal_schema()
+        service.match(schema)
+        service.match(schema, top_k=1)  # same fingerprint/δ/version: cache hit
+        assert service.counters.get("query_cache_hits") == 1
+
+
 class TestExecutors:
     @pytest.mark.parametrize(
         "executor", [None, SerialExecutor(), ThreadPoolTaskExecutor(4)], ids=["inline", "serial", "threads"]

@@ -1,11 +1,15 @@
 """Tests for the command-line interface."""
 
+import argparse
+import io
 import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import main, serve_loop
+from repro.schema.builder import TreeBuilder
 from repro.schema.serialization import save_repository
+from repro.service import MatchingService
 from repro.workload.corpus import bundled_corpus_documents
 
 
@@ -103,3 +107,120 @@ class TestExperimentCommand:
         exit_code = main(["experiment", "table99"])
         assert exit_code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSnapshotQueryCommands:
+    def test_snapshot_then_top_k_query_with_process_executor(self, tmp_path, repository_file, capsys):
+        snapshot_path = tmp_path / "repo.snapshot.json"
+        assert main(["snapshot", "--repository", str(repository_file), "--out", str(snapshot_path)]) == 0
+        capsys.readouterr()
+        exit_code = main(
+            [
+                "query",
+                "--snapshot",
+                str(snapshot_path),
+                "--personal",
+                '{"person": ["name", "email"]}',
+                "--top-k",
+                "3",
+                "--workers",
+                "2",
+                "--executor",
+                "process",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "useful clusters" in output
+
+
+def _serve(service, lines, top=5, top_k=None):
+    """Run the serve loop over literal request lines; return parsed responses."""
+    out = io.StringIO()
+    args = argparse.Namespace(top=top, top_k=top_k)
+    exit_code = serve_loop(service, lines, out, args)
+    assert exit_code == 0
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestServeLoop:
+    @pytest.fixture
+    def service(self, synthetic_repository):
+        return MatchingService(synthetic_repository, element_threshold=0.5)
+
+    def test_valid_query_answers_with_mappings(self, service):
+        (response,) = _serve(service, ['{"personal": {"person": ["name", "email"]}}'])
+        assert "mappings" in response
+        assert response["mapping_count"] >= 0
+
+    def test_non_dict_json_lines_produce_error_envelopes(self, service):
+        responses = _serve(
+            service,
+            [
+                "[1, 2]",
+                '"hello"',
+                "42",
+                "null",
+                '{"personal": {"person": ["name", "email"]}}',
+            ],
+        )
+        assert len(responses) == 5
+        for bad in responses[:4]:
+            assert "error" in bad and "must be a JSON object" in bad["error"]
+        assert "mappings" in responses[4]  # the loop survived every bad line
+
+    def test_invalid_json_produces_error_envelope(self, service):
+        responses = _serve(service, ["not json at all", '{"stats": true}'])
+        assert "error" in responses[0]
+        assert "stats" in responses[1]
+
+    def test_unknown_request_kind_is_an_error(self, service):
+        (response,) = _serve(service, ['{"frobnicate": 1}'])
+        assert "personal, add, remove, stats" in response["error"]
+
+    def test_negative_top_is_an_error_not_a_mis_slice(self, service):
+        (response,) = _serve(
+            service, ['{"personal": {"person": ["name", "email"]}, "top": -1}']
+        )
+        assert "top must be non-negative" in response["error"]
+
+    def test_unexpected_exception_keeps_the_loop_alive(self, service, monkeypatch):
+        calls = {"count": 0}
+        original = MatchingService.match
+
+        def flaky_match(self, personal_schema, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise RuntimeError("simulated internal failure")
+            return original(self, personal_schema, **kwargs)
+
+        monkeypatch.setattr(MatchingService, "match", flaky_match)
+        responses = _serve(
+            service,
+            [
+                '{"personal": {"person": ["name", "email"]}}',
+                '{"personal": {"person": ["name", "email"]}}',
+            ],
+        )
+        assert responses[0] == {"error": "simulated internal failure", "type": "RuntimeError"}
+        assert "mappings" in responses[1]
+
+    def test_blank_lines_are_skipped(self, service):
+        responses = _serve(service, ["", "   ", '{"stats": true}'])
+        assert len(responses) == 1
+
+    def test_mutations_and_top_k_through_the_loop(self, service):
+        responses = _serve(
+            service,
+            [
+                json.dumps({"add": {"zqxroot": ["zqxchild"]}, "name": "served-tree"}),
+                json.dumps({"personal": {"zqxroot": ["zqxchild"]}, "top_k": 1}),
+                json.dumps({"remove": 10**9}),  # invalid id: error envelope, not a crash
+                json.dumps({"stats": True}),
+            ],
+        )
+        assert responses[0]["ok"] is True
+        assert responses[1]["mapping_count"] >= 1
+        assert len(responses[1]["mappings"]) <= 1
+        assert "error" in responses[2]
+        assert responses[3]["stats"]["trees_added"] == 1

@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
 
-from repro.utils.executor import SerialExecutor, TaskExecutor, ThreadPoolTaskExecutor
+from repro.utils.executor import (
+    ProcessPoolTaskExecutor,
+    SerialExecutor,
+    TaskExecutor,
+    ThreadPoolTaskExecutor,
+    split_into_chunks,
+)
+
+
+def _square(value):
+    """Module-level so the process executor can pickle it."""
+    return value * value
+
+
+def _boom(value):
+    raise ValueError(f"bad {value}")
+
+
+def _worker_pid(_value):
+    return os.getpid()
 
 
 @pytest.mark.parametrize("executor", [SerialExecutor(), ThreadPoolTaskExecutor(4)], ids=["serial", "threads"])
@@ -63,6 +83,64 @@ def test_close_is_idempotent_and_pool_restarts():
 def test_invalid_worker_count_rejected():
     with pytest.raises(ValueError):
         ThreadPoolTaskExecutor(0)
+
+
+class TestSplitIntoChunks:
+    def test_contiguous_and_balanced(self):
+        chunks = split_into_chunks(list(range(10)), 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_never_produces_empty_chunks(self):
+        assert split_into_chunks([1, 2], 5) == [[1], [2]]
+        assert split_into_chunks([], 3) == []
+
+    def test_flattening_restores_input_order(self):
+        items = list(range(23))
+        for count in (1, 2, 3, 7, 23, 40):
+            flattened = [item for chunk in split_into_chunks(items, count) for item in chunk]
+            assert flattened == items
+
+    def test_invalid_chunk_count(self):
+        with pytest.raises(ValueError):
+            split_into_chunks([1], 0)
+
+
+class TestProcessPool:
+    def test_map_preserves_input_order(self):
+        items = list(range(50))
+        with ProcessPoolTaskExecutor(2) as executor:
+            assert executor.map(_square, items) == [_square(value) for value in items]
+
+    def test_results_match_serial_executor(self):
+        items = list(range(17))
+        with ProcessPoolTaskExecutor(3) as executor:
+            assert executor.map(_square, items) == SerialExecutor().map(_square, items)
+
+    def test_single_item_runs_inline(self):
+        with ProcessPoolTaskExecutor(2) as executor:
+            assert executor.map(_worker_pid, [0]) == [os.getpid()]
+
+    def test_multiple_items_use_worker_processes(self):
+        with ProcessPoolTaskExecutor(2) as executor:
+            pids = executor.map(_worker_pid, list(range(8)))
+        assert os.getpid() not in pids
+
+    def test_task_errors_propagate(self):
+        with ProcessPoolTaskExecutor(2) as executor:
+            with pytest.raises(ValueError):
+                executor.map(_boom, [1, 2, 3])
+
+    def test_close_is_idempotent_and_pool_restarts(self):
+        executor = ProcessPoolTaskExecutor(2)
+        assert executor.map(_square, [1, 2]) == [1, 4]
+        executor.close()
+        executor.close()
+        assert executor.map(_square, [3, 4]) == [9, 16]
+        executor.close()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolTaskExecutor(0)
 
 
 def test_subclass_contract():
