@@ -28,7 +28,10 @@ from repro.errors import (
     ReproError,
     SchemaError,
     SchemaParseError,
+    ShardError,
+    ShardManifestError,
     UnknownNodeError,
+    UnknownTreeError,
     WorkloadError,
 )
 from repro.schema import (
@@ -67,6 +70,11 @@ from repro.service import (
     load_snapshot,
     write_snapshot,
 )
+from repro.shard import (
+    ShardedMatchingService,
+    load_shard_set,
+    write_shard_set,
+)
 
 __version__ = "1.0.0"
 
@@ -101,19 +109,25 @@ __all__ = [
     "SchemaRepository",
     "SchemaTree",
     "SerialExecutor",
+    "ShardError",
+    "ShardManifestError",
+    "ShardedMatchingService",
     "ThreadPoolTaskExecutor",
     "TokenNameMatcher",
     "TopKPool",
     "TreeBuilder",
     "TreeClusterer",
     "UnknownNodeError",
+    "UnknownTreeError",
     "WorkloadError",
     "__version__",
     "clustering_variant",
+    "load_shard_set",
     "load_snapshot",
     "parse_dtd",
     "parse_xsd",
     "preservation_curve",
     "standard_variants",
+    "write_shard_set",
     "write_snapshot",
 ]

@@ -1,6 +1,6 @@
 """Command-line interface for the Bellflower matcher.
 
-Six subcommands cover the typical usage of the library without writing code:
+Seven subcommands cover the typical usage of the library without writing code:
 
 ``match``
     Match a personal schema (given as a nested JSON specification) against a
@@ -22,13 +22,20 @@ Six subcommands cover the typical usage of the library without writing code:
     repository partition) and persist everything as one snapshot file.
 
 ``query``
-    Load a snapshot and answer a single personal-schema query (what ``match``
-    does, minus rebuilding the derived state).
+    Load a snapshot (or a shard set via ``--shards``) and answer a single
+    personal-schema query (what ``match`` does, minus rebuilding the derived
+    state) — or a whole batch of them from a JSON-lines file (``--batch``).
 
 ``serve``
-    Load a snapshot and answer a stream of queries: one JSON document per
-    stdin line, one JSON result per stdout line, until EOF.  ``{"add": ...}``
-    and ``{"remove": ...}`` lines mutate the live repository incrementally.
+    Load a snapshot (or a shard set) and answer a stream of queries: one JSON
+    document per stdin line, one JSON result per stdout line, until EOF.
+    ``{"add": ...}`` and ``{"remove": ...}`` lines mutate the live repository
+    incrementally; ``{"batch": [...]}`` answers many queries in one request.
+
+``shard``
+    Manage shard sets: ``split`` partitions a repository into N per-shard
+    snapshots tied together by a manifest, ``status`` inspects a manifest,
+    ``rebalance`` re-splits an existing set with a new shard count or router.
 
 Examples
 --------
@@ -42,8 +49,12 @@ Examples
     python -m repro.cli snapshot --repository repo.json --out repo.snapshot.json
     python -m repro.cli query --snapshot repo.snapshot.json \\
         --personal '{"person": ["name", "email"]}' --top 5
+    python -m repro.cli shard split --repository repo.json --shards 4 \\
+        --router size-balanced --out-dir ./shards
+    python -m repro.cli shard status --manifest ./shards/manifest.json
+    python -m repro.cli query --shards ./shards/manifest.json --batch queries.jsonl --workers 4
     echo '{"personal": {"person": ["name", "email"]}}' | \\
-        python -m repro.cli serve --snapshot repo.snapshot.json --workers 4
+        python -m repro.cli serve --shards ./shards/manifest.json --workers 4
 """
 
 from __future__ import annotations
@@ -95,9 +106,7 @@ def _personal_schema_from_json(text: str):
         spec = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ReproError(f"--personal is not valid JSON: {exc}") from exc
-    if not isinstance(spec, dict):
-        raise ReproError("--personal must be a JSON object mapping the root name to its children")
-    return TreeBuilder.from_nested(spec, name="personal")
+    return _personal_schema_from_spec(spec)
 
 
 def _print_result(repository, personal, result, top: int, delta: float, variant_name: str) -> None:
@@ -202,12 +211,101 @@ def _command_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_query(args: argparse.Namespace) -> int:
-    from repro.service import load_snapshot
+def _load_service_argument(args: argparse.Namespace):
+    """Load the service a ``query``/``serve`` invocation names.
 
-    service = load_snapshot(
-        Path(args.snapshot), executor=_make_executor(args.workers, args.executor)
-    )
+    ``--snapshot`` loads a single :class:`~repro.service.MatchingService`;
+    ``--shards`` loads a :class:`~repro.shard.ShardedMatchingService` from a
+    shard-set manifest.  Exactly one must be given.  ``--cache-size``
+    overrides the persisted query-cache capacity in both cases.
+    """
+    from repro.service import load_snapshot
+    from repro.shard import load_shard_set
+
+    snapshot = getattr(args, "snapshot", None)
+    shards = getattr(args, "shards", None)
+    if bool(snapshot) == bool(shards):
+        raise ReproError("pass exactly one of --snapshot or --shards")
+    executor = _make_executor(args.workers, args.executor)
+    cache_size = getattr(args, "cache_size", None)
+    if snapshot:
+        return load_snapshot(Path(snapshot), executor=executor, query_cache_size=cache_size)
+    return load_shard_set(Path(shards), executor=executor, query_cache_size=cache_size)
+
+
+def _personal_schema_from_spec(spec, name: str = "personal"):
+    if not isinstance(spec, dict):
+        raise ReproError("a personal schema must be a JSON object mapping the root name to its children")
+    return TreeBuilder.from_nested(spec, name=name)
+
+
+def _load_batch_file(path_text: str):
+    """Read a batch of personal-schema specs: one JSON object per line."""
+    if path_text == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        path = Path(path_text)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise ReproError(f"cannot read batch file {path}: {exc}") from exc
+    schemas = []
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"batch line {line_number} is not valid JSON: {exc}") from exc
+        schemas.append(_personal_schema_from_spec(spec, name=f"batch-{line_number}"))
+    if not schemas:
+        raise ReproError("batch file contains no queries")
+    return schemas
+
+
+def _match_many(service, schemas, delta, top_k):
+    """Batch entry point that also serves plain services (no ``match_many``)."""
+    batcher = getattr(service, "match_many", None)
+    if batcher is not None:
+        return batcher(schemas, delta=delta, top_k=top_k)
+    return [service.match(schema, delta=delta, top_k=top_k) for schema in schemas]
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    # Usage errors fail before the (potentially expensive) service load.
+    if bool(args.personal) == bool(args.batch):
+        raise ReproError("pass exactly one of --personal or --batch")
+    if args.top < 0:
+        raise ReproError(f"top must be non-negative, got {args.top}")
+    service = _load_service_argument(args)
+    if args.batch:
+        schemas = _load_batch_file(args.batch)
+        results = _match_many(service, schemas, args.delta, args.top_k)
+        for personal, result in zip(schemas, results):
+            print(
+                json.dumps(
+                    {
+                        "mappings": [
+                            _mapping_to_dict(service.repository, personal, mapping)
+                            for mapping in result.mappings[: args.top]
+                        ],
+                        "mapping_count": len(result.mappings),
+                    }
+                )
+            )
+        if hasattr(service, "match_many"):
+            # Only the sharded front-end deduplicates and caches whole
+            # results; a plain service's counters mean something else, so the
+            # summary would mislead there.
+            counters = service.counters
+            print(
+                f"batch: {len(schemas)} queries, "
+                f"{counters.get('duplicate_queries')} duplicates, "
+                f"{counters.get('query_cache_hits')} cache hits",
+                file=sys.stderr,
+            )
+        return 0
     personal = _personal_schema_from_json(args.personal)
     result = service.match(personal, delta=args.delta, top_k=args.top_k)
     _print_result(
@@ -216,7 +314,7 @@ def _command_query(args: argparse.Namespace) -> int:
         result,
         args.top,
         service.delta if args.delta is None else args.delta,
-        service.variant_name or "custom",
+        getattr(service, "variant_name", None) or result.variant_name,
     )
     return 0
 
@@ -260,6 +358,37 @@ def _handle_serve_request(service, request: dict, args: argparse.Namespace, adde
             "mapping_count": len(result.mappings),
             "elapsed_seconds": round(result.total_seconds, 6),
         }
+    if "batch" in request:
+        specs = request["batch"]
+        if not isinstance(specs, list) or not specs:
+            raise ReproError("batch must be a non-empty JSON array of personal schemas")
+        schemas = [
+            _personal_schema_from_spec(spec, name=f"batch-{index}")
+            for index, spec in enumerate(specs, start=1)
+        ]
+        top_k = request.get("top_k", args.top_k)
+        top = int(request.get("top", args.top))
+        if top < 0:
+            raise ReproError(f"top must be non-negative, got {top}")
+        results = _match_many(
+            service,
+            schemas,
+            request.get("delta"),
+            None if top_k is None else int(top_k),
+        )
+        return {
+            "results": [
+                {
+                    "mappings": [
+                        _mapping_to_dict(service.repository, personal, mapping)
+                        for mapping in result.mappings[:top]
+                    ],
+                    "mapping_count": len(result.mappings),
+                }
+                for personal, result in zip(schemas, results)
+            ],
+            "queries": len(schemas),
+        }
     if "add" in request:
         added_counter[0] += 1
         tree = TreeBuilder.from_nested(
@@ -279,7 +408,7 @@ def _handle_serve_request(service, request: dict, args: argparse.Namespace, adde
         }
     if "stats" in request:
         return {"stats": service.stats()}
-    raise ReproError("request needs one of: personal, add, remove, stats")
+    raise ReproError("request needs one of: personal, batch, add, remove, stats")
 
 
 def serve_loop(service, lines, out, args: argparse.Namespace) -> int:
@@ -328,12 +457,13 @@ def _command_serve(args: argparse.Namespace) -> int:
     earlier ``add`` responses are invalidated by any ``remove``.  Mutation
     responses therefore echo the current tree count, and clients that remove
     by id should re-resolve ids via ``stats``/tree names after a removal.
-    """
-    from repro.service import load_snapshot
 
-    service = load_snapshot(
-        Path(args.snapshot), executor=_make_executor(args.workers, args.executor)
-    )
+    With ``--shards`` the same protocol runs against a sharded service:
+    ``batch`` requests dedup + fan out across shards, ``stats`` adds a
+    ``per_shard`` breakdown, and mutations route through the shard layer
+    (merged tree ids).
+    """
+    service = _load_service_argument(args)
     print(
         json.dumps(
             {"ready": True, "trees": service.repository.tree_count, "nodes": service.repository.node_count}
@@ -341,6 +471,85 @@ def _command_serve(args: argparse.Namespace) -> int:
         flush=True,
     )
     return serve_loop(service, sys.stdin, sys.stdout, args)
+
+
+def _make_router_argument(router_name: str, max_fragment_size: int):
+    from repro.shard import make_router
+
+    params = {}
+    if router_name == "cluster-affinity":
+        # The affinity weights mirror the partition the shards serve, so the
+        # router reuses the service's fragment-size cap.
+        params["max_fragment_size"] = max_fragment_size
+    return make_router(router_name, params)
+
+
+def _command_shard_split(args: argparse.Namespace) -> int:
+    from repro.shard import ShardedMatchingService, write_shard_set
+
+    repository = _load_repository_argument(args)
+    router = _make_router_argument(args.router, args.max_fragment_size)
+    service = ShardedMatchingService.from_repository(
+        repository,
+        args.shards,
+        router=router,
+        element_threshold=args.element_threshold,
+        delta=args.delta,
+        query_cache_size=args.cache_size,
+        partition_max_fragment_size=args.max_fragment_size,
+    )
+    manifest = write_shard_set(service, Path(args.out_dir))
+    sizes = ", ".join(
+        f"shard {index}: {entry['trees']} trees/{entry['nodes']} nodes"
+        for index, entry in enumerate(manifest["shards"])
+    )
+    print(
+        f"split {repository.tree_count} trees ({repository.node_count} nodes) into "
+        f"{args.shards} shards with router {args.router} ({sizes}); "
+        f"manifest at {Path(args.out_dir) / 'manifest.json'}"
+    )
+    return 0
+
+
+def _command_shard_status(args: argparse.Namespace) -> int:
+    from repro.shard import load_manifest
+
+    manifest = load_manifest(Path(args.manifest))
+    router = manifest.get("router", {})
+    trees = len(manifest.get("assignment", []))
+    nodes = sum(int(entry.get("nodes", 0)) for entry in manifest["shards"])
+    print(
+        f"shard set: {manifest['shard_count']} shards, {trees} trees, {nodes} nodes; "
+        f"router {router.get('policy')!r} {router.get('params') or {}}; "
+        f"global version {manifest.get('global_version')}"
+    )
+    for index, entry in enumerate(manifest["shards"]):
+        print(
+            f"  shard {index}: {entry.get('trees')} trees, {entry.get('nodes')} nodes "
+            f"({entry['path']})"
+        )
+    return 0
+
+
+def _command_shard_rebalance(args: argparse.Namespace) -> int:
+    from repro.shard import rebalance_shard_set
+
+    router = None
+    if args.router is not None:
+        router = _make_router_argument(args.router, args.max_fragment_size)
+    manifest = rebalance_shard_set(
+        Path(args.manifest),
+        shard_count=args.shards,
+        router=router,
+        out_directory=args.out_dir,
+    )
+    target = Path(args.out_dir) if args.out_dir else Path(args.manifest).parent
+    print(
+        f"rebalanced to {manifest['shard_count']} shards "
+        f"(router {manifest['router']['policy']}, global version {manifest['global_version']}); "
+        f"manifest at {target / 'manifest.json'}"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -386,9 +595,14 @@ def build_parser() -> argparse.ArgumentParser:
     snapshot_parser.add_argument("--out", required=True, help="output snapshot file")
     snapshot_parser.set_defaults(handler=_command_snapshot)
 
-    query_parser = subparsers.add_parser("query", help="answer one query from a snapshot")
-    query_parser.add_argument("--snapshot", required=True, help="snapshot file written by 'snapshot'")
-    query_parser.add_argument("--personal", required=True, help="personal schema as nested JSON")
+    query_parser = subparsers.add_parser("query", help="answer queries from a snapshot or shard set")
+    query_parser.add_argument("--snapshot", help="snapshot file written by 'snapshot'")
+    query_parser.add_argument("--shards", help="shard-set manifest written by 'shard split'")
+    query_parser.add_argument("--personal", help="personal schema as nested JSON")
+    query_parser.add_argument(
+        "--batch",
+        help="JSON-lines file of personal schemas ('-' for stdin); prints one JSON result per line",
+    )
     query_parser.add_argument("--delta", type=float, default=None, help="override the snapshot's δ")
     query_parser.add_argument("--top", type=int, default=10, help="number of mappings to print")
     query_parser.add_argument(
@@ -400,12 +614,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("thread", "process"), default="thread",
         help="worker backend when --workers > 1 (process sidesteps the GIL for CPU-bound searches)",
     )
+    query_parser.add_argument(
+        "--cache-size", type=int, default=None, dest="cache_size",
+        help="query-cache capacity override (entries; 0 disables; default: the snapshot's setting)",
+    )
     query_parser.set_defaults(handler=_command_query)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve JSON-line queries from stdin against a snapshot"
+        "serve", help="serve JSON-line queries from stdin against a snapshot or shard set"
     )
-    serve_parser.add_argument("--snapshot", required=True, help="snapshot file written by 'snapshot'")
+    serve_parser.add_argument("--snapshot", help="snapshot file written by 'snapshot'")
+    serve_parser.add_argument("--shards", help="shard-set manifest written by 'shard split'")
     serve_parser.add_argument("--top", type=int, default=10, help="default mappings per response")
     serve_parser.add_argument(
         "--top-k", type=int, default=None, dest="top_k",
@@ -416,7 +635,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=("thread", "process"), default="thread",
         help="worker backend when --workers > 1 (process sidesteps the GIL for CPU-bound searches)",
     )
+    serve_parser.add_argument(
+        "--cache-size", type=int, default=None, dest="cache_size",
+        help="query-cache capacity override (entries; 0 disables; default: the snapshot's setting)",
+    )
     serve_parser.set_defaults(handler=_command_serve)
+
+    shard_parser = subparsers.add_parser("shard", help="manage shard sets (split, status, rebalance)")
+    shard_subparsers = shard_parser.add_subparsers(dest="shard_command", required=True)
+    router_names = ["round-robin", "size-balanced", "cluster-affinity"]
+
+    split_parser = shard_subparsers.add_parser(
+        "split", help="partition a repository into per-shard snapshots plus a manifest"
+    )
+    split_parser.add_argument("--repository", help="repository JSON file written by 'generate'")
+    split_parser.add_argument("--schema-dir", help="directory of .xsd/.dtd files to serve")
+    split_parser.add_argument("--shards", type=int, required=True, help="number of shards")
+    split_parser.add_argument(
+        "--router", default="size-balanced", choices=router_names, help="tree placement policy"
+    )
+    split_parser.add_argument("--element-threshold", type=float, default=0.45)
+    split_parser.add_argument("--delta", type=float, default=0.7)
+    split_parser.add_argument("--max-fragment-size", type=int, default=20, help="partition fragment size cap")
+    split_parser.add_argument(
+        "--cache-size", type=int, default=64, dest="cache_size",
+        help="query-cache capacity recorded in the shard snapshots",
+    )
+    split_parser.add_argument("--out-dir", required=True, dest="out_dir", help="directory for the shard set")
+    split_parser.set_defaults(handler=_command_shard_split)
+
+    status_parser = shard_subparsers.add_parser("status", help="inspect a shard-set manifest")
+    status_parser.add_argument("--manifest", required=True, help="manifest written by 'shard split'")
+    status_parser.set_defaults(handler=_command_shard_status)
+
+    rebalance_parser = shard_subparsers.add_parser(
+        "rebalance", help="re-split an existing shard set (results are preserved exactly)"
+    )
+    rebalance_parser.add_argument("--manifest", required=True, help="manifest written by 'shard split'")
+    rebalance_parser.add_argument("--shards", type=int, default=None, help="new shard count (default: keep)")
+    rebalance_parser.add_argument(
+        "--router", default=None, choices=router_names, help="new placement policy (default: keep)"
+    )
+    rebalance_parser.add_argument("--max-fragment-size", type=int, default=20, help="cluster-affinity weight granularity")
+    rebalance_parser.add_argument(
+        "--out-dir", default=None, dest="out_dir",
+        help="write the new set here instead of rewriting in place",
+    )
+    rebalance_parser.set_defaults(handler=_command_shard_rebalance)
 
     return parser
 

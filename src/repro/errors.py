@@ -29,6 +29,20 @@ class UnknownNodeError(SchemaError):
         self.node_id = node_id
 
 
+class UnknownTreeError(SchemaError):
+    """Raised when a tree id is not present in a repository.
+
+    A dedicated subclass (rather than a bare :class:`SchemaError`) so service
+    front-ends — the CLI, the serve loop, the shard fan-out — can map "the
+    client named a tree that does not exist" to a clean request-level error
+    instead of treating it like an internal schema inconsistency.
+    """
+
+    def __init__(self, tree_id: int, context: str = "repository") -> None:
+        super().__init__(f"tree id {tree_id!r} is not part of the {context}")
+        self.tree_id = tree_id
+
+
 class LabelingError(ReproError):
     """Raised when a distance/ancestry query cannot be answered from labels."""
 
@@ -51,6 +65,14 @@ class ClusteringError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when a system-level configuration object is inconsistent."""
+
+
+class ShardError(ReproError):
+    """Raised for invalid shard-set configuration or cross-shard state."""
+
+
+class ShardManifestError(ShardError):
+    """Raised when a shard-set manifest file is missing, malformed or inconsistent."""
 
 
 class WorkloadError(ReproError):

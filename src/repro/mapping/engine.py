@@ -141,6 +141,49 @@ class TopKPool:
         return f"TopKPool(k={self.k}, floor={self.floor():.3f})"
 
 
+class TranslatingTopKPool:
+    """A :class:`TopKPool` view that rewrites signatures before offering them.
+
+    Shard fan-out shares one incumbent pool across *services* whose searches
+    run in different repository coordinate spaces: every shard numbers its own
+    trees and global node ids from zero, so the signatures realized inside one
+    shard would collide with — and wrongly deduplicate against — signatures
+    from every other shard.  Wrapping the shared pool with a per-shard
+    ``translate`` callable (shard-local signature → merged-repository
+    signature) keeps the pool's deduplication keyed by the *merged* mapping
+    identity, which is the space the final ranking is deduplicated in.
+
+    The view is intentionally minimal: it forwards ``floor``/``__len__`` and
+    only intercepts ``offer``.  It satisfies the same exactness argument as a
+    bare pool (the floor is still a realized, distinct-by-merged-signature
+    mapping score), so complete policies may prune against it freely.  It
+    pickles like the pool it wraps (``translate`` must be picklable for
+    process executors), degrading to a per-worker snapshot the same way.
+    """
+
+    __slots__ = ("pool", "translate")
+
+    def __init__(self, pool: TopKPool, translate) -> None:
+        self.pool = pool
+        self.translate = translate
+
+    @property
+    def k(self) -> int:
+        return self.pool.k
+
+    def offer(self, score: float, signature: Optional[object] = None) -> None:
+        self.pool.offer(score, None if signature is None else self.translate(signature))
+
+    def floor(self) -> float:
+        return self.pool.floor()
+
+    def __len__(self) -> int:
+        return len(self.pool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TranslatingTopKPool({self.pool!r})"
+
+
 class TreeSearchContext:
     """Shared expansion machinery for one (problem, repository tree) search.
 

@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequenc
 
 T = TypeVar("T")
 
-from repro.errors import SchemaError, UnknownNodeError
+from repro.errors import SchemaError, UnknownNodeError, UnknownTreeError
 from repro.schema.node import SchemaNode
 from repro.schema.tree import SchemaTree
 
@@ -165,7 +165,7 @@ class SchemaRepository:
 
     def tree(self, tree_id: int) -> SchemaTree:
         if not 0 <= tree_id < len(self._trees):
-            raise SchemaError(f"tree id {tree_id} is not part of repository {self.name!r}")
+            raise UnknownTreeError(tree_id, context=f"repository {self.name!r}")
         return self._trees[tree_id]
 
     def trees(self) -> Iterator[SchemaTree]:

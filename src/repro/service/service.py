@@ -35,7 +35,7 @@ Example
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.clustering.kmeans import Clusterer
 from repro.clustering.reclustering import ReclusteringStrategy
@@ -54,6 +54,9 @@ from repro.system.results import MatchResult
 from repro.system.variants import clustering_variant
 from repro.utils.counters import CounterSet
 from repro.utils.executor import TaskExecutor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard layer imports service)
+    from repro.mapping.engine import TopKPool
 
 
 class MatchingService:
@@ -214,13 +217,18 @@ class MatchingService:
         personal_schema: SchemaTree,
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
+        shared_pool: Optional["TopKPool"] = None,
     ) -> MatchResult:
         """Match one personal schema, reusing cached element-match tables.
 
         ``top_k`` restricts the query to the ``k`` best mappings and enables
         cross-cluster bound sharing in the generator (see
         :meth:`Bellflower.match <repro.system.bellflower.Bellflower.match>`);
-        ``None`` keeps the complete ``Δ >= δ`` semantics.
+        ``None`` keeps the complete ``Δ >= δ`` semantics.  ``shared_pool``
+        extends the sharing across sibling services answering the same
+        logical query (the shard fan-out — see :mod:`repro.shard`); it never
+        changes this service's own results, only how much of its search gets
+        pruned.
 
         The cache key combines the
         :func:`~repro.service.fingerprint.schema_fingerprint` of the personal
@@ -250,7 +258,11 @@ class MatchingService:
             )
             cached = self._query_cache.get(key)
         result = self._system.match(
-            personal_schema, delta=delta, candidates=cached, top_k=top_k
+            personal_schema,
+            delta=delta,
+            candidates=cached,
+            top_k=top_k,
+            shared_pool=shared_pool,
         )
         if key is not None:
             if cached is not None:
@@ -316,10 +328,20 @@ class MatchingService:
     # -- reporting ------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
-        """Operational summary (repository sizes, cache state, service counters)."""
+        """Operational summary (repository sizes, cache state, service counters).
+
+        Everything a monitoring endpoint needs in one JSON-serializable dict:
+        repository sizes and mutation version, the clustering variant, the
+        executor backend answering per-cluster searches, query-cache shape and
+        hit/miss counters, and every service counter.
+        """
         summary: Dict[str, object] = dict(self.repository.summary())
+        summary["repository_version"] = self.repository.version
         summary["variant"] = self._variant_name or self._system.clusterer.name
+        executor = self._system.executor
+        summary["executor"] = "serial" if executor is None else executor.name
         summary["built_oracles"] = self.oracle.built_oracle_count
+        summary["query_cache_capacity"] = self.query_cache_size
         summary["query_cache_entries"] = len(self._query_cache)
         if self.partition is not None:
             summary["partitioned_trees"] = self.partition.built_tree_count

@@ -1,0 +1,63 @@
+"""Shard layer: partitioned repositories with exact fan-out/merge queries.
+
+The service layer (:mod:`repro.service`) made the repository a long-lived,
+versioned asset inside one process; this package distributes that asset over
+``N`` independent shards while keeping query results *bit-identical* to the
+unsharded service:
+
+* :class:`ShardedMatchingService` — the fan-out/merge front-end: per-shard
+  :class:`~repro.service.MatchingService` instances, merged-coordinate
+  translation, one shared top-k incumbent pool across shards, a batched
+  ``match_many`` entry point with fingerprint dedup and a bounded result
+  cache.
+* :mod:`repro.shard.router` — placement policies (round-robin,
+  size-balanced, cluster-affinity), recorded in manifests so placement is
+  reproducible.
+* :mod:`repro.shard.manifest` — the shard-set manifest: one file tying the
+  per-shard snapshots, the tree assignment, the router config and a global
+  version together; plus rebalancing.
+"""
+
+from repro.shard.manifest import (
+    DEFAULT_MANIFEST_NAME,
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    load_manifest,
+    load_shard_set,
+    merged_repository,
+    rebalance_shard_set,
+    write_shard_set,
+)
+from repro.shard.router import (
+    ClusterAffinityRouter,
+    RoundRobinRouter,
+    ShardRouter,
+    SizeBalancedRouter,
+    available_router_names,
+    make_router,
+)
+from repro.shard.service import (
+    ShardedMatchingService,
+    ShardedRepositoryView,
+    split_repository,
+)
+
+__all__ = [
+    "ClusterAffinityRouter",
+    "DEFAULT_MANIFEST_NAME",
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "RoundRobinRouter",
+    "ShardRouter",
+    "ShardedMatchingService",
+    "ShardedRepositoryView",
+    "SizeBalancedRouter",
+    "available_router_names",
+    "load_manifest",
+    "load_shard_set",
+    "make_router",
+    "merged_repository",
+    "rebalance_shard_set",
+    "split_repository",
+    "write_shard_set",
+]

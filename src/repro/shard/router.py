@@ -1,0 +1,173 @@
+"""Shard routing policies: which repository tree lives on which shard.
+
+A :class:`ShardRouter` turns a repository into a *shard assignment* — one
+shard id per tree — and places live additions.  The unit of placement is the
+whole tree, never a fragment of one: clusters can never span trees (the
+cross-tree distance is infinite), so tree-granular sharding keeps every
+cluster search local to exactly one shard and is what makes the fan-out/merge
+layer exact (see :mod:`repro.shard.service`).
+
+Three policies ship:
+
+* :class:`RoundRobinRouter` — tree ``g`` goes to shard ``g % n``.  Zero-cost,
+  assignment derivable from the tree id alone; fine when tree sizes are
+  roughly uniform (the synthetic workloads).
+* :class:`SizeBalancedRouter` — greedy bin packing by node count: trees are
+  placed largest-first onto the currently lightest shard.  Equalizes the raw
+  amount of schema data per shard.
+* :class:`ClusterAffinityRouter` — the same greedy packing, but weighted by
+  each tree's *cluster count* (the number of fragments the repository
+  partition splits it into).  Per-query work is dominated by the number of
+  useful clusters searched, not by raw node count, so balancing fragment
+  counts balances expected query latency; the weight uses the same
+  :func:`~repro.clustering.baselines.fragment_tree` split the partition
+  clusterer serves at query time.
+
+Every policy is deterministic — same repository, same shard count, same
+assignment — because the manifest records only the policy name and parameters
+and a rebalance must be reproducible from those.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.clustering.baselines import fragment_tree
+from repro.errors import ShardError
+from repro.schema.repository import SchemaRepository
+from repro.schema.tree import SchemaTree
+
+
+class ShardRouter(abc.ABC):
+    """Assigns repository trees to shards, both offline and for live adds."""
+
+    name: str = "router"
+
+    def tree_weight(self, tree: SchemaTree) -> int:
+        """The load a tree contributes to its shard (policy-specific unit)."""
+        return tree.node_count
+
+    def assign(self, repository: SchemaRepository, shard_count: int) -> List[int]:
+        """One shard id per tree (indexed by tree id), for ``shard_count`` shards.
+
+        The default is greedy balanced placement: trees descending by
+        :meth:`tree_weight` (ties by tree id, so the order — and therefore the
+        assignment — is total), each onto the currently lightest shard (ties
+        by shard id).
+        """
+        check_shard_count(shard_count, repository.tree_count)
+        weights = {tree.tree_id: self.tree_weight(tree) for tree in repository.trees()}
+        loads = [0] * shard_count
+        assignment = [0] * repository.tree_count
+        for tree_id in sorted(weights, key=lambda tree_id: (-weights[tree_id], tree_id)):
+            shard_id = min(range(shard_count), key=lambda s: (loads[s], s))
+            assignment[tree_id] = shard_id
+            loads[shard_id] += weights[tree_id]
+        return assignment
+
+    def place(self, tree: SchemaTree, loads: Sequence[int], next_tree_id: int) -> int:
+        """Shard for a live ``add_tree`` given current per-shard loads.
+
+        ``loads`` is measured in this policy's :meth:`tree_weight` unit;
+        ``next_tree_id`` is the global tree id the addition will receive.
+        """
+        return min(range(len(loads)), key=lambda s: (loads[s], s))
+
+    def config(self) -> Dict[str, object]:
+        """Parameters to persist in the shard manifest (``{}`` by default)."""
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinRouter(ShardRouter):
+    """Tree ``g`` lives on shard ``g % shard_count`` — placement by id alone."""
+
+    name = "round-robin"
+
+    def tree_weight(self, tree: SchemaTree) -> int:
+        # Loads are measured in trees: the policy balances counts, not sizes.
+        return 1
+
+    def assign(self, repository: SchemaRepository, shard_count: int) -> List[int]:
+        check_shard_count(shard_count, repository.tree_count)
+        return [tree_id % shard_count for tree_id in range(repository.tree_count)]
+
+    def place(self, tree: SchemaTree, loads: Sequence[int], next_tree_id: int) -> int:
+        return next_tree_id % len(loads)
+
+
+class SizeBalancedRouter(ShardRouter):
+    """Greedy bin packing by node count (the base class default)."""
+
+    name = "size-balanced"
+
+
+class ClusterAffinityRouter(ShardRouter):
+    """Greedy bin packing by partition-fragment count.
+
+    ``max_fragment_size`` must match the partition configuration of the shard
+    services for the weights to equal the clusters actually searched; a
+    mismatch only skews the balance, never correctness.
+    """
+
+    name = "cluster-affinity"
+
+    def __init__(self, max_fragment_size: int = 20) -> None:
+        if max_fragment_size < 1:
+            raise ShardError(
+                f"max_fragment_size must be positive, got {max_fragment_size}"
+            )
+        self.max_fragment_size = max_fragment_size
+
+    def tree_weight(self, tree: SchemaTree) -> int:
+        return len(set(fragment_tree(tree, self.max_fragment_size).values()))
+
+    def config(self) -> Dict[str, object]:
+        return {"max_fragment_size": self.max_fragment_size}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusterAffinityRouter(max_fragment_size={self.max_fragment_size})"
+
+
+#: Router registry: manifest ``router.policy`` name → constructor.
+_ROUTERS = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    SizeBalancedRouter.name: SizeBalancedRouter,
+    ClusterAffinityRouter.name: ClusterAffinityRouter,
+}
+
+
+def available_router_names() -> List[str]:
+    return sorted(_ROUTERS)
+
+
+def make_router(name: str, params: Optional[Dict[str, object]] = None) -> ShardRouter:
+    """Instantiate a router from its manifest descriptor (name + params)."""
+    constructor = _ROUTERS.get(name)
+    if constructor is None:
+        raise ShardError(
+            f"unknown shard router {name!r} (available: {', '.join(available_router_names())})"
+        )
+    try:
+        return constructor(**(params or {}))
+    except TypeError as exc:
+        raise ShardError(f"invalid parameters for shard router {name!r}: {exc}") from exc
+
+
+def check_shard_count(shard_count: int, tree_count: int) -> None:
+    """Reject shard counts the fan-out layer cannot serve.
+
+    Every shard must hold at least one tree — :class:`Bellflower` refuses an
+    empty repository, and an empty shard could never contribute a mapping
+    anyway — so ``1 <= shard_count <= tree_count``.
+    """
+    if shard_count < 1:
+        raise ShardError(f"shard count must be at least 1, got {shard_count}")
+    if shard_count > tree_count:
+        raise ShardError(
+            f"cannot split {tree_count} trees into {shard_count} shards "
+            "(every shard needs at least one tree)"
+        )

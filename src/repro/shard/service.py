@@ -1,0 +1,831 @@
+"""The sharded matching service: fan-out/merge over independent shards.
+
+:class:`ShardedMatchingService` partitions a repository forest into ``N``
+shards — every shard is a complete, independent
+:class:`~repro.service.MatchingService` over its own sub-repository — and
+answers queries by fanning them out across the shards and merging the
+per-shard rankings.  The paper's element-clustering design keeps per-cluster
+search independent; sharding pushes the same independence one level up: a
+cluster never spans trees, a shard holds whole trees, so no search, cluster
+or mapping ever crosses a shard boundary.
+
+Exactness (sharded ≡ unsharded, bit for bit)
+--------------------------------------------
+
+The merged ranking is identical to the one the unsharded service produces,
+for any shard count and any executor, because every pipeline stage
+distributes over trees:
+
+* **element matching** scores (personal node, repository node) pairs
+  independently, so the union of the shards' candidate tables *is* the
+  unsharded table (modulo coordinates — see below);
+* **clustering** must be tree-local, which the bundled partition clusterer is
+  (fragmentation is a deterministic function of one tree); the constructor
+  rejects shards configured with any other clusterer;
+* **mapping generation** already runs per cluster; per-shard truncation in
+  top-``k`` mode keeps each shard's ``k`` best, a superset of what the shard
+  contributes to the global top-``k``;
+* **ranking** merges with the same canonical
+  :func:`~repro.mapping.ranking.ranking_sort_key` the unsharded service uses.
+
+What does *not* distribute is the coordinate space: each shard numbers its
+trees and global node ids from zero.  The service keeps the translation
+tables (shard-local tree id → merged tree id, and the corresponding global-id
+offsets) and rewrites every mapping, candidate, cluster and report back into
+merged-repository coordinates before merging — including the **cluster ids**:
+shard-local ids are re-ranked into the exact ids the unsharded clusterer
+would have assigned (cluster ids are ordinal in (tree, fragment) order and
+the translation is order-preserving), so even score ties break identically.
+
+Cross-shard incumbent sharing
+-----------------------------
+
+In top-``k`` mode all shards of one query share a single
+:class:`~repro.mapping.engine.TopKPool` through per-shard
+:class:`~repro.mapping.engine.TranslatingTopKPool` views (the view rewrites
+realized signatures into merged coordinates so deduplication works on the
+merged mapping identity).  A good mapping found on any shard raises the
+pruning floor everywhere — the shard-level analogue of PR 3's cross-cluster
+bound sharing, and exact for the same reason: the floor is always a realized,
+distinct mapping score and complete policies never lose ties.  Under a
+process executor the pool degrades to a per-worker snapshot exactly like the
+per-cluster case; results stay identical, only pruning weakens.
+
+Batched front-end
+-----------------
+
+:meth:`ShardedMatchingService.match_many` answers a batch of queries:
+identical schemas (same fingerprint, same effective ``δ``/``top_k``) are
+deduplicated, the bounded front-end result cache is consulted, and only the
+remaining misses are dispatched — every (miss, shard) pair becomes one
+executor task, so a batch saturates the executor even when each individual
+query is small.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.clustering.cluster import Cluster, ClusterSet
+from repro.clustering.kmeans import ClusteringResult
+from repro.errors import ConfigurationError, ShardError, UnknownTreeError
+from repro.mapping.base import GenerationResult
+from repro.mapping.engine import TopKPool, TranslatingTopKPool
+from repro.mapping.model import SchemaMapping
+from repro.mapping.ranking import merge_ranked
+from repro.matchers.base import ElementMatcher
+from repro.matchers.index import LRUMemo
+from repro.matchers.selection import MappingElement, MappingElementSets
+from repro.schema.repository import RepositoryNodeRef, SchemaRepository
+from repro.schema.serialization import tree_from_dict, tree_to_dict
+from repro.schema.tree import SchemaTree
+from repro.service.fingerprint import schema_fingerprint
+from repro.service.partition import PartitionClusterer
+from repro.service.service import MatchingService
+from repro.shard.router import ShardRouter, SizeBalancedRouter, check_shard_count
+from repro.system.results import ClusterReport, MatchResult
+from repro.utils.counters import CounterSet
+from repro.utils.executor import TaskExecutor
+from repro.utils.timers import StageTimer
+
+
+def copy_tree(tree: SchemaTree) -> SchemaTree:
+    """An unregistered deep copy of a tree (same nodes, ``tree_id`` unset).
+
+    Trees carry their registration (``tree_id``) and can belong to only one
+    repository at a time, so building shard repositories from a live
+    repository copies through the serialization round-trip — the same code
+    path snapshots already trust for identity.
+    """
+    return tree_from_dict(tree_to_dict(tree))
+
+
+def split_repository(
+    repository: SchemaRepository, assignment: Sequence[int]
+) -> List[SchemaRepository]:
+    """Build one sub-repository per shard from an assignment.
+
+    ``assignment[g]`` names the shard of tree ``g``.  Within a shard, trees
+    are registered in ascending merged tree id — the invariant every
+    translation table in this module relies on (shard-local tree order ≡
+    merged tree order restricted to the shard).
+    """
+    if len(assignment) != repository.tree_count:
+        raise ShardError(
+            f"assignment covers {len(assignment)} trees, repository has {repository.tree_count}"
+        )
+    shard_count = max(assignment) + 1 if len(assignment) else 0
+    shards = [
+        SchemaRepository(name=f"{repository.name}-shard-{index}")
+        for index in range(shard_count)
+    ]
+    for tree_id, shard_id in enumerate(assignment):
+        if not 0 <= shard_id < shard_count:
+            raise ShardError(f"tree {tree_id} assigned to invalid shard {shard_id}")
+        shards[shard_id].add_tree(copy_tree(repository.tree(tree_id)))
+    for index, shard in enumerate(shards):
+        if shard.tree_count == 0:
+            raise ShardError(f"shard {index} received no trees")
+    return shards
+
+
+class _ShardSignatureTranslator:
+    """Rewrites one shard's mapping signatures into merged coordinates.
+
+    A signature is the tuple of shard-local global node ids the mapping
+    targets.  Local global ids are contiguous per local tree, so translation
+    is "find the local tree by bisection, add that tree's offset delta".
+    Picklable (plain tuples), as :class:`TranslatingTopKPool` requires for
+    process executors.
+    """
+
+    __slots__ = ("starts", "deltas")
+
+    def __init__(self, starts: Tuple[int, ...], deltas: Tuple[int, ...]) -> None:
+        self.starts = starts
+        self.deltas = deltas
+
+    def __call__(self, signature: Tuple[int, ...]) -> Tuple[int, ...]:
+        starts = self.starts
+        deltas = self.deltas
+        return tuple(
+            local_id + deltas[bisect_right(starts, local_id) - 1] for local_id in signature
+        )
+
+
+def _run_shard_query(task) -> MatchResult:
+    """Worker body of the shard fan-out (module-level so process pools can pickle it)."""
+    shard, personal_schema, delta, top_k, pool = task
+    return shard.match(personal_schema, delta=delta, top_k=top_k, shared_pool=pool)
+
+
+class ShardedRepositoryView:
+    """A read-only, merged-coordinate view over the shard repositories.
+
+    Exposes the subset of the :class:`~repro.schema.repository.SchemaRepository`
+    surface the front-ends (CLI printing, serve responses) read — tree lookup
+    by merged id, sizes, a summary — without materializing a merged forest.
+    The returned tree objects are the live shard trees: their ``tree_id``
+    attribute is *shard-local*; treat them as read-only name/structure views.
+    """
+
+    def __init__(self, service: "ShardedMatchingService") -> None:
+        self._service = service
+        self.name = f"sharded({service.shard_count})"
+
+    @property
+    def tree_count(self) -> int:
+        return self._service.tree_count
+
+    @property
+    def node_count(self) -> int:
+        return self._service.node_count
+
+    @property
+    def version(self) -> int:
+        """Sum of shard mutation versions — bumps whenever any shard mutates."""
+        return sum(shard.repository.version for shard in self._service.shards)
+
+    def tree(self, tree_id: int) -> SchemaTree:
+        return self._service.tree(tree_id)
+
+    def summary(self) -> Dict[str, int]:
+        sizes = [
+            shard.repository.tree(local_id).node_count
+            for shard in self._service.shards
+            for local_id in range(shard.repository.tree_count)
+        ]
+        return {
+            "trees": self.tree_count,
+            "nodes": self.node_count,
+            "largest_tree": max(sizes) if sizes else 0,
+            "smallest_tree": min(sizes) if sizes else 0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedRepositoryView(shards={self._service.shard_count}, trees={self.tree_count})"
+
+
+class ShardedMatchingService:
+    """Fan-out/merge matching over ``N`` independent per-shard services.
+
+    Construct via :meth:`from_repository` (split a repository in process) or
+    :func:`repro.shard.manifest.load_shard_set` (load a persisted shard set).
+    The direct constructor wires pre-built shards and validates the
+    invariants the merge step depends on: every shard non-empty, tree-local
+    (partition) clustering, and identical matching configuration across
+    shards.
+
+    Parameters
+    ----------
+    shards:
+        One :class:`~repro.service.MatchingService` per shard.
+    assignment:
+        Merged tree id → shard id.  Within each shard, local tree order must
+        follow merged tree order (as :func:`split_repository` guarantees).
+    router:
+        Placement policy for live :meth:`add_tree` calls (and recorded in
+        manifests).  Defaults to :class:`~repro.shard.router.SizeBalancedRouter`.
+    executor:
+        Optional :class:`~repro.utils.executor.TaskExecutor` the per-shard
+        queries fan out through (``None`` runs shards serially inline).
+        Results are identical for every executor.
+    query_cache_size:
+        Capacity of the front-end merged-result LRU cache (``0`` disables
+        it).  Unlike the per-shard candidate caches, entries here are whole
+        merged rankings, keyed by (schema fingerprint, effective ``δ``,
+        ``top_k``, shard-set version) — a hit returns the previously merged
+        :class:`~repro.system.results.MatchResult` object without touching
+        any shard.
+    global_version:
+        The shard-set version (manifest loads pass the manifest's value).
+        Bumped by every live mutation.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[MatchingService],
+        assignment: Sequence[int],
+        *,
+        router: Optional[ShardRouter] = None,
+        executor: Optional[TaskExecutor] = None,
+        query_cache_size: int = 64,
+        global_version: int = 1,
+    ) -> None:
+        if not shards:
+            raise ShardError("a sharded service needs at least one shard")
+        if query_cache_size < 0:
+            raise ConfigurationError(
+                f"query_cache_size must be non-negative, got {query_cache_size}"
+            )
+        self.shards: List[MatchingService] = list(shards)
+        self._assignment: List[int] = list(assignment)
+        self.router = router or SizeBalancedRouter()
+        self.executor = executor
+        self.query_cache_size = query_cache_size
+        self._result_cache = LRUMemo(query_cache_size)
+        self.global_version = global_version
+        self.counters = CounterSet()
+        self._validate_shards()
+        self._rebuild_translation()
+        # Per-shard router loads are only needed for live add_tree placement
+        # and may be expensive to compute (the affinity router fragments every
+        # tree), so they materialize on first use.
+        self._shard_loads: Optional[List[int]] = None
+        self.repository = ShardedRepositoryView(self)
+
+    # -- invariants -----------------------------------------------------------
+
+    @staticmethod
+    def _shard_config(shard: MatchingService) -> tuple:
+        """Everything that must agree across shards for the merge to be exact.
+
+        A configuration mismatch would not crash — it would silently produce
+        a ranking that differs from the unsharded service — so every input
+        that shapes stage 1-3 results participates: thresholds, the matcher
+        (by snapshot descriptor, falling back to its type for custom
+        matchers), the batch-matching mode and the partition's fragment size.
+        """
+        from repro.service.snapshot import _matcher_config
+
+        matcher = shard.matcher
+        return (
+            shard.delta,
+            shard.element_threshold,
+            shard.system.use_batch_matching,
+            _matcher_config(matcher) or f"custom:{type(matcher).__qualname__}",
+            None if shard.partition is None else shard.partition.max_fragment_size,
+        )
+
+    def _validate_shards(self) -> None:
+        reference = self._shard_config(self.shards[0])
+        for index, shard in enumerate(self.shards):
+            if shard.repository.tree_count == 0:
+                raise ShardError(f"shard {index} serves an empty repository")
+            if shard.variant_name != PartitionClusterer.name:
+                raise ShardError(
+                    f"shard {index} uses clusterer {shard.variant_name!r}; the fan-out "
+                    "merge is only exact for the tree-local 'partition' clusterer"
+                )
+            config = self._shard_config(shard)
+            if config != reference:
+                raise ShardError(
+                    f"shard {index} is configured with {config} but shard 0 with "
+                    f"{reference}; all shards must share one matching configuration "
+                    "(delta, element threshold, batch mode, matcher, fragment size)"
+                )
+        counts = [0] * len(self.shards)
+        for tree_id, shard_id in enumerate(self._assignment):
+            if not 0 <= shard_id < len(self.shards):
+                raise ShardError(f"tree {tree_id} assigned to unknown shard {shard_id}")
+            counts[shard_id] += 1
+        for index, shard in enumerate(self.shards):
+            if counts[index] != shard.repository.tree_count:
+                raise ShardError(
+                    f"assignment gives shard {index} {counts[index]} trees but its "
+                    f"repository holds {shard.repository.tree_count}"
+                )
+
+    def _rebuild_translation(self) -> None:
+        """Recompute the shard-local → merged coordinate tables.
+
+        ``_local_to_global[s][l]`` is the merged tree id of shard ``s``'s
+        local tree ``l``; ``_global_offsets[g]`` is the merged global id of
+        tree ``g``'s first node; ``_translators[s]`` rewrites shard-local
+        global ids (and thus signatures) into merged ones.
+        """
+        self._local_to_global = [[] for _ in self.shards]
+        self._merged_to_local: List[Tuple[int, int]] = []
+        for tree_id, shard_id in enumerate(self._assignment):
+            self._merged_to_local.append((shard_id, len(self._local_to_global[shard_id])))
+            self._local_to_global[shard_id].append(tree_id)
+        sizes = [0] * len(self._assignment)
+        for shard_id, shard in enumerate(self.shards):
+            for local_id, tree_id in enumerate(self._local_to_global[shard_id]):
+                sizes[tree_id] = shard.repository.tree(local_id).node_count
+        self._global_offsets = []
+        total = 0
+        for size in sizes:
+            self._global_offsets.append(total)
+            total += size
+        self._total_nodes = total
+        self._translators = []
+        for shard_id, shard in enumerate(self.shards):
+            starts = []
+            deltas = []
+            for local_id, tree_id in enumerate(self._local_to_global[shard_id]):
+                local_offset = shard.repository.tree_offset(local_id)
+                starts.append(local_offset)
+                deltas.append(self._global_offsets[tree_id] - local_offset)
+            self._translators.append(
+                _ShardSignatureTranslator(tuple(starts), tuple(deltas))
+            )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_repository(
+        cls,
+        repository: SchemaRepository,
+        shard_count: int,
+        *,
+        router: Optional[ShardRouter] = None,
+        executor: Optional[TaskExecutor] = None,
+        matcher: Optional[ElementMatcher] = None,
+        element_threshold: float = 0.6,
+        delta: float = 0.75,
+        use_batch_matching: Optional[bool] = None,
+        query_cache_size: int = 64,
+        partition_max_fragment_size: int = 20,
+    ) -> "ShardedMatchingService":
+        """Split a repository into ``shard_count`` shards and serve them.
+
+        The source repository is left untouched (shards hold copies of its
+        trees); every shard gets the same matching configuration and the
+        snapshot-friendly partition clusterer the merge step requires.
+        """
+        active_router = router or SizeBalancedRouter()
+        check_shard_count(shard_count, repository.tree_count)
+        assignment = active_router.assign(repository, shard_count)
+        shard_repositories = split_repository(repository, assignment)
+        if len(shard_repositories) != shard_count:
+            raise ShardError(
+                f"router {active_router.name!r} used {len(shard_repositories)} of "
+                f"{shard_count} shards (every shard needs at least one tree)"
+            )
+        shards = [
+            MatchingService(
+                shard_repository,
+                matcher=matcher,
+                element_threshold=element_threshold,
+                delta=delta,
+                use_batch_matching=use_batch_matching,
+                query_cache_size=query_cache_size,
+                partition_max_fragment_size=partition_max_fragment_size,
+            )
+            for shard_repository in shard_repositories
+        ]
+        return cls(
+            shards,
+            assignment,
+            router=active_router,
+            executor=executor,
+            query_cache_size=query_cache_size,
+        )
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def tree_count(self) -> int:
+        return len(self._assignment)
+
+    @property
+    def node_count(self) -> int:
+        return self._total_nodes
+
+    @property
+    def delta(self) -> float:
+        return self.shards[0].delta
+
+    @property
+    def element_threshold(self) -> float:
+        return self.shards[0].element_threshold
+
+    @property
+    def assignment(self) -> List[int]:
+        """Merged tree id → shard id (a copy; mutate via add/remove/rebalance)."""
+        return list(self._assignment)
+
+    @property
+    def query_cache_len(self) -> int:
+        return len(self._result_cache)
+
+    def tree(self, tree_id: int) -> SchemaTree:
+        """The tree with merged id ``tree_id`` (a live, shard-local object)."""
+        if not 0 <= tree_id < len(self._assignment):
+            raise UnknownTreeError(tree_id, context=f"sharded repository ({self.tree_count} trees)")
+        shard_id, local_id = self._merged_to_local[tree_id]
+        return self.shards[shard_id].repository.tree(local_id)
+
+    def shard_of(self, tree_id: int) -> int:
+        """The shard holding merged tree ``tree_id``."""
+        if not 0 <= tree_id < len(self._assignment):
+            raise UnknownTreeError(tree_id, context=f"sharded repository ({self.tree_count} trees)")
+        return self._assignment[tree_id]
+
+    def build_derived_state(self) -> None:
+        """Eagerly warm every shard (indexes, oracles, partitions)."""
+        for shard in self.shards:
+            shard.build_derived_state()
+
+    def _loads(self) -> List[int]:
+        """Current per-shard loads in the router's weight unit (lazily built)."""
+        if self._shard_loads is None:
+            self._shard_loads = [
+                sum(
+                    self.router.tree_weight(shard.repository.tree(local_id))
+                    for local_id in range(shard.repository.tree_count)
+                )
+                for shard in self.shards
+            ]
+        return self._shard_loads
+
+    # -- queries --------------------------------------------------------------
+
+    def match(
+        self,
+        personal_schema: SchemaTree,
+        delta: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> MatchResult:
+        """Match one personal schema across all shards and merge the ranking.
+
+        Semantics (and results, bit for bit) are those of the unsharded
+        :meth:`MatchingService.match <repro.service.MatchingService.match>`
+        over the merged repository.
+        """
+        return self.match_many([personal_schema], delta=delta, top_k=top_k)[0]
+
+    def match_many(
+        self,
+        personal_schemas: Sequence[SchemaTree],
+        delta: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> List[MatchResult]:
+        """Answer a batch of queries; result ``i`` belongs to schema ``i``.
+
+        Structurally identical schemas collapse to one computation (the
+        fingerprint dedup), cached rankings are served without touching any
+        shard, and the remaining misses fan out as one task per (query,
+        shard) pair through the executor.  A cache hit returns the previously
+        merged result *object*; duplicates within one batch share their
+        result object likewise.
+        """
+        if top_k is not None and top_k < 1:
+            raise ConfigurationError(f"top_k must be at least 1 when given, got {top_k}")
+        if not personal_schemas:
+            return []
+        effective_delta = self.delta if delta is None else delta
+        version = (self.global_version, self.repository.version)
+
+        # Deduplicate by fingerprint (+ everything the merged result depends on).
+        positions: Dict[Tuple, List[int]] = {}
+        unique: List[Tuple[Tuple, SchemaTree]] = []
+        for index, schema in enumerate(personal_schemas):
+            key = (schema_fingerprint(schema), effective_delta, top_k, version)
+            slots = positions.get(key)
+            if slots is None:
+                positions[key] = [index]
+                unique.append((key, schema))
+            else:
+                slots.append(index)
+        self.counters.increment("queries", len(personal_schemas))
+        self.counters.increment("duplicate_queries", len(personal_schemas) - len(unique))
+
+        # Serve what the front-end cache already holds.
+        resolved: Dict[Tuple, MatchResult] = {}
+        misses: List[Tuple[Tuple, SchemaTree]] = []
+        for key, schema in unique:
+            cached = self._result_cache.get(key) if self.query_cache_size else None
+            if cached is not None:
+                self.counters.increment("query_cache_hits")
+                resolved[key] = cached
+            else:
+                if self.query_cache_size:
+                    self.counters.increment("query_cache_misses")
+                misses.append((key, schema))
+
+        # Fan the misses out: one task per (query, shard), one shared
+        # (translated) incumbent pool per query in top-k mode.
+        tasks = []
+        for key, schema in misses:
+            pool = TopKPool(top_k) if top_k is not None else None
+            for shard_id, shard in enumerate(self.shards):
+                view = (
+                    None
+                    if pool is None
+                    else TranslatingTopKPool(pool, self._translators[shard_id])
+                )
+                tasks.append((shard, schema, delta, top_k, view))
+        self.counters.increment("shard_queries", len(tasks))
+        if self.executor is not None and len(tasks) > 1:
+            raw = self.executor.map(_run_shard_query, tasks)
+        else:
+            raw = [_run_shard_query(task) for task in tasks]
+        for miss_index, (key, schema) in enumerate(misses):
+            shard_results = raw[miss_index * self.shard_count : (miss_index + 1) * self.shard_count]
+            merged = self._merge_results(shard_results, top_k)
+            if self.query_cache_size:
+                self._result_cache.put(key, merged)
+            resolved[key] = merged
+
+        results: List[Optional[MatchResult]] = [None] * len(personal_schemas)
+        for key, slots in positions.items():
+            for slot in slots:
+                results[slot] = resolved[key]
+        return results  # type: ignore[return-value]
+
+    # -- merge ---------------------------------------------------------------
+
+    def _merge_results(
+        self, shard_results: Sequence[MatchResult], top_k: Optional[int]
+    ) -> MatchResult:
+        """Merge per-shard results into one merged-coordinate :class:`MatchResult`."""
+        cluster_map = self._merged_cluster_ids(shard_results)
+
+        translated_groups: List[List[SchemaMapping]] = []
+        for shard_id, result in enumerate(shard_results):
+            translated_groups.append(
+                [
+                    self._translate_mapping(shard_id, mapping, cluster_map)
+                    for mapping in result.mappings
+                ]
+            )
+        mappings = merge_ranked(translated_groups)
+        if top_k is not None:
+            del mappings[top_k:]
+
+        generation = GenerationResult(mappings=mappings)
+        counters = CounterSet()
+        timers = StageTimer()
+        for result in shard_results:
+            generation.counters.merge(result.generation.counters)
+            generation.elapsed_seconds += result.generation.elapsed_seconds
+            counters.merge(result.counters)
+            timers.merge(result.timers)
+
+        return MatchResult(
+            variant_name=shard_results[0].variant_name,
+            mappings=mappings,
+            candidates=self._merge_candidates(shard_results),
+            clustering=self._merge_clustering(shard_results, cluster_map),
+            generation=generation,
+            timers=timers,
+            cluster_reports=self._merge_reports(shard_results, cluster_map),
+            counters=counters,
+            top_k=top_k,
+        )
+
+    def _merged_cluster_ids(
+        self, shard_results: Sequence[MatchResult]
+    ) -> Dict[Tuple[int, int], int]:
+        """(shard id, local cluster id) → merged cluster id.
+
+        Tree-local clusterers number clusters ordinally in (tree, fragment)
+        order, and shard-local tree order follows merged tree order, so
+        re-ranking every shard's clusters by (merged tree id, local cluster
+        id) reproduces exactly the ids one clustering pass over the merged
+        repository would assign.
+        """
+        entries: List[Tuple[int, int, int]] = []
+        for shard_id, result in enumerate(shard_results):
+            if result.clustering is None:  # pragma: no cover - service always clusters
+                continue
+            local_to_global = self._local_to_global[shard_id]
+            for cluster in result.clustering.clusters:
+                entries.append((local_to_global[cluster.tree_id], cluster.cluster_id, shard_id))
+        entries.sort()
+        return {
+            (shard_id, local_id): merged_id
+            for merged_id, (_tree, local_id, shard_id) in enumerate(entries)
+        }
+
+    def _translate_ref(self, shard_id: int, ref: RepositoryNodeRef) -> RepositoryNodeRef:
+        tree_id = self._local_to_global[shard_id][ref.tree_id]
+        return RepositoryNodeRef(
+            global_id=self._global_offsets[tree_id] + ref.node_id,
+            tree_id=tree_id,
+            node_id=ref.node_id,
+        )
+
+    def _translate_mapping(
+        self,
+        shard_id: int,
+        mapping: SchemaMapping,
+        cluster_map: Dict[Tuple[int, int], int],
+    ) -> SchemaMapping:
+        assignment = {
+            node_id: MappingElement(
+                personal_node_id=element.personal_node_id,
+                ref=self._translate_ref(shard_id, element.ref),
+                similarity=element.similarity,
+            )
+            for node_id, element in mapping.assignment.items()
+        }
+        cluster_id = mapping.cluster_id
+        if cluster_id is not None:
+            cluster_id = cluster_map[(shard_id, cluster_id)]
+        return SchemaMapping(
+            assignment=assignment,
+            score=mapping.score,
+            components=dict(mapping.components),
+            target_edge_count=mapping.target_edge_count,
+            tree_id=self._local_to_global[shard_id][mapping.tree_id],
+            cluster_id=cluster_id,
+        )
+
+    def _merge_candidates(self, shard_results: Sequence[MatchResult]) -> MappingElementSets:
+        """The union of the shards' candidate tables, in unsharded element order.
+
+        The unsharded selector emits a node's elements in ascending global id
+        (repository scan order); per shard the same holds locally, and
+        translation is monotone within a shard, so sorting the translated
+        union by global id reproduces the unsharded table exactly.
+        """
+        node_ids = shard_results[0].candidates.personal_node_ids
+        merged = MappingElementSets(node_ids)
+        for node_id in node_ids:
+            elements: List[MappingElement] = []
+            for shard_id, result in enumerate(shard_results):
+                elements.extend(
+                    MappingElement(
+                        personal_node_id=element.personal_node_id,
+                        ref=self._translate_ref(shard_id, element.ref),
+                        similarity=element.similarity,
+                    )
+                    for element in result.candidates.elements_for(node_id)
+                )
+            elements.sort(key=lambda element: element.ref.global_id)
+            for element in elements:
+                merged.add(element)
+        return merged
+
+    def _merge_clustering(
+        self,
+        shard_results: Sequence[MatchResult],
+        cluster_map: Dict[Tuple[int, int], int],
+    ) -> Optional[ClusteringResult]:
+        clusters: List[Optional[Cluster]] = [None] * len(cluster_map)
+        counters = CounterSet()
+        elapsed = 0.0
+        for shard_id, result in enumerate(shard_results):
+            if result.clustering is None:  # pragma: no cover - service always clusters
+                return None
+            counters.merge(result.clustering.counters)
+            elapsed += result.clustering.elapsed_seconds
+            for cluster in result.clustering.clusters:
+                merged_id = cluster_map[(shard_id, cluster.cluster_id)]
+                clusters[merged_id] = Cluster(
+                    cluster_id=merged_id,
+                    tree_id=self._local_to_global[shard_id][cluster.tree_id],
+                    members={
+                        self._translate_ref(shard_id, member) for member in cluster.members
+                    },
+                    centroid=(
+                        None
+                        if cluster.centroid is None
+                        else self._translate_ref(shard_id, cluster.centroid)
+                    ),
+                )
+        return ClusteringResult(
+            clusters=ClusterSet(cluster for cluster in clusters if cluster is not None),
+            counters=counters,
+            elapsed_seconds=elapsed,
+        )
+
+    def _merge_reports(
+        self,
+        shard_results: Sequence[MatchResult],
+        cluster_map: Dict[Tuple[int, int], int],
+    ) -> List[ClusterReport]:
+        reports: List[ClusterReport] = []
+        for shard_id, result in enumerate(shard_results):
+            local_to_global = self._local_to_global[shard_id]
+            reports.extend(
+                ClusterReport(
+                    cluster_id=cluster_map[(shard_id, report.cluster_id)],
+                    tree_id=local_to_global[report.tree_id],
+                    member_count=report.member_count,
+                    mapping_element_count=report.mapping_element_count,
+                    search_space=report.search_space,
+                )
+                for report in result.cluster_reports
+            )
+        reports.sort(key=lambda report: report.cluster_id)
+        return reports
+
+    # -- incremental updates --------------------------------------------------
+
+    def add_tree(self, tree: SchemaTree) -> int:
+        """Register a tree on the shard the router places it on.
+
+        Returns the tree's *merged* id (always ``tree_count`` before the
+        call, mirroring the append-only unsharded id assignment).
+        """
+        merged_id = len(self._assignment)
+        weight = self.router.tree_weight(tree)
+        shard_id = self.router.place(tree, self._loads(), merged_id)
+        if not 0 <= shard_id < self.shard_count:
+            raise ShardError(
+                f"router {self.router.name!r} placed tree on unknown shard {shard_id}"
+            )
+        self.shards[shard_id].add_tree(tree)
+        self._assignment.append(shard_id)
+        self._loads()[shard_id] += weight
+        self._rebuild_translation()
+        self._result_cache.clear()
+        self.global_version += 1
+        self.counters.increment("trees_added")
+        return merged_id
+
+    def remove_tree(self, tree_id: int) -> SchemaTree:
+        """Unregister the tree with merged id ``tree_id``.
+
+        Later trees' merged ids slide down by one, exactly as in the
+        unsharded repository.  Removing the last tree of a shard is refused
+        (every shard must stay non-empty); rebalance to fewer shards instead.
+        """
+        if not 0 <= tree_id < len(self._assignment):
+            raise UnknownTreeError(tree_id, context=f"sharded repository ({self.tree_count} trees)")
+        shard_id, local_id = self._merged_to_local[tree_id]
+        shard = self.shards[shard_id]
+        if shard.repository.tree_count <= 1:
+            raise ShardError(
+                f"removing tree {tree_id} would empty shard {shard_id}; "
+                "rebalance to fewer shards instead"
+            )
+        removed = shard.remove_tree(local_id)
+        del self._assignment[tree_id]
+        if self._shard_loads is not None:
+            self._shard_loads[shard_id] -= self.router.tree_weight(removed)
+        self._rebuild_translation()
+        self._result_cache.clear()
+        self.global_version += 1
+        self.counters.increment("trees_removed")
+        return removed
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Operational summary with a per-shard breakdown.
+
+        The top level mirrors :meth:`MatchingService.stats
+        <repro.service.MatchingService.stats>` in merged coordinates (sizes,
+        cache shape, executor, counters); ``per_shard`` holds each shard's
+        own stats dict.
+        """
+        summary: Dict[str, object] = dict(self.repository.summary())
+        summary["shards"] = self.shard_count
+        summary["router"] = self.router.name
+        summary["global_version"] = self.global_version
+        summary["repository_version"] = self.repository.version
+        summary["executor"] = "serial" if self.executor is None else self.executor.name
+        summary["query_cache_capacity"] = self.query_cache_size
+        summary["query_cache_entries"] = len(self._result_cache)
+        summary.update(self.counters.as_dict())
+        summary["per_shard"] = [
+            dict(shard.stats(), shard=shard_id)
+            for shard_id, shard in enumerate(self.shards)
+        ]
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedMatchingService(shards={self.shard_count}, trees={self.tree_count}, "
+            f"router={self.router.name!r})"
+        )

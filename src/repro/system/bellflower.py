@@ -136,6 +136,7 @@ class Bellflower:
         clustering: ClusteringResult,
         delta: float,
         top_k: Optional[int] = None,
+        shared_pool: Optional[TopKPool] = None,
     ) -> tuple[GenerationResult, List[ClusterReport]]:
         """Search every useful cluster and merge the per-cluster results.
 
@@ -154,10 +155,20 @@ class Bellflower:
         returned *mappings* stay deterministic across executors (see
         :mod:`repro.mapping.engine`); the pruning *counters* become
         timing-dependent under concurrent executors.
+
+        ``shared_pool`` widens the incumbent sharing beyond this query: a
+        caller coordinating several pipelines over one logical repository —
+        the shard fan-out — passes the same pool (or a per-shard
+        :class:`~repro.mapping.engine.TranslatingTopKPool` view over it) to
+        every one of them, so a good mapping found by any participating
+        service raises the pruning floor for all.  Ignored without ``top_k``
+        (the complete ``Δ >= δ`` search admits no incumbent pruning).
         """
         if top_k is not None and top_k < 1:
             raise ConfigurationError(f"top_k must be at least 1 when given, got {top_k}")
-        pool = TopKPool(top_k) if top_k is not None else None
+        pool = None
+        if top_k is not None:
+            pool = shared_pool if shared_pool is not None else TopKPool(top_k)
         merged = GenerationResult()
         reports: List[ClusterReport] = []
         problems: List[MappingProblem] = []
@@ -208,6 +219,7 @@ class Bellflower:
         delta: Optional[float] = None,
         candidates: Optional[MappingElementSets] = None,
         top_k: Optional[int] = None,
+        shared_pool: Optional[TopKPool] = None,
     ) -> MatchResult:
         """Run the full pipeline and return a :class:`MatchResult`.
 
@@ -217,6 +229,9 @@ class Bellflower:
         the ``k`` best mappings and lets the generator prune against the best
         scores found so far across *all* clusters (cross-cluster bound
         sharing); ``None`` keeps the complete ``Δ >= δ`` semantics.
+        ``shared_pool`` additionally shares that incumbent with sibling
+        pipelines of the same logical query (shard fan-out; see
+        :meth:`generate_mappings`).
         """
         if personal_schema.node_count == 0:
             raise ConfigurationError("cannot match an empty personal schema")
@@ -234,7 +249,12 @@ class Bellflower:
 
         with timers.measure("generation"):
             generation, reports = self.generate_mappings(
-                personal_schema, candidates, clustering, effective_delta, top_k=top_k
+                personal_schema,
+                candidates,
+                clustering,
+                effective_delta,
+                top_k=top_k,
+                shared_pool=shared_pool,
             )
 
         counters.merge(generation.counters)

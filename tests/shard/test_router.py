@@ -1,0 +1,99 @@
+"""Router policies: determinism, balance, registry round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardError
+from repro.schema.builder import TreeBuilder
+from repro.shard import (
+    ClusterAffinityRouter,
+    RoundRobinRouter,
+    SizeBalancedRouter,
+    available_router_names,
+    make_router,
+)
+from repro.shard.router import check_shard_count
+
+
+def _tree(name, leaf_count):
+    builder = TreeBuilder(name)
+    root = builder.root("root")
+    for index in range(leaf_count):
+        builder.child(root, f"leaf{index}")
+    return builder.build()
+
+
+class TestRoundRobin:
+    def test_assignment_is_modular(self, shard_repository):
+        assignment = RoundRobinRouter().assign(shard_repository, 3)
+        assert assignment == [tree_id % 3 for tree_id in range(shard_repository.tree_count)]
+
+    def test_place_follows_the_next_tree_id(self):
+        router = RoundRobinRouter()
+        assert router.place(_tree("t", 2), [0, 0, 0], next_tree_id=7) == 1
+
+
+class TestSizeBalanced:
+    def test_every_shard_gets_at_least_one_tree(self, shard_repository):
+        for shard_count in range(1, 5):
+            assignment = SizeBalancedRouter().assign(shard_repository, shard_count)
+            assert set(assignment) == set(range(shard_count))
+
+    def test_node_loads_are_balanced_within_the_largest_tree(self, shard_repository):
+        assignment = SizeBalancedRouter().assign(shard_repository, 3)
+        loads = [0, 0, 0]
+        largest = 0
+        for tree in shard_repository.trees():
+            loads[assignment[tree.tree_id]] += tree.node_count
+            largest = max(largest, tree.node_count)
+        assert max(loads) - min(loads) <= largest
+
+    def test_assignment_is_deterministic(self, shard_repository):
+        first = SizeBalancedRouter().assign(shard_repository, 4)
+        second = SizeBalancedRouter().assign(shard_repository, 4)
+        assert first == second
+
+    def test_place_picks_the_lightest_shard(self):
+        router = SizeBalancedRouter()
+        assert router.place(_tree("t", 3), [10, 4, 9], next_tree_id=0) == 1
+        assert router.place(_tree("t", 3), [4, 4, 9], next_tree_id=0) == 0  # tie: lowest id
+
+
+class TestClusterAffinity:
+    def test_weight_counts_partition_fragments(self):
+        router = ClusterAffinityRouter(max_fragment_size=3)
+        assert router.tree_weight(_tree("small", 2)) == 1  # 3 nodes, one fragment
+        assert router.tree_weight(_tree("large", 11)) > 1
+
+    def test_invalid_fragment_size_is_a_typed_error(self):
+        with pytest.raises(ShardError):
+            ClusterAffinityRouter(max_fragment_size=0)
+
+    def test_config_round_trips_through_the_registry(self):
+        router = make_router("cluster-affinity", {"max_fragment_size": 7})
+        assert isinstance(router, ClusterAffinityRouter)
+        assert router.config() == {"max_fragment_size": 7}
+
+
+class TestRegistry:
+    def test_all_policies_are_listed(self):
+        assert available_router_names() == ["cluster-affinity", "round-robin", "size-balanced"]
+
+    def test_unknown_name_is_a_typed_error(self):
+        with pytest.raises(ShardError, match="unknown shard router"):
+            make_router("consistent-hashing")
+
+    def test_bad_parameters_are_a_typed_error(self):
+        with pytest.raises(ShardError, match="invalid parameters"):
+            make_router("round-robin", {"bogus": 1})
+
+
+class TestShardCountValidation:
+    def test_bounds(self):
+        check_shard_count(1, 1)
+        check_shard_count(4, 9)
+        with pytest.raises(ShardError):
+            check_shard_count(0, 5)
+        with pytest.raises(ShardError, match="at least one tree"):
+            check_shard_count(6, 5)

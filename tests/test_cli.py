@@ -176,7 +176,7 @@ class TestServeLoop:
 
     def test_unknown_request_kind_is_an_error(self, service):
         (response,) = _serve(service, ['{"frobnicate": 1}'])
-        assert "personal, add, remove, stats" in response["error"]
+        assert "personal, batch, add, remove, stats" in response["error"]
 
     def test_negative_top_is_an_error_not_a_mis_slice(self, service):
         (response,) = _serve(
@@ -209,6 +209,22 @@ class TestServeLoop:
         responses = _serve(service, ["", "   ", '{"stats": true}'])
         assert len(responses) == 1
 
+    def test_batch_request_answers_every_query(self, service):
+        (response,) = _serve(
+            service,
+            [json.dumps({"batch": [{"person": ["name", "email"]}, {"book": ["title"]}], "top": 2})],
+        )
+        assert response["queries"] == 2
+        assert len(response["results"]) == 2
+        for entry in response["results"]:
+            assert "mapping_count" in entry
+            assert len(entry["mappings"]) <= 2
+
+    def test_empty_or_non_list_batch_is_an_error(self, service):
+        responses = _serve(service, ['{"batch": []}', '{"batch": {"a": []}}'])
+        for response in responses:
+            assert "non-empty JSON array" in response["error"]
+
     def test_mutations_and_top_k_through_the_loop(self, service):
         responses = _serve(
             service,
@@ -224,3 +240,145 @@ class TestServeLoop:
         assert len(responses[1]["mappings"]) <= 1
         assert "error" in responses[2]
         assert responses[3]["stats"]["trees_added"] == 1
+
+    def test_stats_report_cache_shape_and_executor(self, service):
+        (response,) = _serve(service, ['{"stats": true}'])
+        stats = response["stats"]
+        assert stats["executor"] == "serial"
+        assert stats["query_cache_capacity"] == 64
+        assert "repository_version" in stats
+
+
+class TestShardCommands:
+    @pytest.fixture
+    def shard_dir(self, tmp_path, repository_file):
+        out_dir = tmp_path / "shards"
+        exit_code = main(
+            [
+                "shard", "split",
+                "--repository", str(repository_file),
+                "--shards", "3",
+                "--router", "size-balanced",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert exit_code == 0
+        return out_dir
+
+    def test_split_writes_manifest_and_snapshots(self, shard_dir):
+        assert (shard_dir / "manifest.json").exists()
+        for shard_id in range(3):
+            assert (shard_dir / f"shard-{shard_id}.snapshot.json").exists()
+
+    def test_status_reports_the_set(self, shard_dir, capsys):
+        assert main(["shard", "status", "--manifest", str(shard_dir / "manifest.json")]) == 0
+        output = capsys.readouterr().out
+        assert "3 shards" in output
+        assert "size-balanced" in output
+
+    def test_status_on_malformed_manifest_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{broken")
+        assert main(["shard", "status", "--manifest", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_against_shards_matches_snapshot_query(
+        self, shard_dir, tmp_path, repository_file, capsys
+    ):
+        snapshot_path = tmp_path / "whole.snapshot.json"
+        assert main(["snapshot", "--repository", str(repository_file), "--out", str(snapshot_path)]) == 0
+        capsys.readouterr()
+        personal = '{"person": ["name", "email"]}'
+        assert main(["query", "--snapshot", str(snapshot_path), "--personal", personal, "--delta", "0.5"]) == 0
+        unsharded_output = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "query",
+                    "--shards", str(shard_dir / "manifest.json"),
+                    "--personal", personal,
+                    "--delta", "0.5",
+                ]
+            )
+            == 0
+        )
+        sharded_output = capsys.readouterr().out
+        # Identical rankings ⇒ identical printed mapping lines (the headers
+        # name the same sizes/cluster counts too, by the equivalence).
+        assert sharded_output.splitlines()[1:] == unsharded_output.splitlines()[1:]
+
+    def test_batch_query_prints_one_json_line_per_query(self, shard_dir, tmp_path, capsys):
+        batch_file = tmp_path / "batch.jsonl"
+        batch_file.write_text(
+            '{"person": ["name", "email"]}\n\n{"person": ["name", "email"]}\n'
+        )
+        exit_code = main(
+            [
+                "query",
+                "--shards", str(shard_dir / "manifest.json"),
+                "--batch", str(batch_file),
+                "--delta", "0.5",
+                "--cache-size", "8",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        assert len(lines) == 2
+        assert lines[0] == lines[1]
+        assert "1 duplicates" in captured.err
+
+    def test_batch_query_rejects_negative_top(self, shard_dir, tmp_path, capsys):
+        batch_file = tmp_path / "batch.jsonl"
+        batch_file.write_text('{"person": ["name"]}\n')
+        exit_code = main(
+            [
+                "query",
+                "--shards", str(shard_dir / "manifest.json"),
+                "--batch", str(batch_file),
+                "--top", "-1",
+            ]
+        )
+        assert exit_code == 2
+        assert "top must be non-negative" in capsys.readouterr().err
+
+    def test_query_requires_exactly_one_source_and_one_input(self, shard_dir, tmp_path, capsys):
+        manifest = str(shard_dir / "manifest.json")
+        assert main(["query", "--personal", '{"a": []}']) == 2
+        assert "exactly one of --snapshot or --shards" in capsys.readouterr().err
+        assert main(["query", "--shards", manifest]) == 2
+        assert "exactly one of --personal or --batch" in capsys.readouterr().err
+
+    def test_rebalance_preserves_cli_query_output(self, shard_dir, capsys):
+        manifest = str(shard_dir / "manifest.json")
+        personal = '{"person": ["name", "email"]}'
+        assert main(["query", "--shards", manifest, "--personal", personal, "--delta", "0.5"]) == 0
+        before = capsys.readouterr().out
+        assert main(["shard", "rebalance", "--manifest", manifest, "--shards", "2", "--router", "round-robin"]) == 0
+        capsys.readouterr()
+        assert main(["query", "--shards", manifest, "--personal", personal, "--delta", "0.5"]) == 0
+        after = capsys.readouterr().out
+        assert before.splitlines()[1:] == after.splitlines()[1:]
+
+    def test_serve_loop_over_a_sharded_service(self, shard_dir):
+        from repro.shard import load_shard_set
+
+        service = load_shard_set(shard_dir / "manifest.json")
+        responses = _serve(
+            service,
+            [
+                json.dumps({"batch": [{"person": ["name"]}, {"person": ["name"]}], "delta": 0.5}),
+                json.dumps({"add": {"zqxroot": ["zqxchild"]}, "name": "served-tree"}),
+                json.dumps({"personal": {"zqxroot": ["zqxchild"]}, "top_k": 1}),
+                json.dumps({"remove": 10**9}),
+                json.dumps({"stats": True}),
+            ],
+        )
+        assert responses[0]["queries"] == 2
+        assert responses[1]["ok"] is True
+        assert responses[2]["mapping_count"] >= 1
+        assert "error" in responses[3]
+        stats = responses[4]["stats"]
+        assert stats["shards"] == 3
+        assert len(stats["per_shard"]) == 3
+        assert stats["trees_added"] == 1
