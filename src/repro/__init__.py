@@ -21,6 +21,7 @@ from repro.errors import (
     ClusteringError,
     ConfigurationError,
     ExperimentError,
+    InvalidRequestError,
     LabelingError,
     MappingError,
     MatcherError,
@@ -74,6 +75,18 @@ from repro.shard import (
     ShardedMatchingService,
     load_shard_set,
     write_shard_set,
+)
+from repro.api import (
+    PROTOCOL_VERSION,
+    Matcher,
+    MatcherServer,
+    MatchOptions,
+    MatchRequest,
+    MatchResponse,
+    MutationRequest,
+    MutationResponse,
+    StatsRequest,
+    StatsResponse,
 )
 
 __version__ = "1.0.0"

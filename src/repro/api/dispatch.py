@@ -1,0 +1,335 @@
+"""The one request dispatcher behind every serving front-end.
+
+:class:`RequestDispatcher` turns one parsed JSON request into one JSON
+response dict against any :class:`~repro.api.matcher.Matcher`.  The stdin
+serve loop (``cli serve``) and the asyncio TCP server
+(:mod:`repro.api.server`) are both thin adapters over it, so protocol
+behaviour — envelope parsing, the legacy dict dialect, error classification,
+mutation bookkeeping — cannot drift between transports.
+
+Two dialects share the dispatcher:
+
+* **v1 envelopes** — any payload carrying ``"v"`` is parsed with
+  :func:`~repro.api.envelope.parse_request` and answered with a v1 response
+  envelope (including v1 :class:`~repro.api.envelope.ErrorResponse` frames);
+* **legacy dicts** — payloads without ``"v"`` keep the pre-PR serve
+  protocol (``{"personal"| "batch" | "add" | "remove" | "stats"}`` with
+  ``top``/``top_k``/``delta``).  Every pre-existing response field keeps its
+  exact shape and meaning; mutation responses additionally carry the stable
+  identifiers (``name`` on add, ``tree_id`` on remove) the tree-id shift
+  rule demands — additive only, so existing clients keep working.
+
+Robustness contract (inherited from the old serve loop, now enforced for
+every transport): *nothing* a client sends may escape as an exception.
+Expected failures — :class:`~repro.errors.ReproError` (including every
+:class:`~repro.errors.InvalidRequestError` the validation layer raises),
+``ValueError``, ``KeyError``, ``TypeError`` — become plain error envelopes;
+anything else additionally reports the exception class under ``"type"``.
+
+Concurrency: the dispatcher is thread-safe.  Queries and stats run under a
+shared (read) lock, mutations under an exclusive (write) lock, so the asyncio
+server can overlap many clients' queries while an ``add``/``remove`` never
+races a query against half-patched derived state.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.api.encode import mapping_record
+from repro.api.envelope import (
+    BatchRequest,
+    BatchResponse,
+    ErrorResponse,
+    MatchRequest,
+    MutationRequest,
+    MutationResponse,
+    StatsRequest,
+    StatsResponse,
+    parse_request,
+)
+from repro.api.validation import validate_top
+from repro.errors import InvalidRequestError, ReproError
+from repro.schema.builder import TreeBuilder
+
+#: Failures a client can cause; reported without the exception class.
+_EXPECTED_ERRORS = (ReproError, ValueError, KeyError, TypeError)
+
+
+def personal_schema_from_spec(spec, name: str = "personal"):
+    """Build a personal schema from a nested JSON spec (the one shared validator).
+
+    Both the CLI front-end and the dispatcher's legacy dialect accept the
+    same shape, so they share this helper — accepting a new spec form in one
+    place cannot silently diverge the stdin path from the server path.
+    """
+    if not isinstance(spec, dict):
+        raise ReproError(
+            "a personal schema must be a JSON object mapping the root name to its children"
+        )
+    return TreeBuilder.from_nested(spec, name=name)
+
+
+class _ReadWriteLock:
+    """Many concurrent readers or one writer, writer-preferring (no reentrancy).
+
+    The serve workload is read-heavy (queries) with rare mutations — which
+    is precisely why naive reader preference would be a liveness bug: under
+    a sustained query stream the reader count never drains and an
+    ``add``/``remove`` would block forever while pinning a worker thread.
+    The turnstile gives writers priority: a waiting writer holds it, which
+    stops *new* readers from joining, the in-flight readers drain, the
+    writer runs, and the queued readers resume.
+    """
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._readers_mutex = threading.Lock()
+        self._writer_mutex = threading.Lock()
+        self._turnstile = threading.Lock()
+
+    @contextmanager
+    def read(self):
+        # The turnstile is held only momentarily on the uncontended path; a
+        # waiting writer holds it for its whole wait, parking new readers.
+        with self._turnstile:
+            with self._readers_mutex:
+                self._readers += 1
+                if self._readers == 1:
+                    self._writer_mutex.acquire()
+        try:
+            yield
+        finally:
+            with self._readers_mutex:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._writer_mutex.release()
+
+    @contextmanager
+    def write(self):
+        with self._turnstile:
+            # Acquire while holding the turnstile so no new reader can slip
+            # in ahead; release the turnstile once exclusive.
+            self._writer_mutex.acquire()
+        try:
+            yield
+        finally:
+            self._writer_mutex.release()
+
+
+@dataclass
+class ServeDefaults:
+    """Per-process defaults for *legacy* requests (v1 envelopes are self-contained).
+
+    ``top`` trims the printed mapping list, ``top_k`` bounds the search —
+    the very distinction the v1 protocol renames to ``limit``/``top_k``.
+    """
+
+    top: int = 10
+    top_k: Optional[int] = None
+
+
+class RequestDispatcher:
+    """Dispatch parsed requests against one matcher (thread-safe, transport-free)."""
+
+    def __init__(self, matcher, defaults: Optional[ServeDefaults] = None) -> None:
+        self.matcher = matcher
+        self.defaults = defaults or ServeDefaults()
+        self._added = 0
+        self._lock = _ReadWriteLock()
+
+    # -- entry points ---------------------------------------------------------
+
+    def handle_line(self, line: str) -> Dict[str, object]:
+        """One raw request line in, one response dict out — never raises."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            return {"error": str(error) or type(error).__name__}
+        return self.handle_request(payload)
+
+    def handle_request(self, payload: object) -> Dict[str, object]:
+        """Dispatch one parsed payload; failures become error envelopes."""
+        v1 = isinstance(payload, dict) and "v" in payload
+        try:
+            if not isinstance(payload, dict):
+                raise ReproError(
+                    f"request must be a JSON object, got {type(payload).__name__}"
+                )
+            if v1:
+                return self._handle_v1(payload)
+            return self._handle_legacy(payload)
+        except _EXPECTED_ERRORS as error:
+            message = str(error) or type(error).__name__
+            if v1:
+                return ErrorResponse(error=message).to_wire()
+            return {"error": message}
+        except Exception as error:  # noqa: BLE001 - serving must survive anything
+            message = str(error) or type(error).__name__
+            if v1:
+                return ErrorResponse(error=message, error_type=type(error).__name__).to_wire()
+            return {"error": message, "type": type(error).__name__}
+
+    # -- v1 envelopes ---------------------------------------------------------
+
+    def _handle_v1(self, payload: dict) -> Dict[str, object]:
+        request = parse_request(payload)
+        if isinstance(request, MatchRequest):
+            with self._lock.read():
+                return self.matcher.match(request).to_wire()
+        if isinstance(request, BatchRequest):
+            with self._lock.read():
+                results = self.matcher.match_many(list(request.requests))
+            return BatchResponse(results=tuple(results)).to_wire()
+        if isinstance(request, MutationRequest):
+            with self._lock.write():
+                return self._execute_mutation(request).to_wire()
+        assert isinstance(request, StatsRequest)
+        with self._lock.read():
+            stats = self.matcher.describe() if request.describe else self.matcher.stats()
+        return StatsResponse(stats=stats).to_wire()
+
+    def _execute_mutation(self, request: MutationRequest) -> MutationResponse:
+        matcher = self.matcher
+        if not hasattr(matcher, "add_tree"):
+            raise InvalidRequestError(
+                f"backend {getattr(matcher, 'backend_kind', type(matcher).__name__)!r} "
+                "does not support mutations"
+            )
+        if request.action == "add":
+            self._added += 1
+            tree = request.build_schema(default_name=f"added-{self._added}")
+            tree_id = matcher.add_tree(tree)
+            return MutationResponse(
+                ok=True,
+                action="add",
+                tree_id=tree_id,
+                tree_name=tree.name,
+                trees=matcher.repository.tree_count,
+                warnings=request.warnings,
+            )
+        tree_id = request.tree_id
+        if request.tree_name is not None:
+            tree_id = self._resolve_tree_name(request.tree_name)
+        removed = matcher.remove_tree(tree_id)
+        return MutationResponse(
+            ok=True,
+            action="remove",
+            tree_id=tree_id,
+            tree_name=removed.name,
+            trees=matcher.repository.tree_count,
+            warnings=request.warnings,
+        )
+
+    def _resolve_tree_name(self, tree_name: str) -> int:
+        repository = self.matcher.repository
+        matches = [
+            tree_id
+            for tree_id in range(repository.tree_count)
+            if repository.tree(tree_id).name == tree_name
+        ]
+        if not matches:
+            raise InvalidRequestError(f"no tree named {tree_name!r} in the repository")
+        if len(matches) > 1:
+            raise InvalidRequestError(
+                f"tree name {tree_name!r} is ambiguous ({len(matches)} trees); remove by tree_id"
+            )
+        return matches[0]
+
+    # -- the legacy dict dialect ---------------------------------------------
+
+    def _handle_legacy(self, request: dict) -> Dict[str, object]:
+        matcher = self.matcher
+        if "personal" in request:
+            personal = personal_schema_from_spec(request["personal"])
+            top_k = request.get("top_k", self.defaults.top_k)
+            top = validate_top(int(request.get("top", self.defaults.top)))
+            with self._lock.read():
+                result = matcher.match(
+                    personal,
+                    delta=request.get("delta"),
+                    top_k=None if top_k is None else int(top_k),
+                )
+            return {
+                "mappings": [
+                    self._legacy_mapping(personal, mapping)
+                    for mapping in result.mappings[:top]
+                ],
+                "mapping_count": len(result.mappings),
+                "elapsed_seconds": round(result.total_seconds, 6),
+            }
+        if "batch" in request:
+            specs = request["batch"]
+            if not isinstance(specs, list) or not specs:
+                raise ReproError("batch must be a non-empty JSON array of personal schemas")
+            schemas = [
+                personal_schema_from_spec(spec, name=f"batch-{index}")
+                for index, spec in enumerate(specs, start=1)
+            ]
+            top_k = request.get("top_k", self.defaults.top_k)
+            top = validate_top(int(request.get("top", self.defaults.top)))
+            with self._lock.read():
+                results = matcher.match_many(
+                    schemas,
+                    delta=request.get("delta"),
+                    top_k=None if top_k is None else int(top_k),
+                )
+            return {
+                "results": [
+                    {
+                        "mappings": [
+                            self._legacy_mapping(personal, mapping)
+                            for mapping in result.mappings[:top]
+                        ],
+                        "mapping_count": len(result.mappings),
+                    }
+                    for personal, result in zip(schemas, results)
+                ],
+                "queries": len(schemas),
+            }
+        if "add" in request:
+            with self._lock.write():
+                self._added += 1
+                tree = TreeBuilder.from_nested(
+                    request["add"], name=str(request.get("name", f"added-{self._added}"))
+                )
+                return {
+                    "ok": True,
+                    "tree_id": matcher.add_tree(tree),
+                    "name": tree.name,
+                    "trees": matcher.repository.tree_count,
+                }
+        if "remove" in request:
+            with self._lock.write():
+                tree_id = int(request["remove"])
+                removed = matcher.remove_tree(tree_id)
+                return {
+                    "ok": True,
+                    "removed": removed.name,
+                    "tree_id": tree_id,
+                    "trees": matcher.repository.tree_count,
+                }
+        if "stats" in request:
+            with self._lock.read():
+                return {"stats": matcher.stats()}
+        raise ReproError("request needs one of: personal, batch, add, remove, stats")
+
+    def _legacy_mapping(self, personal, mapping) -> Dict[str, object]:
+        return legacy_mapping_dict(self.matcher.repository, personal, mapping)
+
+
+def legacy_mapping_dict(repository, personal, mapping) -> Dict[str, object]:
+    """One mapping in the legacy response shape (paths via the one shared renderer)."""
+    record = mapping_record(repository, personal, mapping)
+    return {
+        "score": round(record.score, 6),
+        "tree": record.tree,
+        "assignment": [
+            {"personal": entry.personal, "repository": entry.repository}
+            for entry in record.assignment
+        ],
+    }

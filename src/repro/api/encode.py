@@ -1,0 +1,89 @@
+"""Encode backend results into wire envelopes.
+
+The translation from a :class:`~repro.system.results.MatchResult` (live
+objects: mappings holding repository node refs, counter sets, stage timers)
+into a :class:`~repro.api.envelope.MatchResponse` (plain records a JSON line
+can carry) lives here, in one place, so the CLI, the stdin serve loop, the
+asyncio server and the tests all render a mapping identically.  The functions
+are duck-typed over the repository (``tree(tree_id)`` + path rendering) so
+they serve the real :class:`~repro.schema.repository.SchemaRepository` and the
+sharded merged-coordinate view alike — no runtime import of any backend.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.api.envelope import (
+    AssignmentEntry,
+    ClusterStat,
+    ExplainReport,
+    MappingRecord,
+    MatchOptions,
+    MatchResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids backend imports
+    from repro.mapping.model import SchemaMapping
+    from repro.schema.tree import SchemaTree
+    from repro.system.results import MatchResult
+
+
+def mapping_record(repository, personal: "SchemaTree", mapping: "SchemaMapping") -> MappingRecord:
+    """Render one mapping as paths (the stable, coordinate-free identity)."""
+    tree = repository.tree(mapping.tree_id)
+    return MappingRecord(
+        score=mapping.score,
+        tree=tree.name,
+        tree_id=mapping.tree_id,
+        assignment=tuple(
+            AssignmentEntry(
+                personal="/" + "/".join(personal.root_path_names(node_id)),
+                repository="/" + "/".join(tree.root_path_names(element.ref.node_id)),
+                similarity=element.similarity,
+            )
+            for node_id, element in sorted(mapping.assignment.items())
+        ),
+    )
+
+
+def explain_report(result: "MatchResult") -> ExplainReport:
+    """Per-cluster search statistics plus the run's pruning totals."""
+    return ExplainReport(
+        useful_clusters=result.useful_cluster_count,
+        search_space=result.search_space,
+        partial_mappings=result.partial_mappings,
+        clusters=tuple(
+            ClusterStat(
+                cluster_id=report.cluster_id,
+                tree_id=report.tree_id,
+                member_count=report.member_count,
+                mapping_element_count=report.mapping_element_count,
+                search_space=report.search_space,
+            )
+            for report in result.cluster_reports
+        ),
+    )
+
+
+def match_response(
+    repository,
+    personal: "SchemaTree",
+    result: "MatchResult",
+    options: MatchOptions,
+    warnings: Tuple[str, ...] = (),
+) -> MatchResponse:
+    """Page and encode one result according to the request's options."""
+    end = None if options.limit is None else options.offset + options.limit
+    page = result.mappings[options.offset : end]
+    timings = dict(result.timers.elapsed())
+    timings["total"] = result.total_seconds
+    return MatchResponse(
+        mappings=tuple(mapping_record(repository, personal, mapping) for mapping in page),
+        mapping_count=len(result.mappings),
+        offset=options.offset,
+        counters=result.counters.as_dict(),
+        timings=timings,
+        explain=explain_report(result) if options.explain else None,
+        warnings=warnings,
+    )

@@ -1,0 +1,167 @@
+"""The ``Matcher`` protocol and the mixin that implements it for backends.
+
+Every query backend — :class:`~repro.system.bellflower.Bellflower`, the
+:class:`~repro.service.MatchingService`, the sharded fan-out — now speaks one
+four-method surface:
+
+* ``match(request)`` — one :class:`~repro.api.envelope.MatchRequest` in, one
+  :class:`~repro.api.envelope.MatchResponse` out;
+* ``match_many(requests)`` — a batch, with fingerprint dedup on every backend
+  (promoted from the shard layer down to the base service by this PR);
+* ``stats()`` — the uniform operational dict (backend kind, protocol
+  version, executor, cache capacities, shard breakdown where applicable);
+* ``describe()`` — the static capability card.
+
+Backward compatibility is a *shim, not a fork*: the same ``match`` /
+``match_many`` names keep accepting the legacy
+:class:`~repro.schema.tree.SchemaTree` + kwargs signatures bit-identically
+(they dispatch on the argument type to the backend's ``_match_schema`` /
+``_match_many_schemas``, which hold the pre-existing implementations).  The
+typed path validates options at the boundary, builds the schema, groups
+requests by ``(delta, top_k)`` and executes each group through the *legacy
+batch path* — so typed and legacy queries run literally the same code and
+the bit-identity acceptance tests compare equal by construction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Set, runtime_checkable
+
+from repro.api import encode
+from repro.api.envelope import PROTOCOL_VERSION, MatchRequest, MatchResponse
+from repro.errors import InvalidRequestError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.utils.executor import TaskExecutor
+
+
+@runtime_checkable
+class Matcher(Protocol):
+    """The one query surface every backend implements.
+
+    ``match``/``match_many`` accept typed envelopes (and, for backward
+    compatibility, the legacy tree + kwargs form); ``stats`` and ``describe``
+    return uniform JSON-serializable dicts.  Checkable at runtime
+    (``isinstance(backend, Matcher)``) because front-ends accept any
+    implementation, not just the three bundled ones.
+    """
+
+    def match(self, request, *args, **kwargs): ...
+
+    def match_many(self, requests, *args, **kwargs): ...
+
+    def stats(self) -> Dict[str, object]: ...
+
+    def describe(self) -> Dict[str, object]: ...
+
+
+class MatcherAPIMixin:
+    """Typed-envelope dispatch layered over a backend's legacy entry points.
+
+    A backend subclasses this and provides:
+
+    * ``_match_schema(personal_schema, delta=None, top_k=None, ...)`` — the
+      pre-existing single-query implementation (the old ``match`` body);
+    * ``_match_many_schemas(schemas, delta=None, top_k=None)`` — the batch
+      implementation (dedup + batching);
+    * ``backend_kind`` — the stable name ``describe()``/``stats()`` report;
+    * optionally ``_task_executor()``, ``_capabilities()`` and
+      ``_describe_extra()`` to refine the capability card.
+    """
+
+    backend_kind: str = "matcher"
+
+    # -- the Matcher surface --------------------------------------------------
+
+    def match(self, request, *args, **kwargs):
+        """Typed: ``match(MatchRequest) -> MatchResponse``.  Legacy: unchanged."""
+        if isinstance(request, MatchRequest):
+            if args or kwargs:
+                raise InvalidRequestError(
+                    "a typed MatchRequest carries every option; extra arguments are not allowed"
+                )
+            return self._execute_requests([request])[0]
+        return self._match_schema(request, *args, **kwargs)
+
+    def match_many(self, requests, *args, **kwargs):
+        """Typed: list of envelopes -> list of responses.  Legacy: unchanged."""
+        items = list(requests)
+        typed = [isinstance(item, MatchRequest) for item in items]
+        if any(typed):
+            if not all(typed):
+                raise InvalidRequestError(
+                    "match_many cannot mix MatchRequest envelopes with schema trees"
+                )
+            if args or kwargs:
+                raise InvalidRequestError(
+                    "typed MatchRequests carry every option; extra arguments are not allowed"
+                )
+            return self._execute_requests(items)
+        return self._match_many_schemas(items, *args, **kwargs)
+
+    def describe(self) -> Dict[str, object]:
+        """The backend's capability card (static; ``stats()`` is the live view)."""
+        executor = self._task_executor()
+        card: Dict[str, object] = {
+            "backend": self.backend_kind,
+            "protocol_version": PROTOCOL_VERSION,
+            "delta": self.delta,
+            "element_threshold": self.element_threshold,
+            "executor": "serial" if executor is None else executor.name,
+            "capabilities": sorted(self._capabilities()),
+            "repository": {
+                "trees": self.repository.tree_count,
+                "nodes": self.repository.node_count,
+            },
+        }
+        card.update(self._describe_extra())
+        return card
+
+    # -- typed execution ------------------------------------------------------
+
+    def _execute_requests(self, requests: Sequence[MatchRequest]) -> List[MatchResponse]:
+        """Validate, group by (δ, top_k), and run each group through the batch path.
+
+        Grouping keeps the fingerprint dedup of ``_match_many_schemas``
+        effective for typed batches (duplicate schemas with equal options
+        collapse to one search) while still honouring per-request ``explain``
+        and paging, which only shape the encoding.
+        """
+        for request in requests:
+            request.options.validate()
+        schemas = [request.build_schema() for request in requests]
+        groups: Dict[tuple, List[int]] = {}
+        for index, request in enumerate(requests):
+            groups.setdefault((request.options.delta, request.options.top_k), []).append(index)
+        responses: List[Optional[MatchResponse]] = [None] * len(requests)
+        for (delta, top_k), indexes in groups.items():
+            results = self._match_many_schemas(
+                [schemas[index] for index in indexes], delta=delta, top_k=top_k
+            )
+            for index, result in zip(indexes, results):
+                responses[index] = encode.match_response(
+                    self.repository,
+                    schemas[index],
+                    result,
+                    requests[index].options,
+                    warnings=requests[index].warnings,
+                )
+        return responses  # type: ignore[return-value]
+
+    # -- hooks ---------------------------------------------------------------
+
+    def _match_many_schemas(self, personal_schemas, delta=None, top_k=None):
+        """Default batch path: one ``_match_schema`` call per schema."""
+        return [
+            self._match_schema(schema, delta=delta, top_k=top_k)
+            for schema in personal_schemas
+        ]
+
+    def _task_executor(self) -> Optional["TaskExecutor"]:
+        return getattr(self, "executor", None)
+
+    def _capabilities(self) -> Set[str]:
+        return {"match", "match_many", "top_k", "explain", "stats", "describe"}
+
+    def _describe_extra(self) -> Dict[str, object]:
+        return {}

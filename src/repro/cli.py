@@ -28,9 +28,12 @@ Seven subcommands cover the typical usage of the library without writing code:
 
 ``serve``
     Load a snapshot (or a shard set) and answer a stream of queries: one JSON
-    document per stdin line, one JSON result per stdout line, until EOF.
-    ``{"add": ...}`` and ``{"remove": ...}`` lines mutate the live repository
-    incrementally; ``{"batch": [...]}`` answers many queries in one request.
+    document per stdin line, one JSON result per stdout line, until EOF —
+    or, with ``--port``, a concurrent asyncio JSONL TCP server for many
+    simultaneous clients.  ``{"add": ...}`` and ``{"remove": ...}`` lines
+    mutate the live repository incrementally; ``{"batch": [...]}`` answers
+    many queries in one request; typed v1 envelopes (``{"v": 1, ...}``, see
+    :mod:`repro.api`) are accepted on the same stream.
 
 ``shard``
     Manage shard sets: ``split`` partitions a repository into N per-shard
@@ -63,7 +66,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.errors import ReproError
 from repro.schema.builder import TreeBuilder
@@ -234,9 +237,9 @@ def _load_service_argument(args: argparse.Namespace):
 
 
 def _personal_schema_from_spec(spec, name: str = "personal"):
-    if not isinstance(spec, dict):
-        raise ReproError("a personal schema must be a JSON object mapping the root name to its children")
-    return TreeBuilder.from_nested(spec, name=name)
+    from repro.api.dispatch import personal_schema_from_spec
+
+    return personal_schema_from_spec(spec, name=name)
 
 
 def _load_batch_file(path_text: str):
@@ -265,7 +268,7 @@ def _load_batch_file(path_text: str):
 
 
 def _match_many(service, schemas, delta, top_k):
-    """Batch entry point that also serves plain services (no ``match_many``)."""
+    """Batch entry point that also serves foreign matchers (no ``match_many``)."""
     batcher = getattr(service, "match_many", None)
     if batcher is not None:
         return batcher(schemas, delta=delta, top_k=top_k)
@@ -295,9 +298,10 @@ def _command_query(args: argparse.Namespace) -> int:
                 )
             )
         if hasattr(service, "match_many"):
-            # Only the sharded front-end deduplicates and caches whole
-            # results; a plain service's counters mean something else, so the
-            # summary would mislead there.
+            # Both bundled services deduplicate batches by fingerprint now
+            # (the sharded front-end since PR 4, the base service since the
+            # API unification); foreign matchers without match_many get no
+            # summary because their counters mean something else.
             counters = service.counters
             print(
                 f"batch: {len(schemas)} queries, "
@@ -320,99 +324,25 @@ def _command_query(args: argparse.Namespace) -> int:
 
 
 def _mapping_to_dict(repository, personal, mapping) -> dict:
-    # The assignment is a list of pairs, not a dict keyed by node name —
-    # personal schemas may repeat names, and a name-keyed object would
-    # silently drop all but one of the duplicates.
-    tree = repository.tree(mapping.tree_id)
-    return {
-        "score": round(mapping.score, 6),
-        "tree": tree.name,
-        "assignment": [
-            {
-                "personal": "/" + "/".join(personal.root_path_names(node_id)),
-                "repository": "/" + "/".join(tree.root_path_names(element.ref.node_id)),
-            }
-            for node_id, element in sorted(mapping.assignment.items())
-        ],
-    }
+    from repro.api.dispatch import legacy_mapping_dict
+
+    return legacy_mapping_dict(repository, personal, mapping)
 
 
-def _handle_serve_request(service, request: dict, args: argparse.Namespace, added_counter: List[int]) -> dict:
-    """Dispatch one parsed serve request to the service and build the response."""
-    if "personal" in request:
-        personal = TreeBuilder.from_nested(request["personal"], name="personal")
-        top_k = request.get("top_k", args.top_k)
-        result = service.match(
-            personal,
-            delta=request.get("delta"),
-            top_k=None if top_k is None else int(top_k),
-        )
-        top = int(request.get("top", args.top))
-        if top < 0:
-            raise ReproError(f"top must be non-negative, got {top}")
-        return {
-            "mappings": [
-                _mapping_to_dict(service.repository, personal, mapping)
-                for mapping in result.mappings[:top]
-            ],
-            "mapping_count": len(result.mappings),
-            "elapsed_seconds": round(result.total_seconds, 6),
-        }
-    if "batch" in request:
-        specs = request["batch"]
-        if not isinstance(specs, list) or not specs:
-            raise ReproError("batch must be a non-empty JSON array of personal schemas")
-        schemas = [
-            _personal_schema_from_spec(spec, name=f"batch-{index}")
-            for index, spec in enumerate(specs, start=1)
-        ]
-        top_k = request.get("top_k", args.top_k)
-        top = int(request.get("top", args.top))
-        if top < 0:
-            raise ReproError(f"top must be non-negative, got {top}")
-        results = _match_many(
-            service,
-            schemas,
-            request.get("delta"),
-            None if top_k is None else int(top_k),
-        )
-        return {
-            "results": [
-                {
-                    "mappings": [
-                        _mapping_to_dict(service.repository, personal, mapping)
-                        for mapping in result.mappings[:top]
-                    ],
-                    "mapping_count": len(result.mappings),
-                }
-                for personal, result in zip(schemas, results)
-            ],
-            "queries": len(schemas),
-        }
-    if "add" in request:
-        added_counter[0] += 1
-        tree = TreeBuilder.from_nested(
-            request["add"], name=str(request.get("name", f"added-{added_counter[0]}"))
-        )
-        return {
-            "ok": True,
-            "tree_id": service.add_tree(tree),
-            "trees": service.repository.tree_count,
-        }
-    if "remove" in request:
-        removed = service.remove_tree(int(request["remove"]))
-        return {
-            "ok": True,
-            "removed": removed.name,
-            "trees": service.repository.tree_count,
-        }
-    if "stats" in request:
-        return {"stats": service.stats()}
-    raise ReproError("request needs one of: personal, batch, add, remove, stats")
+def _serve_defaults(args: argparse.Namespace):
+    from repro.api.dispatch import ServeDefaults
+
+    return ServeDefaults(top=args.top, top_k=args.top_k)
 
 
 def serve_loop(service, lines, out, args: argparse.Namespace) -> int:
     """The JSON-lines request loop: one response per request line, no matter what.
+
+    A thin adapter over the shared :class:`repro.api.dispatch.RequestDispatcher`
+    — the same dispatcher the asyncio TCP server uses, so the stdin and TCP
+    transports speak literally the same protocol: the legacy dict dialect
+    (``{"personal" | "batch" | "add" | "remove" | "stats"}``) *and* v1
+    envelopes (any line carrying ``{"v": 1, "kind": ...}``).
 
     Robustness contract: *nothing* a client sends — invalid JSON, a JSON line
     that is not an object (``[1, 2]``, ``"hello"``), a structurally broken
@@ -422,48 +352,79 @@ def serve_loop(service, lines, out, args: argparse.Namespace) -> int:
     exception class in ``"type"`` for unexpected errors) and the loop moves on
     to the next line.
     """
-    added_counter = [0]
+    from repro.api.dispatch import RequestDispatcher
+
+    dispatcher = RequestDispatcher(service, _serve_defaults(args))
     for line in lines:
         line = line.strip()
         if not line:
             continue
-        try:
-            request = json.loads(line)
-            if not isinstance(request, dict):
-                raise ReproError(f"request must be a JSON object, got {type(request).__name__}")
-            response = _handle_serve_request(service, request, args, added_counter)
-        except (ReproError, ValueError, KeyError, TypeError) as error:
-            response = {"error": str(error) or type(error).__name__}
-        except Exception as error:  # noqa: BLE001 - the serve loop must survive anything
-            response = {"error": str(error) or type(error).__name__, "type": type(error).__name__}
-        print(json.dumps(response), file=out, flush=True)
+        print(json.dumps(dispatcher.handle_line(line)), file=out, flush=True)
     return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    """JSON-lines request loop over stdin/stdout (the service process demo).
+    """Serve queries over stdin (default) or a concurrent TCP port (``--port``).
 
     Request documents: ``{"personal": {...}, "delta"?, "top"?, "top_k"?}``
     runs a query (``top_k`` bounds the *search* to the k best mappings with
     cross-cluster pruning; ``top`` only trims the printed list);
     ``{"add": {...}, "name"?}`` registers a new tree incrementally;
     ``{"remove": <tree_id>}`` unregisters one; ``{"stats": true}`` reports the
-    service counters.  One JSON response per line; malformed or failing
-    requests produce an ``{"error": ...}`` response instead of terminating
-    the loop (see :func:`serve_loop`).
+    service counters.  Typed v1 envelopes (``{"v": 1, "kind": "match" |
+    "batch" | "mutation" | "stats", ...}`` — see :mod:`repro.api.envelope`)
+    are accepted on the same stream.  One JSON response per line; malformed
+    or failing requests produce an ``{"error": ...}`` response instead of
+    terminating the loop (see :func:`serve_loop`).
 
     Tree ids are positional: removing a tree shifts every later tree's id
     down by one (see :meth:`SchemaRepository.remove_tree`), so ids returned by
     earlier ``add`` responses are invalidated by any ``remove``.  Mutation
-    responses therefore echo the current tree count, and clients that remove
-    by id should re-resolve ids via ``stats``/tree names after a removal.
+    responses therefore echo the stable tree *name* alongside the positional
+    id, and v1 removals may target ``tree_name`` instead of ``tree_id``.
 
     With ``--shards`` the same protocol runs against a sharded service:
     ``batch`` requests dedup + fan out across shards, ``stats`` adds a
     ``per_shard`` breakdown, and mutations route through the shard layer
     (merged tree ids).
+
+    With ``--port`` the process listens on a TCP socket instead of stdin:
+    many clients connect concurrently (JSON lines per connection, one
+    ``{"v": 1, "kind": "ready"}`` greeting each), request handling is
+    offloaded to a thread pool with at most ``--max-in-flight`` requests
+    executing at once, and SIGINT/SIGTERM shut the server down gracefully.
     """
     service = _load_service_argument(args)
+    if args.port is not None:
+        from repro.api.server import run_server
+
+        def _announce(server):
+            print(
+                json.dumps(
+                    {
+                        "serving": {"host": server.host, "port": server.port},
+                        "trees": service.repository.tree_count,
+                        "nodes": service.repository.node_count,
+                    }
+                ),
+                flush=True,
+            )
+
+        try:
+            return run_server(
+                service,
+                host=args.host,
+                port=args.port,
+                defaults=_serve_defaults(args),
+                max_in_flight=args.max_in_flight,
+                on_ready=_announce,
+            )
+        except ValueError as exc:
+            # Bad server parameters (e.g. --max-in-flight 0): the clean
+            # `error: ...` + exit 2 contract, not a traceback.
+            raise ReproError(str(exc)) from exc
+        except OSError as exc:
+            raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from exc
     print(
         json.dumps(
             {"ready": True, "trees": service.repository.tree_count, "nodes": service.repository.node_count}
@@ -621,10 +582,19 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.set_defaults(handler=_command_query)
 
     serve_parser = subparsers.add_parser(
-        "serve", help="serve JSON-line queries from stdin against a snapshot or shard set"
+        "serve", help="serve JSON-line queries from stdin (or TCP with --port) against a snapshot or shard set"
     )
     serve_parser.add_argument("--snapshot", help="snapshot file written by 'snapshot'")
     serve_parser.add_argument("--shards", help="shard-set manifest written by 'shard split'")
+    serve_parser.add_argument(
+        "--port", type=int, default=None,
+        help="serve a concurrent asyncio JSONL TCP server on this port instead of stdin (0 picks a free port)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address for --port")
+    serve_parser.add_argument(
+        "--max-in-flight", type=int, default=8, dest="max_in_flight",
+        help="bound on concurrently executing requests across all TCP connections",
+    )
     serve_parser.add_argument("--top", type=int, default=10, help="default mappings per response")
     serve_parser.add_argument(
         "--top-k", type=int, default=None, dest="top_k",

@@ -67,6 +67,20 @@ class ConfigurationError(ReproError):
     """Raised when a system-level configuration object is inconsistent."""
 
 
+class InvalidRequestError(ConfigurationError):
+    """Raised when a query or mutation request fails API-boundary validation.
+
+    One class for every backend and every front-end: ``Bellflower``,
+    :class:`~repro.service.MatchingService` and
+    :class:`~repro.shard.ShardedMatchingService` all raise it for
+    out-of-range ``delta``/``top_k`` values, and the envelope codecs of
+    :mod:`repro.api` raise it for malformed or version-mismatched wire
+    payloads.  It subclasses :class:`ConfigurationError` so callers that
+    predate the unified API keep working; new front-ends should catch this
+    class to map "the client sent a bad request" to a clean protocol error.
+    """
+
+
 class ShardError(ReproError):
     """Raised for invalid shard-set configuration or cross-shard state."""
 

@@ -35,8 +35,11 @@ Example
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
+from repro.api.envelope import PROTOCOL_VERSION
+from repro.api.matcher import MatcherAPIMixin
+from repro.api.validation import validate_query
 from repro.clustering.kmeans import Clusterer
 from repro.clustering.reclustering import ReclusteringStrategy
 from repro.errors import ConfigurationError
@@ -52,14 +55,14 @@ from repro.service.partition import PartitionClusterer, RepositoryPartition
 from repro.system.bellflower import Bellflower
 from repro.system.results import MatchResult
 from repro.system.variants import clustering_variant
-from repro.utils.counters import CounterSet
+from repro.utils.counters import ThreadSafeCounterSet
 from repro.utils.executor import TaskExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard layer imports service)
     from repro.mapping.engine import TopKPool
 
 
-class MatchingService:
+class MatchingService(MatcherAPIMixin):
     """A persistent, incrementally updatable matching facade over Bellflower.
 
     Parameters
@@ -93,6 +96,8 @@ class MatchingService:
         Shape of the default repository partition (ignored when ``clusterer``
         or ``variant`` is given).
     """
+
+    backend_kind = "service"
 
     def __init__(
         self,
@@ -143,7 +148,9 @@ class MatchingService:
                 self._variant_name = spec.name
         self.query_cache_size = query_cache_size
         self._query_cache = LRUMemo(query_cache_size)
-        self.counters = CounterSet()
+        # Thread-safe: the asyncio server runs concurrent queries against one
+        # service instance from thread-pool workers.
+        self.counters = ThreadSafeCounterSet()
         self._system = Bellflower(
             repository,
             matcher=matcher,
@@ -212,14 +219,21 @@ class MatchingService:
 
     # -- queries -------------------------------------------------------------
 
-    def match(
+    def _match_schema(
         self,
         personal_schema: SchemaTree,
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
         shared_pool: Optional["TopKPool"] = None,
+        *,
+        fingerprint: Optional[str] = None,
     ) -> MatchResult:
         """Match one personal schema, reusing cached element-match tables.
+
+        This is the legacy entry point behind the public :meth:`match
+        <repro.api.matcher.MatcherAPIMixin.match>` shim — ``match(tree,
+        delta=..., top_k=...)`` lands here unchanged, ``match(MatchRequest)``
+        lands here via the typed dispatch, so both paths are bit-identical.
 
         ``top_k`` restricts the query to the ``k`` best mappings and enables
         cross-cluster bound sharing in the generator (see
@@ -245,14 +259,20 @@ class MatchingService:
         bit-identical mappings (only stage timers and cache counters differ).
         ``top_k`` is deliberately not part of the key: the element-match
         table is computed before mapping generation and is identical for
-        every ``k``.
+        every ``k``.  ``fingerprint`` lets the batch path pass the schema's
+        already-computed fingerprint so it is hashed once per unique schema.
         """
+        # Validate before the cache key is computed: an invalid request must
+        # be rejected at the boundary, not after touching service state (the
+        # pre-unification behaviour let the key build first and the error
+        # fire deep inside mapping generation).
+        validate_query(delta, top_k)
         effective_delta = self.delta if delta is None else delta
         cached = None
         key = None
         if self.query_cache_size:
             key = (
-                schema_fingerprint(personal_schema),
+                fingerprint or schema_fingerprint(personal_schema),
                 effective_delta,
                 self.repository.version,
             )
@@ -272,6 +292,60 @@ class MatchingService:
                 self._query_cache.put(key, result.candidates)
         self.counters.increment("queries")
         return result
+
+    def _match_many_schemas(
+        self,
+        personal_schemas: Sequence[SchemaTree],
+        delta: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> List[MatchResult]:
+        """Answer a batch of queries; result ``i`` belongs to schema ``i``.
+
+        The fingerprint dedup + batching front-end PR 4 built for the shard
+        layer, promoted down to the base service so batching pays off
+        unsharded too: structurally identical schemas (same
+        :func:`~repro.service.fingerprint.schema_fingerprint`, same effective
+        ``δ``/``top_k``, same repository version) collapse to one search and
+        share the result object.  Duplicates are the *whole* win here — the
+        per-query candidate cache only reuses element-match tables, the
+        mapping search re-runs every time — which is why the API benchmark
+        gates this path at >= 2x on duplicate-heavy workloads.
+
+        The dedup trusts the fingerprint the same way the candidate cache
+        does, so it honours the same escape hatch: a service constructed
+        with ``query_cache_size=0`` (required for custom matchers that read
+        node ``properties``, which the fingerprint does not cover) answers
+        every batch entry independently.
+        """
+        validate_query(delta, top_k)
+        if not personal_schemas:
+            return []
+        if not self.query_cache_size:
+            return [
+                self._match_schema(schema, delta=delta, top_k=top_k)
+                for schema in personal_schemas
+            ]
+        effective_delta = self.delta if delta is None else delta
+        results: List[Optional[MatchResult]] = [None] * len(personal_schemas)
+        resolved: Dict[tuple, MatchResult] = {}
+        duplicates = 0
+        for index, schema in enumerate(personal_schemas):
+            fingerprint = schema_fingerprint(schema)
+            key = (fingerprint, effective_delta, top_k, self.repository.version)
+            result = resolved.get(key)
+            if result is None:
+                result = self._match_schema(
+                    schema, delta=delta, top_k=top_k, fingerprint=fingerprint
+                )
+                resolved[key] = result
+            else:
+                duplicates += 1
+            results[index] = result
+        # _match_schema counted each unique query; account for the collapsed
+        # duplicates so the batch counters mirror the sharded front-end's.
+        self.counters.increment("queries", duplicates)
+        self.counters.increment("duplicate_queries", duplicates)
+        return results  # type: ignore[return-value]
 
     # -- incremental updates --------------------------------------------------
 
@@ -336,6 +410,8 @@ class MatchingService:
         hit/miss counters, and every service counter.
         """
         summary: Dict[str, object] = dict(self.repository.summary())
+        summary["backend"] = self.backend_kind
+        summary["protocol_version"] = PROTOCOL_VERSION
         summary["repository_version"] = self.repository.version
         summary["variant"] = self._variant_name or self._system.clusterer.name
         executor = self._system.executor
@@ -347,6 +423,19 @@ class MatchingService:
             summary["partitioned_trees"] = self.partition.built_tree_count
         summary.update(self.counters.as_dict())
         return summary
+
+    def _task_executor(self):
+        return self._system.executor
+
+    def _capabilities(self):
+        return super()._capabilities() | {"mutations"}
+
+    def _describe_extra(self) -> Dict[str, object]:
+        return {
+            "variant": self._variant_name or self._system.clusterer.name,
+            "query_cache_capacity": self.query_cache_size,
+            "query_cache_kind": "element-match tables",
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

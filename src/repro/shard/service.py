@@ -67,6 +67,9 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.envelope import PROTOCOL_VERSION
+from repro.api.matcher import MatcherAPIMixin
+from repro.api.validation import validate_query
 from repro.clustering.cluster import Cluster, ClusterSet
 from repro.clustering.kmeans import ClusteringResult
 from repro.errors import ConfigurationError, ShardError, UnknownTreeError
@@ -85,7 +88,7 @@ from repro.service.partition import PartitionClusterer
 from repro.service.service import MatchingService
 from repro.shard.router import ShardRouter, SizeBalancedRouter, check_shard_count
 from repro.system.results import ClusterReport, MatchResult
-from repro.utils.counters import CounterSet
+from repro.utils.counters import CounterSet, ThreadSafeCounterSet
 from repro.utils.executor import TaskExecutor
 from repro.utils.timers import StageTimer
 
@@ -207,7 +210,7 @@ class ShardedRepositoryView:
         return f"ShardedRepositoryView(shards={self._service.shard_count}, trees={self.tree_count})"
 
 
-class ShardedMatchingService:
+class ShardedMatchingService(MatcherAPIMixin):
     """Fan-out/merge matching over ``N`` independent per-shard services.
 
     Construct via :meth:`from_repository` (split a repository in process) or
@@ -243,6 +246,8 @@ class ShardedMatchingService:
         Bumped by every live mutation.
     """
 
+    backend_kind = "sharded"
+
     def __init__(
         self,
         shards: Sequence[MatchingService],
@@ -266,7 +271,9 @@ class ShardedMatchingService:
         self.query_cache_size = query_cache_size
         self._result_cache = LRUMemo(query_cache_size)
         self.global_version = global_version
-        self.counters = CounterSet()
+        # Thread-safe: the asyncio server runs concurrent queries against one
+        # service instance from thread-pool workers.
+        self.counters = ThreadSafeCounterSet()
         self._validate_shards()
         self._rebuild_translation()
         # Per-shard router loads are only needed for live add_tree placement
@@ -477,7 +484,7 @@ class ShardedMatchingService:
 
     # -- queries --------------------------------------------------------------
 
-    def match(
+    def _match_schema(
         self,
         personal_schema: SchemaTree,
         delta: Optional[float] = None,
@@ -487,11 +494,13 @@ class ShardedMatchingService:
 
         Semantics (and results, bit for bit) are those of the unsharded
         :meth:`MatchingService.match <repro.service.MatchingService.match>`
-        over the merged repository.
+        over the merged repository.  Behind the public :meth:`match
+        <repro.api.matcher.MatcherAPIMixin.match>` shim, which also accepts
+        typed :class:`~repro.api.envelope.MatchRequest` envelopes.
         """
-        return self.match_many([personal_schema], delta=delta, top_k=top_k)[0]
+        return self._match_many_schemas([personal_schema], delta=delta, top_k=top_k)[0]
 
-    def match_many(
+    def _match_many_schemas(
         self,
         personal_schemas: Sequence[SchemaTree],
         delta: Optional[float] = None,
@@ -505,19 +514,27 @@ class ShardedMatchingService:
         shard) pair through the executor.  A cache hit returns the previously
         merged result *object*; duplicates within one batch share their
         result object likewise.
+
+        Both the cache and the in-batch dedup trust the schema fingerprint,
+        so ``query_cache_size=0`` disables both — the escape hatch for
+        custom matchers that read node ``properties``, which the fingerprint
+        does not cover.
         """
-        if top_k is not None and top_k < 1:
-            raise ConfigurationError(f"top_k must be at least 1 when given, got {top_k}")
+        validate_query(delta, top_k)
         if not personal_schemas:
             return []
         effective_delta = self.delta if delta is None else delta
         version = (self.global_version, self.repository.version)
+        dedup = bool(self.query_cache_size)
 
         # Deduplicate by fingerprint (+ everything the merged result depends on).
         positions: Dict[Tuple, List[int]] = {}
         unique: List[Tuple[Tuple, SchemaTree]] = []
         for index, schema in enumerate(personal_schemas):
-            key = (schema_fingerprint(schema), effective_delta, top_k, version)
+            if dedup:
+                key = (schema_fingerprint(schema), effective_delta, top_k, version)
+            else:
+                key = ("batch-entry", index)
             slots = positions.get(key)
             if slots is None:
                 positions[key] = [index]
@@ -810,6 +827,8 @@ class ShardedMatchingService:
         own stats dict.
         """
         summary: Dict[str, object] = dict(self.repository.summary())
+        summary["backend"] = self.backend_kind
+        summary["protocol_version"] = PROTOCOL_VERSION
         summary["shards"] = self.shard_count
         summary["router"] = self.router.name
         summary["global_version"] = self.global_version
@@ -823,6 +842,26 @@ class ShardedMatchingService:
             for shard_id, shard in enumerate(self.shards)
         ]
         return summary
+
+    def _capabilities(self):
+        return super()._capabilities() | {"mutations", "shards"}
+
+    def _describe_extra(self) -> Dict[str, object]:
+        return {
+            "variant": PartitionClusterer.name,
+            "shards": self.shard_count,
+            "router": self.router.name,
+            "query_cache_capacity": self.query_cache_size,
+            "query_cache_kind": "merged results",
+            "per_shard": [
+                {
+                    "shard": shard_id,
+                    "trees": shard.repository.tree_count,
+                    "nodes": shard.repository.node_count,
+                }
+                for shard_id, shard in enumerate(self.shards)
+            ],
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

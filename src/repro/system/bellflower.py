@@ -20,8 +20,11 @@ variants, exactly as the paper's experiments do.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from repro.api.envelope import PROTOCOL_VERSION
+from repro.api.matcher import MatcherAPIMixin
+from repro.api.validation import validate_query, validate_top_k
 from repro.clustering.baselines import TreeClusterer
 from repro.clustering.kmeans import Clusterer, ClusteringResult
 from repro.errors import ConfigurationError
@@ -45,7 +48,7 @@ from repro.utils.executor import TaskExecutor
 from repro.utils.timers import StageTimer
 
 
-class Bellflower:
+class Bellflower(MatcherAPIMixin):
     """An experimental clustered schema matching system.
 
     Parameters
@@ -78,6 +81,8 @@ class Bellflower:
         serially inline).  Executors return results in cluster order, so the
         merged ranking, counters and reports are identical for every executor.
     """
+
+    backend_kind = "bellflower"
 
     def __init__(
         self,
@@ -164,8 +169,7 @@ class Bellflower:
         service raises the pruning floor for all.  Ignored without ``top_k``
         (the complete ``Δ >= δ`` search admits no incumbent pruning).
         """
-        if top_k is not None and top_k < 1:
-            raise ConfigurationError(f"top_k must be at least 1 when given, got {top_k}")
+        validate_top_k(top_k)
         pool = None
         if top_k is not None:
             pool = shared_pool if shared_pool is not None else TopKPool(top_k)
@@ -213,7 +217,7 @@ class Bellflower:
 
     # -- the full pipeline --------------------------------------------------------------
 
-    def match(
+    def _match_schema(
         self,
         personal_schema: SchemaTree,
         delta: Optional[float] = None,
@@ -222,6 +226,11 @@ class Bellflower:
         shared_pool: Optional[TopKPool] = None,
     ) -> MatchResult:
         """Run the full pipeline and return a :class:`MatchResult`.
+
+        This is the legacy entry point behind the public :meth:`match
+        <repro.api.matcher.MatcherAPIMixin.match>` shim — ``match(tree,
+        delta=..., top_k=...)`` lands here unchanged, ``match(MatchRequest)``
+        lands here via the typed dispatch, so both paths are bit-identical.
 
         ``candidates`` allows the caller to supply a precomputed element-matching
         result, which the experiment harness uses to hold the element stage
@@ -235,6 +244,7 @@ class Bellflower:
         """
         if personal_schema.node_count == 0:
             raise ConfigurationError("cannot match an empty personal schema")
+        validate_query(delta, top_k)
         effective_delta = self.delta if delta is None else delta
         timers = StageTimer()
         counters = CounterSet()
@@ -271,6 +281,67 @@ class Bellflower:
             counters=counters,
             top_k=top_k,
         )
+
+    def _match_many_schemas(
+        self,
+        personal_schemas: List[SchemaTree],
+        delta: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> List[MatchResult]:
+        """Answer a batch of queries; result ``i`` belongs to schema ``i``.
+
+        The pipeline is stateless across queries, so batching here means
+        in-batch deduplication only: structurally identical schemas (same
+        :func:`~repro.service.fingerprint.schema_fingerprint`) collapse to
+        one pipeline run and share the result object.  The service layers
+        add cross-batch caching on top of this.
+
+        The fingerprint covers exactly what the *bundled* matchers read; a
+        custom matcher may read node ``properties`` too, so dedup is only
+        applied when the configured matcher is a recognized bundled one —
+        custom matchers get one independent run per schema.
+        """
+        validate_query(delta, top_k)
+        # Imported lazily: the service package imports this module at load
+        # time, so a module-level import would be circular.
+        from repro.service.fingerprint import schema_fingerprint
+        from repro.service.snapshot import _matcher_config
+
+        if _matcher_config(self.matcher) is None:
+            return [
+                self._match_schema(schema, delta=delta, top_k=top_k)
+                for schema in personal_schemas
+            ]
+        results: List[Optional[MatchResult]] = [None] * len(personal_schemas)
+        computed: Dict[str, MatchResult] = {}
+        for index, schema in enumerate(personal_schemas):
+            fingerprint = schema_fingerprint(schema)
+            result = computed.get(fingerprint)
+            if result is None:
+                result = self._match_schema(schema, delta=delta, top_k=top_k)
+                computed[fingerprint] = result
+            results[index] = result
+        return results  # type: ignore[return-value]
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """The uniform operational summary (the pipeline itself is stateless)."""
+        summary: Dict[str, object] = dict(self.repository.summary())
+        summary["backend"] = self.backend_kind
+        summary["protocol_version"] = PROTOCOL_VERSION
+        summary["variant"] = self.variant_name
+        summary["executor"] = "serial" if self.executor is None else self.executor.name
+        summary["delta"] = self.delta
+        summary["element_threshold"] = self.element_threshold
+        return summary
+
+    def _describe_extra(self) -> Dict[str, object]:
+        return {
+            "variant": self.variant_name,
+            "generator": self.generator.name,
+            "matcher": type(self.matcher).__name__,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

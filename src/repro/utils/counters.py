@@ -9,6 +9,7 @@ library so experiment reports can aggregate counters from every stage.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Dict, Iterator, Mapping, Tuple
 
@@ -60,3 +61,38 @@ class CounterSet:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self)
         return f"CounterSet({inner})"
+
+
+class ThreadSafeCounterSet(CounterSet):
+    """A :class:`CounterSet` whose writes are atomic under concurrency.
+
+    The per-query counter sets (generation results, stage reports) are
+    thread-local by construction and stay lock-free — the engine increments
+    them on its hot path.  The *service-level* counters are different: the
+    asyncio server executes many clients' queries concurrently on a thread
+    pool against one service object, and a plain ``dict[name] += amount`` is
+    a non-atomic read-modify-write that silently loses increments under that
+    interleaving.  The services use this subclass, paying one uncontended
+    lock per request-level increment — nothing on the search hot path.
+    """
+
+    def __init__(self, initial: Mapping[str, int] | None = None) -> None:
+        super().__init__(initial)
+        self._lock = threading.Lock()
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        with self._lock:
+            return super().increment(name, amount)
+
+    def set(self, name: str, value: int) -> None:
+        with self._lock:
+            super().set(name, value)
+
+    def merge(self, other: "CounterSet") -> "CounterSet":
+        with self._lock:
+            return super().merge(other)
+
+    def __reduce__(self):
+        # Locks do not pickle; a copy travelling to a worker process only
+        # needs the counts (mirrors LRUMemo's pickling contract).
+        return (type(self), (self.as_dict(),))

@@ -1,0 +1,33 @@
+"""Backend constructors shared by the API tests (imported, not fixtures)."""
+
+from repro.schema.builder import TreeBuilder
+from repro.schema.repository import SchemaRepository
+from repro.service import MatchingService
+from repro.shard import ShardedMatchingService
+from repro.system.bellflower import Bellflower
+
+#: Every Matcher implementation under test.
+BACKEND_KINDS = ("bellflower", "service", "sharded")
+
+
+def build_backend(kind, repository):
+    if kind == "bellflower":
+        return Bellflower(repository, element_threshold=0.5, delta=0.6)
+    if kind == "service":
+        return MatchingService(repository, element_threshold=0.5, delta=0.6)
+    assert kind == "sharded"
+    return ShardedMatchingService.from_repository(
+        repository, 3, element_threshold=0.5, delta=0.6
+    )
+
+
+def small_repository_factory():
+    """A fresh three-tree repository cheap enough for mutation/server tests."""
+    repository = SchemaRepository(name="api-test")
+    for name, spec in (
+        ("people", {"person": ["name", "email", "address"]}),
+        ("books", {"book": ["title", "author"]}),
+        ("orders", {"order": ["item", "price"]}),
+    ):
+        repository.add_tree(TreeBuilder.from_nested(spec, name=name))
+    return repository

@@ -1,0 +1,16 @@
+"""Shared backends for the API-layer tests.
+
+One module-scoped trio of backends (pipeline, service, sharded) over the
+session's synthetic repository for read-only query tests; the mutation and
+server tests build small private repositories via ``_backends`` instead.
+"""
+
+import pytest
+
+from _backends import BACKEND_KINDS, build_backend
+
+
+@pytest.fixture(scope="module", params=BACKEND_KINDS)
+def backend(request, synthetic_repository):
+    """Each Matcher backend over the shared read-only synthetic repository."""
+    return build_backend(request.param, synthetic_repository)

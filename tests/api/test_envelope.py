@@ -1,0 +1,314 @@
+"""Envelope codec properties: round-trip, tolerance, version policy."""
+
+import json
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.envelope import (
+    DEPRECATED_TOP_IGNORED_WARNING,
+    DEPRECATED_TOP_WARNING,
+    PROTOCOL_VERSION,
+    AssignmentEntry,
+    BatchRequest,
+    BatchResponse,
+    ClusterStat,
+    ErrorResponse,
+    ExplainReport,
+    MappingRecord,
+    MatchOptions,
+    MatchRequest,
+    MatchResponse,
+    MutationRequest,
+    MutationResponse,
+    StatsRequest,
+    StatsResponse,
+    parse_request,
+)
+from repro.errors import InvalidRequestError
+
+# -- strategies ---------------------------------------------------------------
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+scores = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+deltas = st.one_of(st.none(), scores)
+top_ks = st.one_of(st.none(), st.integers(min_value=1, max_value=50))
+
+nested_schemas = st.builds(
+    lambda root, children: {root: children},
+    names,
+    st.lists(names, min_size=0, max_size=4),
+)
+
+options_st = st.builds(
+    MatchOptions,
+    delta=deltas,
+    top_k=top_ks,
+    explain=st.booleans(),
+    offset=st.integers(min_value=0, max_value=5),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+)
+
+match_requests = st.builds(
+    MatchRequest,
+    schema=nested_schemas,
+    schema_format=st.just("nested"),
+    name=names,
+    options=options_st,
+)
+
+assignment_entries = st.builds(
+    AssignmentEntry, personal=names, repository=names, similarity=scores
+)
+
+mapping_records = st.builds(
+    MappingRecord,
+    score=scores,
+    tree=names,
+    tree_id=st.integers(min_value=0, max_value=100),
+    assignment=st.tuples(assignment_entries),
+)
+
+cluster_stats = st.builds(
+    ClusterStat,
+    cluster_id=st.integers(min_value=0, max_value=50),
+    tree_id=st.integers(min_value=0, max_value=50),
+    member_count=st.integers(min_value=0, max_value=50),
+    mapping_element_count=st.integers(min_value=0, max_value=50),
+    search_space=st.integers(min_value=0, max_value=10**6),
+)
+
+explain_reports = st.builds(
+    ExplainReport,
+    useful_clusters=st.integers(min_value=0, max_value=50),
+    search_space=st.integers(min_value=0, max_value=10**6),
+    partial_mappings=st.integers(min_value=0, max_value=10**6),
+    clusters=st.tuples(cluster_stats),
+)
+
+match_responses = st.builds(
+    MatchResponse,
+    mappings=st.tuples(mapping_records),
+    mapping_count=st.integers(min_value=0, max_value=100),
+    offset=st.integers(min_value=0, max_value=5),
+    counters=st.dictionaries(names, st.integers(min_value=0, max_value=1000), max_size=3),
+    timings=st.dictionaries(names, scores, max_size=3),
+    explain=st.one_of(st.none(), explain_reports),
+    warnings=st.tuples(names),
+)
+
+mutation_requests = st.one_of(
+    st.builds(
+        lambda schema, name: MutationRequest(action="add", schema=schema, name=name),
+        nested_schemas,
+        st.one_of(st.none(), names),
+    ),
+    st.builds(
+        lambda tree_id: MutationRequest(action="remove", tree_id=tree_id),
+        st.integers(min_value=0, max_value=100),
+    ),
+    st.builds(
+        lambda tree_name: MutationRequest(action="remove", tree_name=tree_name), names
+    ),
+)
+
+mutation_responses = st.builds(
+    MutationResponse,
+    ok=st.booleans(),
+    action=st.sampled_from(["add", "remove"]),
+    tree_id=st.integers(min_value=0, max_value=100),
+    tree_name=names,
+    trees=st.integers(min_value=1, max_value=100),
+    warnings=st.tuples(names),
+)
+
+stats_requests = st.builds(StatsRequest, describe=st.booleans())
+stats_responses = st.builds(
+    StatsResponse,
+    stats=st.dictionaries(names, st.one_of(st.integers(), names, st.booleans()), max_size=4),
+)
+error_responses = st.builds(
+    ErrorResponse,
+    error=names,
+    error_type=st.one_of(st.none(), names),
+    warnings=st.tuples(names),
+)
+batch_requests = st.builds(
+    BatchRequest, requests=st.tuples(match_requests, match_requests)
+)
+batch_responses = st.builds(
+    BatchResponse, results=st.tuples(match_responses)
+)
+
+ALL_CODECS = [
+    (MatchOptions, options_st),
+    (MatchRequest, match_requests),
+    (AssignmentEntry, assignment_entries),
+    (MappingRecord, mapping_records),
+    (ClusterStat, cluster_stats),
+    (ExplainReport, explain_reports),
+    (MatchResponse, match_responses),
+    (BatchRequest, batch_requests),
+    (BatchResponse, batch_responses),
+    (MutationRequest, mutation_requests),
+    (MutationResponse, mutation_responses),
+    (StatsRequest, stats_requests),
+    (StatsResponse, stats_responses),
+    (ErrorResponse, error_responses),
+]
+
+_ENVELOPES = st.one_of(*(strategy for _cls, strategy in ALL_CODECS))
+
+
+class TestRoundTrip:
+    """``from_wire(to_wire(x)) == x`` for every envelope codec."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    @pytest.mark.parametrize("cls,strategy", ALL_CODECS, ids=lambda c: getattr(c, "__name__", ""))
+    def test_round_trip(self, cls, strategy, data):
+        envelope = data.draw(strategy)
+        assert cls.from_wire(envelope.to_wire()) == envelope
+
+    @settings(max_examples=40, deadline=None)
+    @given(envelope=_ENVELOPES)
+    def test_wire_form_is_json_serializable(self, envelope):
+        parsed = json.loads(json.dumps(envelope.to_wire()))
+        assert type(envelope).from_wire(parsed) == envelope
+
+    @settings(max_examples=40, deadline=None)
+    @given(envelope=_ENVELOPES)
+    def test_unknown_fields_are_tolerated(self, envelope):
+        wire = envelope.to_wire()
+        wire["zz_future_field"] = {"anything": [1, 2, 3]}
+        assert type(envelope).from_wire(wire) == envelope
+
+
+class TestVersionPolicy:
+    TOP_LEVEL = [
+        MatchRequest,
+        MatchResponse,
+        BatchRequest,
+        BatchResponse,
+        MutationRequest,
+        MutationResponse,
+        StatsRequest,
+        StatsResponse,
+        ErrorResponse,
+    ]
+
+    @pytest.mark.parametrize("cls", TOP_LEVEL, ids=lambda c: c.__name__)
+    def test_version_mismatch_is_rejected(self, cls):
+        wire = {"v": PROTOCOL_VERSION + 1, "kind": cls.kind}
+        with pytest.raises(InvalidRequestError, match="unsupported protocol version"):
+            cls.from_wire(wire)
+
+    @pytest.mark.parametrize("cls", TOP_LEVEL, ids=lambda c: c.__name__)
+    def test_missing_version_is_rejected(self, cls):
+        with pytest.raises(InvalidRequestError, match="unsupported protocol version"):
+            cls.from_wire({"kind": cls.kind})
+
+    @pytest.mark.parametrize("version", [True, 1.0, "1"])
+    def test_version_must_be_the_integer_one(self, version):
+        # True and 1.0 compare equal to 1 in Python; the wire check is typed.
+        with pytest.raises(InvalidRequestError, match="unsupported protocol version"):
+            StatsRequest.from_wire({"v": version, "kind": "stats"})
+
+    def test_kind_mismatch_is_rejected(self):
+        wire = MatchRequest(schema={"a": []}).to_wire()
+        wire["kind"] = "mutation_response"
+        with pytest.raises(InvalidRequestError, match="expected a 'match' envelope"):
+            MatchRequest.from_wire(wire)
+
+    def test_parse_request_rejects_unknown_kind(self):
+        with pytest.raises(InvalidRequestError, match="unknown request kind"):
+            parse_request({"v": PROTOCOL_VERSION, "kind": "frobnicate"})
+
+    def test_parse_request_dispatches_by_kind(self):
+        request = MatchRequest(schema={"a": ["b"]})
+        assert parse_request(request.to_wire()) == request
+        stats = StatsRequest(describe=True)
+        assert parse_request(stats.to_wire()) == stats
+
+
+class TestDeprecatedTopAlias:
+    def test_top_maps_to_top_k_with_a_warning(self):
+        wire = MatchRequest(schema={"a": ["b"]}).to_wire()
+        wire["options"] = {"top": 3}
+        request = MatchRequest.from_wire(wire)
+        assert request.options.top_k == 3
+        assert request.warnings == (DEPRECATED_TOP_WARNING,)
+
+    def test_explicit_top_k_wins_over_the_alias_but_still_warns(self):
+        wire = MatchRequest(schema={"a": ["b"]}).to_wire()
+        wire["options"] = {"top": 3, "top_k": 7}
+        request = MatchRequest.from_wire(wire)
+        assert request.options.top_k == 7
+        assert request.warnings == (DEPRECATED_TOP_IGNORED_WARNING,)
+
+    def test_warnings_do_not_break_equality(self):
+        wire = MatchRequest(schema={"a": ["b"]}).to_wire()
+        wire["options"] = {"top": 3}
+        with_alias = MatchRequest.from_wire(wire)
+        assert with_alias == MatchRequest(
+            schema={"a": ["b"]}, options=MatchOptions(top_k=3)
+        )
+
+
+class TestRequestValidation:
+    def test_invalid_delta_in_options_is_rejected(self):
+        wire = MatchRequest(schema={"a": []}).to_wire()
+        wire["options"] = {"delta": 1.5}
+        with pytest.raises(InvalidRequestError, match="delta must be"):
+            MatchRequest.from_wire(wire)
+
+    def test_invalid_top_k_in_options_is_rejected(self):
+        wire = MatchRequest(schema={"a": []}).to_wire()
+        wire["options"] = {"top_k": 0}
+        with pytest.raises(InvalidRequestError, match="top_k must be"):
+            MatchRequest.from_wire(wire)
+
+    def test_empty_schema_is_rejected(self):
+        wire = MatchRequest(schema={"a": []}).to_wire()
+        wire["schema"] = {}
+        with pytest.raises(InvalidRequestError, match="non-empty 'schema'"):
+            MatchRequest.from_wire(wire)
+
+    def test_unknown_schema_format_is_rejected(self):
+        wire = MatchRequest(schema={"a": []}).to_wire()
+        wire["schema_format"] = "yaml"
+        with pytest.raises(InvalidRequestError, match="schema_format"):
+            MatchRequest.from_wire(wire)
+
+    def test_mutation_requires_a_known_action(self):
+        with pytest.raises(InvalidRequestError, match="'add' or 'remove'"):
+            MutationRequest(action="rename").validate()
+
+    def test_remove_requires_exactly_one_target(self):
+        with pytest.raises(InvalidRequestError, match="exactly one"):
+            MutationRequest(action="remove").validate()
+        with pytest.raises(InvalidRequestError, match="exactly one"):
+            MutationRequest(action="remove", tree_id=1, tree_name="x").validate()
+
+    def test_batch_requires_requests(self):
+        with pytest.raises(InvalidRequestError, match="non-empty 'requests'"):
+            BatchRequest.from_wire({"v": PROTOCOL_VERSION, "kind": "batch", "requests": []})
+
+
+class TestSchemaFormats:
+    def test_nested_schema_builds_a_tree(self):
+        request = MatchRequest(schema={"book": ["title", "author"]}, name="lib")
+        tree = request.build_schema()
+        assert tree.name == "lib"
+        assert sorted(tree.names()) == ["author", "book", "title"]
+
+    def test_tree_format_round_trips_full_fidelity(self, book_schema):
+        request = MatchRequest.from_schema(book_schema, top_k=2)
+        rebuilt = MatchRequest.from_wire(request.to_wire()).build_schema()
+        assert rebuilt.name == book_schema.name
+        assert rebuilt.node_count == book_schema.node_count
+        for node_id in book_schema.node_ids():
+            assert rebuilt.node(node_id).name == book_schema.node(node_id).name
+            assert rebuilt.node(node_id).datatype == book_schema.node(node_id).datatype
