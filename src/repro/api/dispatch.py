@@ -52,8 +52,9 @@ from repro.api.envelope import (
     StatsResponse,
     parse_request,
 )
-from repro.api.validation import validate_top
+from repro.api.validation import validate_timeout_ms, validate_top
 from repro.errors import InvalidRequestError, ReproError
+from repro.resilience.deadline import Deadline
 from repro.schema.builder import TreeBuilder
 
 #: Failures a client can cause; reported without the exception class.
@@ -127,10 +128,13 @@ class ServeDefaults:
 
     ``top`` trims the printed mapping list, ``top_k`` bounds the search —
     the very distinction the v1 protocol renames to ``limit``/``top_k``.
+    ``timeout_ms`` is the default per-request search deadline (``None`` — the
+    default — means unbounded, the pre-existing behaviour).
     """
 
     top: int = 10
     top_k: Optional[int] = None
+    timeout_ms: Optional[int] = None
 
 
 class RequestDispatcher:
@@ -253,8 +257,9 @@ class RequestDispatcher:
                     personal,
                     delta=request.get("delta"),
                     top_k=None if top_k is None else int(top_k),
+                    **self._legacy_deadline(request),
                 )
-            return {
+            response = {
                 "mappings": [
                     self._legacy_mapping(personal, mapping)
                     for mapping in result.mappings[:top]
@@ -262,6 +267,8 @@ class RequestDispatcher:
                 "mapping_count": len(result.mappings),
                 "elapsed_seconds": round(result.total_seconds, 6),
             }
+            self._legacy_result_flags(response, result)
+            return response
         if "batch" in request:
             specs = request["batch"]
             if not isinstance(specs, list) or not specs:
@@ -277,20 +284,20 @@ class RequestDispatcher:
                     schemas,
                     delta=request.get("delta"),
                     top_k=None if top_k is None else int(top_k),
+                    **self._legacy_deadline(request),
                 )
-            return {
-                "results": [
-                    {
-                        "mappings": [
-                            self._legacy_mapping(personal, mapping)
-                            for mapping in result.mappings[:top]
-                        ],
-                        "mapping_count": len(result.mappings),
-                    }
-                    for personal, result in zip(schemas, results)
-                ],
-                "queries": len(schemas),
-            }
+            entries = []
+            for personal, result in zip(schemas, results):
+                entry = {
+                    "mappings": [
+                        self._legacy_mapping(personal, mapping)
+                        for mapping in result.mappings[:top]
+                    ],
+                    "mapping_count": len(result.mappings),
+                }
+                self._legacy_result_flags(entry, result)
+                entries.append(entry)
+            return {"results": entries, "queries": len(schemas)}
         if "add" in request:
             with self._lock.write():
                 self._added += 1
@@ -317,6 +324,29 @@ class RequestDispatcher:
             with self._lock.read():
                 return {"stats": matcher.stats()}
         raise ReproError("request needs one of: personal, batch, add, remove, stats")
+
+    def _legacy_deadline(self, request: dict) -> Dict[str, object]:
+        """The ``deadline=`` kwarg for a legacy query, or ``{}`` when unbounded.
+
+        Passed as ``**kwargs`` so foreign matchers whose ``match`` does not
+        know the keyword keep working as long as no timeout is requested.
+        """
+        timeout_ms = request.get("timeout_ms", self.defaults.timeout_ms)
+        if timeout_ms is None:
+            return {}
+        # Validate before any coercion: int("soon") would hide the field name
+        # and int(True) would launder a boolean past the type check.
+        timeout_ms = validate_timeout_ms(timeout_ms)
+        return {"deadline": Deadline.after_ms(timeout_ms)}
+
+    @staticmethod
+    def _legacy_result_flags(response: Dict[str, object], result) -> None:
+        """Mark truncated/degraded legacy responses — additive, only when true."""
+        if getattr(result, "partial", False):
+            response["partial"] = True
+        if getattr(result, "degraded", False):
+            response["degraded"] = True
+            response["skipped_shards"] = sorted(getattr(result, "skipped_shards", ()))
 
     def _legacy_mapping(self, personal, mapping) -> Dict[str, object]:
         return legacy_mapping_dict(self.matcher.repository, personal, mapping)

@@ -53,6 +53,7 @@ def explain_report(result: "MatchResult") -> ExplainReport:
         useful_clusters=result.useful_cluster_count,
         search_space=result.search_space,
         partial_mappings=result.partial_mappings,
+        partial=bool(getattr(result, "partial", False)),
         clusters=tuple(
             ClusterStat(
                 cluster_id=report.cluster_id,
@@ -78,6 +79,8 @@ def match_response(
     page = result.mappings[options.offset : end]
     timings = dict(result.timers.elapsed())
     timings["total"] = result.total_seconds
+    # getattr: foreign Matcher implementations may return result objects that
+    # predate the resilience flags; absent flags mean an exact result.
     return MatchResponse(
         mappings=tuple(mapping_record(repository, personal, mapping) for mapping in page),
         mapping_count=len(result.mappings),
@@ -86,4 +89,7 @@ def match_response(
         timings=timings,
         explain=explain_report(result) if options.explain else None,
         warnings=warnings,
+        partial=bool(getattr(result, "partial", False)),
+        degraded=bool(getattr(result, "degraded", False)),
+        skipped_shards=tuple(getattr(result, "skipped_shards", ()) or ()),
     )

@@ -50,7 +50,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.api.validation import validate_delta, validate_page, validate_top_k
+from repro.api.validation import (
+    validate_delta,
+    validate_page,
+    validate_timeout_ms,
+    validate_top_k,
+)
 from repro.errors import InvalidRequestError
 from repro.schema.builder import TreeBuilder
 from repro.schema.serialization import tree_from_dict, tree_to_dict
@@ -128,7 +133,11 @@ class MatchOptions:
     at the API boundary, see :mod:`repro.api.validation`); ``explain``
     requests an :class:`ExplainReport`; ``offset``/``limit`` page the ranked
     mapping list *after* the search (they never change what is searched,
-    only what is returned).
+    only what is returned).  ``timeout_ms`` puts a cooperative
+    :class:`~repro.resilience.Deadline` on the search: on expiry the backend
+    returns its current incumbents with ``partial: true`` in the response
+    instead of running to completion (an additive v1 field — servers without
+    it ignore the key and simply never produce partials).
     """
 
     delta: Optional[float] = None
@@ -136,6 +145,7 @@ class MatchOptions:
     explain: bool = False
     offset: int = 0
     limit: Optional[int] = None
+    timeout_ms: Optional[int] = None
 
     def validate(self) -> "MatchOptions":
         validate_delta(self.delta)
@@ -143,6 +153,7 @@ class MatchOptions:
         if not isinstance(self.explain, bool):
             raise InvalidRequestError(f"explain must be a boolean, got {self.explain!r}")
         validate_page(self.offset, self.limit)
+        validate_timeout_ms(self.timeout_ms)
         return self
 
     def to_wire(self) -> Dict[str, object]:
@@ -152,6 +163,7 @@ class MatchOptions:
             "explain": self.explain,
             "offset": self.offset,
             "limit": self.limit,
+            "timeout_ms": self.timeout_ms,
         }
 
     @classmethod
@@ -187,6 +199,7 @@ def options_from_wire(payload: object) -> Tuple[MatchOptions, Tuple[str, ...]]:
         explain=payload.get("explain", False),
         offset=payload.get("offset", 0),
         limit=payload.get("limit"),
+        timeout_ms=payload.get("timeout_ms"),
     ).validate()
     return options, tuple(warnings)
 
@@ -226,6 +239,7 @@ class MatchRequest:
         explain: bool = False,
         offset: int = 0,
         limit: Optional[int] = None,
+        timeout_ms: Optional[int] = None,
     ) -> "MatchRequest":
         """Wrap an in-memory tree with full fidelity (kinds, datatypes, properties)."""
         return cls(
@@ -233,7 +247,12 @@ class MatchRequest:
             schema_format="tree",
             name=tree.name,
             options=MatchOptions(
-                delta=delta, top_k=top_k, explain=explain, offset=offset, limit=limit
+                delta=delta,
+                top_k=top_k,
+                explain=explain,
+                offset=offset,
+                limit=limit,
+                timeout_ms=timeout_ms,
             ),
         )
 
@@ -368,12 +387,17 @@ class ClusterStat:
 
 @dataclass(frozen=True)
 class ExplainReport:
-    """How the search went: useful clusters, search space, pruning totals."""
+    """How the search went: useful clusters, search space, pruning totals.
+
+    ``partial`` mirrors the response-level flag: the search hit its deadline
+    and these statistics describe the truncated run, not a complete one.
+    """
 
     useful_clusters: int
     search_space: int
     partial_mappings: int
     clusters: Tuple[ClusterStat, ...] = ()
+    partial: bool = False
 
     def to_wire(self) -> Dict[str, object]:
         return {
@@ -381,6 +405,7 @@ class ExplainReport:
             "search_space": self.search_space,
             "partial_mappings": self.partial_mappings,
             "clusters": [stat.to_wire() for stat in self.clusters],
+            "partial": self.partial,
         }
 
     @classmethod
@@ -394,6 +419,7 @@ class ExplainReport:
             clusters=tuple(
                 ClusterStat.from_wire(stat) for stat in payload.get("clusters", [])
             ),
+            partial=bool(payload.get("partial", False)),
         )
 
 
@@ -405,6 +431,13 @@ class MatchResponse:
     ``mapping_count`` is the total the search produced, so clients can page.
     ``counters``/``timings`` carry the run's
     :class:`~repro.utils.counters.CounterSet` and stage timer values.
+
+    Two resilience flags qualify the answer (both additive v1 fields):
+    ``partial`` — the search deadline expired and the mappings are the
+    incumbents found so far, not the complete ranking; ``degraded`` — one or
+    more shards were skipped (dead or breaker-open) and ``skipped_shards``
+    names them, so the ranking covers only the surviving shards.  A response
+    with neither flag is exact.
     """
 
     mappings: Tuple[MappingRecord, ...]
@@ -414,6 +447,9 @@ class MatchResponse:
     timings: Dict[str, float] = field(default_factory=dict)
     explain: Optional[ExplainReport] = None
     warnings: Tuple[str, ...] = ()
+    partial: bool = False
+    degraded: bool = False
+    skipped_shards: Tuple[int, ...] = ()
 
     kind = "match_response"
 
@@ -428,6 +464,9 @@ class MatchResponse:
             "timings": dict(self.timings),
             "explain": None if self.explain is None else self.explain.to_wire(),
             "warnings": list(self.warnings),
+            "partial": self.partial,
+            "degraded": self.degraded,
+            "skipped_shards": list(self.skipped_shards),
         }
 
     @classmethod
@@ -444,6 +483,9 @@ class MatchResponse:
             timings=dict(data.get("timings", {})),
             explain=None if explain is None else ExplainReport.from_wire(explain),
             warnings=tuple(data.get("warnings", [])),
+            partial=bool(data.get("partial", False)),
+            degraded=bool(data.get("degraded", False)),
+            skipped_shards=tuple(data.get("skipped_shards", [])),
         )
 
 

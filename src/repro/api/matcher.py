@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Set,
 from repro.api import encode
 from repro.api.envelope import PROTOCOL_VERSION, MatchRequest, MatchResponse
 from repro.errors import InvalidRequestError
+from repro.resilience.deadline import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.utils.executor import TaskExecutor
@@ -120,23 +121,32 @@ class MatcherAPIMixin:
     # -- typed execution ------------------------------------------------------
 
     def _execute_requests(self, requests: Sequence[MatchRequest]) -> List[MatchResponse]:
-        """Validate, group by (δ, top_k), and run each group through the batch path.
+        """Validate, group by (δ, top_k, timeout), and run each group through the batch path.
 
         Grouping keeps the fingerprint dedup of ``_match_many_schemas``
         effective for typed batches (duplicate schemas with equal options
         collapse to one search) while still honouring per-request ``explain``
-        and paging, which only shape the encoding.
+        and paging, which only shape the encoding.  A group's ``timeout_ms``
+        becomes one :class:`~repro.resilience.Deadline` covering the whole
+        group — the budget a client sets is wall-clock, so queries batched
+        together share it rather than each restarting the clock.
         """
         for request in requests:
             request.options.validate()
         schemas = [request.build_schema() for request in requests]
         groups: Dict[tuple, List[int]] = {}
         for index, request in enumerate(requests):
-            groups.setdefault((request.options.delta, request.options.top_k), []).append(index)
+            options = request.options
+            groups.setdefault((options.delta, options.top_k, options.timeout_ms), []).append(index)
         responses: List[Optional[MatchResponse]] = [None] * len(requests)
-        for (delta, top_k), indexes in groups.items():
+        for (delta, top_k, timeout_ms), indexes in groups.items():
+            # Only pass `deadline` when one was requested: foreign backends
+            # overriding _match_many_schemas without the kwarg keep working.
+            extra = (
+                {} if timeout_ms is None else {"deadline": Deadline.after_ms(timeout_ms)}
+            )
             results = self._match_many_schemas(
-                [schemas[index] for index in indexes], delta=delta, top_k=top_k
+                [schemas[index] for index in indexes], delta=delta, top_k=top_k, **extra
             )
             for index, result in zip(indexes, results):
                 responses[index] = encode.match_response(
@@ -150,10 +160,11 @@ class MatcherAPIMixin:
 
     # -- hooks ---------------------------------------------------------------
 
-    def _match_many_schemas(self, personal_schemas, delta=None, top_k=None):
+    def _match_many_schemas(self, personal_schemas, delta=None, top_k=None, deadline=None):
         """Default batch path: one ``_match_schema`` call per schema."""
+        extra = {} if deadline is None else {"deadline": deadline}
         return [
-            self._match_schema(schema, delta=delta, top_k=top_k)
+            self._match_schema(schema, delta=delta, top_k=top_k, **extra)
             for schema in personal_schemas
         ]
 

@@ -45,6 +45,11 @@ from repro.api.envelope import PROTOCOL_VERSION, ErrorResponse
 #: buffering on a garbage stream; generous for real schema payloads).
 DEFAULT_MAX_LINE_BYTES = 1 << 20
 
+#: Frame-read sentinels: the request line overran the cap and the stream was
+#: resynchronized on its terminator / hit EOF before one was found.
+_OVERSIZED = object()
+_OVERSIZED_EOF = object()
+
 
 class MatcherServer:
     """Serve one matcher over TCP (JSON lines, v1 envelopes + legacy dicts)."""
@@ -152,7 +157,7 @@ class MatcherServer:
         try:
             await self._send(writer, self._ready_envelope())
             while not self._closing:
-                read_task = asyncio.ensure_future(reader.readline())
+                read_task = asyncio.ensure_future(self._read_frame(reader))
                 # Wake on either the next request line or server shutdown, so
                 # an idle connection never holds up a graceful stop.
                 await asyncio.wait(
@@ -162,17 +167,20 @@ class MatcherServer:
                     read_task.cancel()
                     await asyncio.gather(read_task, return_exceptions=True)
                     break
-                try:
-                    line = read_task.result()
-                except (asyncio.LimitOverrunError, ValueError):
-                    # The stream is mid-line with no recoverable framing; tell
-                    # the client why and drop the connection.
+                line = read_task.result()
+                if line is _OVERSIZED or line is _OVERSIZED_EOF:
+                    # One request line blew the cap.  Answer with a proper v1
+                    # error; the framing is already resynchronized, so the
+                    # connection keeps serving — one bad request must not cost
+                    # the client its session (EOF mid-line still closes).
                     await self._send(
                         writer,
                         ErrorResponse(
                             error=f"request line exceeds {self.max_line_bytes} bytes"
                         ).to_wire(),
                     )
+                    if line is _OVERSIZED:
+                        continue
                     break
                 if not line:
                     break
@@ -202,6 +210,38 @@ class MatcherServer:
                 self._connections.discard(task)
 
     @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader):
+        """Next request line; sentinels for an oversized one.
+
+        ``StreamReader.readline`` is unusable for recovery — it clears its
+        buffer before raising on a limit overrun, silently discarding the
+        terminator when one was already buffered, after which the framing is
+        unrecoverable.  Reading via ``readuntil`` keeps the buffer intact on
+        overrun, so the oversized line can be discarded up to (and through)
+        its terminator: ``readexactly`` drops the scanned prefix the overrun
+        reports, then ``readuntil`` retries until the terminator lands within
+        the limit.  Returns the line (``b""`` at EOF, matching ``readline``),
+        or ``_OVERSIZED`` after resynchronizing past an oversized line, or
+        ``_OVERSIZED_EOF`` when the stream ended inside one.
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as error:
+            return error.partial  # EOF; an unterminated tail still dispatches
+        except asyncio.LimitOverrunError as error:
+            consumed = error.consumed
+            try:
+                while True:
+                    await reader.readexactly(consumed)
+                    try:
+                        await reader.readuntil(b"\n")
+                        return _OVERSIZED
+                    except asyncio.LimitOverrunError as again:
+                        consumed = again.consumed
+            except asyncio.IncompleteReadError:
+                return _OVERSIZED_EOF
+
+    @staticmethod
     async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
         writer.write((json.dumps(payload) + "\n").encode("utf-8"))
         await writer.drain()
@@ -215,13 +255,16 @@ def run_server(
     defaults: Optional[ServeDefaults] = None,
     max_in_flight: int = 8,
     worker_threads: Optional[int] = None,
+    drain_timeout: float = 5.0,
     on_ready=None,
 ) -> int:
     """Run a :class:`MatcherServer` until SIGINT/SIGTERM, then stop gracefully.
 
     The synchronous entry point the CLI uses.  ``on_ready(server)`` fires
     after the bind (the CLI prints the listening address from it, which is
-    also how tests discover an ephemeral port).
+    also how tests discover an ephemeral port).  On SIGINT/SIGTERM the
+    listener closes and in-flight requests get ``drain_timeout`` seconds to
+    finish before stragglers are cancelled.
     """
 
     async def _main() -> None:
@@ -248,7 +291,7 @@ def run_server(
         except asyncio.CancelledError:  # pragma: no cover - external cancellation
             pass
         finally:
-            await server.stop()
+            await server.stop(drain_timeout=drain_timeout)
 
     try:
         asyncio.run(_main())

@@ -42,6 +42,17 @@ def validate_top_k(top_k: Optional[int]) -> Optional[int]:
     return top_k
 
 
+def validate_timeout_ms(timeout_ms: Optional[int]) -> Optional[int]:
+    """Check a query deadline: ``None`` (no deadline) or an integer >= 1 ms."""
+    if timeout_ms is None:
+        return None
+    if isinstance(timeout_ms, bool) or not isinstance(timeout_ms, int):
+        raise InvalidRequestError(f"timeout_ms must be an integer >= 1, got {timeout_ms!r}")
+    if timeout_ms < 1:
+        raise InvalidRequestError(f"timeout_ms must be at least 1 when given, got {timeout_ms}")
+    return timeout_ms
+
+
 def validate_query(delta: Optional[float], top_k: Optional[int]) -> None:
     """The boundary check every backend runs before any side effect."""
     validate_delta(delta)

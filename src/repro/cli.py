@@ -214,6 +214,32 @@ def _command_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    """Build the sharded fan-out's :class:`~repro.resilience.ResiliencePolicy`.
+
+    ``None`` (strict mode — any shard failure propagates) unless at least one
+    of ``--retries``, ``--hedge-ms`` or ``--fault-plan`` was given.
+    """
+    from repro.resilience import FaultPlan, ResiliencePolicy, RetryPolicy, load_fault_plan
+
+    retries = getattr(args, "retries", None)
+    hedge_ms = getattr(args, "hedge_ms", None)
+    plan_path = getattr(args, "fault_plan", None)
+    if retries is None and hedge_ms is None and plan_path is None:
+        return None
+    plan: Optional[FaultPlan] = None
+    if plan_path is not None:
+        try:
+            plan = load_fault_plan(Path(plan_path))
+        except ValueError as exc:
+            raise ReproError(str(exc)) from exc
+    try:
+        retry = RetryPolicy() if retries is None else RetryPolicy(max_attempts=retries)
+        return ResiliencePolicy(retry=retry, hedge_delay_ms=hedge_ms, fault_plan=plan)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+
+
 def _load_service_argument(args: argparse.Namespace):
     """Load the service a ``query``/``serve`` invocation names.
 
@@ -221,6 +247,12 @@ def _load_service_argument(args: argparse.Namespace):
     ``--shards`` loads a :class:`~repro.shard.ShardedMatchingService` from a
     shard-set manifest.  Exactly one must be given.  ``--cache-size``
     overrides the persisted query-cache capacity in both cases.
+
+    Resilience flags (``--retries``, ``--hedge-ms``, ``--fault-plan``) turn
+    on the shard layer's retry/hedge/failover fan-out.  Against a single
+    snapshot only ``--fault-plan`` applies: the per-cluster executor is
+    wrapped in a :class:`~repro.resilience.ChaosExecutor` so injected delays
+    and errors exercise the unsharded pipeline deterministically.
     """
     from repro.service import load_snapshot
     from repro.shard import load_shard_set
@@ -231,9 +263,22 @@ def _load_service_argument(args: argparse.Namespace):
         raise ReproError("pass exactly one of --snapshot or --shards")
     executor = _make_executor(args.workers, args.executor)
     cache_size = getattr(args, "cache_size", None)
+    resilience = _resilience_from_args(args)
     if snapshot:
+        if getattr(args, "retries", None) is not None or getattr(args, "hedge_ms", None) is not None:
+            raise ReproError("--retries and --hedge-ms require --shards (shard-level failover)")
+        if resilience is not None and resilience.fault_plan is not None:
+            from repro.resilience import ChaosExecutor, FaultInjector
+            from repro.utils.executor import SerialExecutor
+
+            executor = ChaosExecutor(
+                executor if executor is not None else SerialExecutor(),
+                FaultInjector(resilience.fault_plan),
+            )
         return load_snapshot(Path(snapshot), executor=executor, query_cache_size=cache_size)
-    return load_shard_set(Path(shards), executor=executor, query_cache_size=cache_size)
+    return load_shard_set(
+        Path(shards), executor=executor, query_cache_size=cache_size, resilience=resilience
+    )
 
 
 def _personal_schema_from_spec(spec, name: str = "personal"):
@@ -267,12 +312,24 @@ def _load_batch_file(path_text: str):
     return schemas
 
 
-def _match_many(service, schemas, delta, top_k):
+def _deadline_kwargs(args: argparse.Namespace) -> dict:
+    """The ``deadline=`` kwarg ``--timeout-ms`` asks for (``{}`` when unbounded)."""
+    timeout_ms = getattr(args, "timeout_ms", None)
+    if timeout_ms is None:
+        return {}
+    from repro.api.validation import validate_timeout_ms
+    from repro.resilience import Deadline
+
+    return {"deadline": Deadline.after_ms(validate_timeout_ms(timeout_ms))}
+
+
+def _match_many(service, schemas, delta, top_k, deadline_kwargs=None):
     """Batch entry point that also serves foreign matchers (no ``match_many``)."""
+    extra = deadline_kwargs or {}
     batcher = getattr(service, "match_many", None)
     if batcher is not None:
-        return batcher(schemas, delta=delta, top_k=top_k)
-    return [service.match(schema, delta=delta, top_k=top_k) for schema in schemas]
+        return batcher(schemas, delta=delta, top_k=top_k, **extra)
+    return [service.match(schema, delta=delta, top_k=top_k, **extra) for schema in schemas]
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -281,22 +338,25 @@ def _command_query(args: argparse.Namespace) -> int:
         raise ReproError("pass exactly one of --personal or --batch")
     if args.top < 0:
         raise ReproError(f"top must be non-negative, got {args.top}")
+    deadline_kwargs = _deadline_kwargs(args)
     service = _load_service_argument(args)
     if args.batch:
         schemas = _load_batch_file(args.batch)
-        results = _match_many(service, schemas, args.delta, args.top_k)
+        results = _match_many(service, schemas, args.delta, args.top_k, deadline_kwargs)
         for personal, result in zip(schemas, results):
-            print(
-                json.dumps(
-                    {
-                        "mappings": [
-                            _mapping_to_dict(service.repository, personal, mapping)
-                            for mapping in result.mappings[: args.top]
-                        ],
-                        "mapping_count": len(result.mappings),
-                    }
-                )
-            )
+            document = {
+                "mappings": [
+                    _mapping_to_dict(service.repository, personal, mapping)
+                    for mapping in result.mappings[: args.top]
+                ],
+                "mapping_count": len(result.mappings),
+            }
+            if getattr(result, "partial", False):
+                document["partial"] = True
+            if getattr(result, "degraded", False):
+                document["degraded"] = True
+                document["skipped_shards"] = sorted(getattr(result, "skipped_shards", ()))
+            print(json.dumps(document))
         if hasattr(service, "match_many"):
             # Both bundled services deduplicate batches by fingerprint now
             # (the sharded front-end since PR 4, the base service since the
@@ -311,7 +371,7 @@ def _command_query(args: argparse.Namespace) -> int:
             )
         return 0
     personal = _personal_schema_from_json(args.personal)
-    result = service.match(personal, delta=args.delta, top_k=args.top_k)
+    result = service.match(personal, delta=args.delta, top_k=args.top_k, **deadline_kwargs)
     _print_result(
         service.repository,
         personal,
@@ -320,6 +380,11 @@ def _command_query(args: argparse.Namespace) -> int:
         service.delta if args.delta is None else args.delta,
         getattr(service, "variant_name", None) or result.variant_name,
     )
+    if getattr(result, "partial", False):
+        print("note: deadline expired — ranking is partial (best mappings found in time)")
+    if getattr(result, "degraded", False):
+        skipped = ", ".join(str(s) for s in getattr(result, "skipped_shards", ()))
+        print(f"note: degraded — shards [{skipped}] were unreachable and are not covered")
     return 0
 
 
@@ -332,7 +397,9 @@ def _mapping_to_dict(repository, personal, mapping) -> dict:
 def _serve_defaults(args: argparse.Namespace):
     from repro.api.dispatch import ServeDefaults
 
-    return ServeDefaults(top=args.top, top_k=args.top_k)
+    return ServeDefaults(
+        top=args.top, top_k=args.top_k, timeout_ms=getattr(args, "timeout_ms", None)
+    )
 
 
 def serve_loop(service, lines, out, args: argparse.Namespace) -> int:
@@ -417,6 +484,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 port=args.port,
                 defaults=_serve_defaults(args),
                 max_in_flight=args.max_in_flight,
+                drain_timeout=args.drain_timeout,
                 on_ready=_announce,
             )
         except ValueError as exc:
@@ -513,6 +581,30 @@ def _command_shard_rebalance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
+    """The resilience flags ``query`` and ``serve`` share."""
+    parser.add_argument(
+        "--timeout-ms", type=int, default=None, dest="timeout_ms",
+        help="per-query search deadline in milliseconds; on expiry the best mappings "
+        "found so far are returned, marked partial (default: unbounded)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None,
+        help="with --shards: attempts per shard query before the shard is skipped "
+        "and the answer degrades to the surviving shards (default: fail fast)",
+    )
+    parser.add_argument(
+        "--hedge-ms", type=float, default=None, dest="hedge_ms",
+        help="with --shards: launch one duplicate shard attempt if the primary has "
+        "not answered after this many milliseconds; first result wins",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, dest="fault_plan",
+        help="JSON fault-plan file injecting deterministic delays/errors/hangs "
+        "into shard calls (--shards) or per-cluster tasks (--snapshot); testing only",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -579,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=None, dest="cache_size",
         help="query-cache capacity override (entries; 0 disables; default: the snapshot's setting)",
     )
+    _add_resilience_arguments(query_parser)
     query_parser.set_defaults(handler=_command_query)
 
     serve_parser = subparsers.add_parser(
@@ -609,6 +702,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=None, dest="cache_size",
         help="query-cache capacity override (entries; 0 disables; default: the snapshot's setting)",
     )
+    serve_parser.add_argument(
+        "--drain-timeout", type=float, default=5.0, dest="drain_timeout",
+        help="seconds in-flight requests get to finish after SIGINT/SIGTERM (--port mode)",
+    )
+    _add_resilience_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve)
 
     shard_parser = subparsers.add_parser("shard", help="manage shard sets (split, status, rebalance)")

@@ -89,6 +89,16 @@ class ShardManifestError(ShardError):
     """Raised when a shard-set manifest file is missing, malformed or inconsistent."""
 
 
+class InjectedFaultError(ReproError):
+    """Raised by the fault-injection harness in place of a real shard failure.
+
+    A dedicated class so resilience tests can assert that the *injected*
+    fault (and not some genuine bug) is what the retry/failover machinery
+    handled, while production code still catches it via :class:`ReproError`
+    like any other backend failure.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised when a synthetic workload cannot be generated as requested."""
 

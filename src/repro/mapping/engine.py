@@ -207,6 +207,7 @@ class TreeSearchContext:
         "groups",
         "pool",
         "delta",
+        "deadline",
         "best_similarity",
         "remaining_totals",
         "_remaining_maps",
@@ -224,6 +225,7 @@ class TreeSearchContext:
         self.groups = groups
         self.delta = problem.delta
         self.pool = pool
+        self.deadline = problem.deadline
         self.best_similarity = {
             node_id: max(element.similarity for element in elements)
             for node_id, elements in groups.items()
@@ -271,6 +273,19 @@ class TreeSearchContext:
         return objective.bound(
             self.problem.personal_schema, assignment, self.remaining_map(level), edge_count
         )
+
+    def expired(self, result: GenerationResult) -> bool:
+        """Poll the problem's deadline; mark the result truncated on expiry.
+
+        ``set`` (not ``increment``) keeps the flag idempotent under the many
+        checks one expiring search performs; merged per-cluster counters sum
+        to "how many cluster searches were cut short", and any value > 0
+        marks the overall result partial.
+        """
+        if self.deadline is not None and self.deadline.expired():
+            result.counters.set("deadline_expired", 1)
+            return True
+        return False
 
     def prune_floor(self) -> float:
         """The current pruning floor: ``δ``, raised by the shared incumbent pool."""
@@ -357,6 +372,11 @@ class DepthFirstPolicy(SearchPolicy):
                 return
             node_id = order[level]
             for element in groups[node_id]:
+                # Cooperative deadline: stop expanding, keep what we have.
+                # Unwinding mid-loop is safe — every accepted mapping so far
+                # is fully evaluated, the result is just missing the rest.
+                if context.expired(result):
+                    return
                 if problem.require_injective and element.ref.global_id in used_globals:
                     continue
                 added_edges = incremental_path_edges(problem, assignment, node_id, element)
@@ -416,6 +436,10 @@ class BestFirstPolicy(SearchPolicy):
         expansions = 0
 
         while heap:
+            # Cooperative deadline: the frontier is abandoned, every mapping
+            # accepted so far stays — an anytime cut of the best-first order.
+            if context.expired(result):
+                break
             negative_bound, _, level, assignment, assigned_similarity, used_globals, path_edges = (
                 heapq.heappop(heap)
             )
@@ -511,6 +535,12 @@ class BeamPolicy(SearchPolicy):
         for level, node_id in enumerate(context.order):
             next_states: List[_BeamState] = []
             for state in beam:
+                # Cooperative deadline: abandoning a level mid-way can only
+                # drop states, and beam results only materialize at the final
+                # level, so an expired beam search returns what prior trees
+                # of the same problem already accepted.
+                if context.expired(result):
+                    return
                 assignment = dict(state.assignment)
                 for element in context.groups[node_id]:
                     if problem.require_injective and element.ref.global_id in state.used_globals:
@@ -568,7 +598,12 @@ def run_search(problem: MappingProblem, policy: SearchPolicy) -> GenerationResul
         # truncation below.
         pool = problem.shared_pool or TopKPool(problem.top_k)
     order = problem.assignment_order()
+    deadline = problem.deadline
     for _tree_id, groups in sorted(candidates_by_tree(problem).items()):
+        if deadline is not None and deadline.expired():
+            # Anytime cut between trees: keep what earlier trees produced.
+            result.counters.set("deadline_expired", 1)
+            break
         # The enumerable space of the trees actually searched — lets reports
         # relate partial_mappings to what a pruning-free search would face.
         result.counters.increment("tree_search_space", grouped_search_space(groups))

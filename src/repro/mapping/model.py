@@ -24,6 +24,7 @@ from repro.schema.tree import SchemaTree
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports model)
     from repro.mapping.engine import TopKPool
+    from repro.resilience.deadline import Deadline
 
 
 @dataclass(frozen=True)
@@ -99,6 +100,11 @@ class MappingProblem:
     found in one cluster prunes the others (see :mod:`repro.mapping.engine`
     for the exactness argument).  ``shared_pool`` is ignored unless ``top_k``
     is set.
+
+    ``deadline`` bounds the search cooperatively: the generators poll it at
+    their expansion points and, on expiry, stop expanding and return the
+    mappings realized so far (the run's ``deadline_expired`` counter marks
+    the truncation).  ``None`` — the default — changes nothing.
     """
 
     personal_schema: SchemaTree
@@ -110,6 +116,7 @@ class MappingProblem:
     require_injective: bool = True
     top_k: Optional[int] = None
     shared_pool: Optional["TopKPool"] = None
+    deadline: Optional["Deadline"] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.delta <= 1.0:

@@ -1,0 +1,275 @@
+"""Retry/hedge/failover runner for per-shard fan-out tasks.
+
+:class:`ResilientFanout` is the execution engine behind the sharded service's
+resilient mode.  For every task (one shard of one query) it runs the attempt
+loop below on an orchestration thread, with the actual shard calls on a
+separate attempt pool (two pools so a slow attempt can never starve the
+orchestration of *other* shards):
+
+1. check the shard's :class:`~repro.resilience.retry.CircuitBreaker` — an
+   open breaker skips the shard immediately (``"breaker-open"``);
+2. submit the primary attempt; if a ``hedge_delay_ms`` is configured and the
+   primary has not finished by then, submit one duplicate attempt — first
+   success wins and the straggler is cancelled/abandoned;
+3. on failure, record it to the breaker, sleep the
+   :class:`~repro.resilience.retry.RetryPolicy` backoff, and retry up to
+   ``max_attempts`` times;
+4. a request :class:`~repro.resilience.deadline.Deadline` bounds every wait —
+   an expired deadline abandons the task (``"deadline"``).
+
+The caller receives a :class:`TaskOutcome` per task, in task order, and
+decides what a skipped shard means (the sharded service degrades the answer
+to the surviving shards and marks it ``degraded``).
+
+Correctness note: hedged/retried attempts are safe to duplicate because shard
+queries are pure reads and the shared top-k pool deduplicates by mapping
+signature — two attempts of the same shard offer the same scores, so the
+merged ranking is unchanged whichever copy wins.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.retry import BreakerPolicy, CircuitBreaker, RetryPolicy
+from repro.utils.counters import CounterSet, ThreadSafeCounterSet
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Everything the resilient fan-out needs to know, as data.
+
+    ``hedge_delay_ms=None`` disables hedging; ``breaker=None`` disables the
+    circuit breakers; ``fault_plan`` injects a deterministic fault schedule
+    into every shard call (testing/soak only).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    hedge_delay_ms: Optional[float] = None
+    breaker: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
+    fault_plan: Optional[FaultPlan] = None
+    max_workers: int = 16
+
+    def __post_init__(self) -> None:
+        if self.hedge_delay_ms is not None and self.hedge_delay_ms < 0:
+            raise ValueError(f"hedge_delay_ms must be non-negative, got {self.hedge_delay_ms}")
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+
+    def describe(self) -> dict:
+        return {
+            "retry": {
+                "max_attempts": self.retry.max_attempts,
+                "base_delay_ms": self.retry.base_delay_ms,
+                "max_delay_ms": self.retry.max_delay_ms,
+            },
+            "hedge_delay_ms": self.hedge_delay_ms,
+            "breaker": None
+            if self.breaker is None
+            else {
+                "failure_threshold": self.breaker.failure_threshold,
+                "cooldown_seconds": self.breaker.cooldown_seconds,
+            },
+            "fault_plan": bool(self.fault_plan),
+        }
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one fan-out task."""
+
+    task_id: int
+    ok: bool
+    result: Any = None
+    attempts: int = 0
+    skipped_reason: Optional[str] = None  # "breaker-open" | "retries-exhausted" | "deadline"
+    error: Optional[str] = None
+
+
+class ResilientFanout:
+    """Runs per-shard tasks with retries, hedging and circuit breaking.
+
+    One instance per sharded service: the breakers and the fault injector's
+    call counters live across queries.  Thread pools are lazy and sized so
+    hedging cannot deadlock — the attempt pool holds twice the orchestration
+    slots (primary + at most one hedge per in-flight task).
+    """
+
+    def __init__(
+        self,
+        policy: ResiliencePolicy,
+        task_space: int,
+        counters: Optional[CounterSet] = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.policy = policy
+        self.counters = counters if counters is not None else ThreadSafeCounterSet()
+        self._sleep = sleep
+        self.breakers: List[Optional[CircuitBreaker]] = [
+            policy.breaker.make(clock) if policy.breaker is not None else None
+            for _ in range(task_space)
+        ]
+        self.injector: Optional[FaultInjector] = (
+            FaultInjector(policy.fault_plan) if policy.fault_plan is not None else None
+        )
+        self._lock = threading.Lock()
+        self._orchestra: Optional[ThreadPoolExecutor] = None
+        self._attempts: Optional[ThreadPoolExecutor] = None
+
+    # -- pools ----------------------------------------------------------------
+
+    def _ensure_pools(self) -> Tuple[ThreadPoolExecutor, ThreadPoolExecutor]:
+        with self._lock:
+            if self._orchestra is None:
+                workers = self.policy.max_workers
+                self._orchestra = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-fanout"
+                )
+                self._attempts = ThreadPoolExecutor(
+                    max_workers=2 * workers, thread_name_prefix="repro-attempt"
+                )
+            return self._orchestra, self._attempts
+
+    def close(self) -> None:
+        with self._lock:
+            orchestra, attempts = self._orchestra, self._attempts
+            self._orchestra = self._attempts = None
+        for pool in (orchestra, attempts):
+            if pool is not None:
+                pool.shutdown(wait=False)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Tuple[int, Any]],
+        deadline: Optional[Deadline] = None,
+    ) -> List[TaskOutcome]:
+        """Run ``fn(payload)`` for every ``(task_id, payload)``; outcomes in task order.
+
+        ``task_id`` indexes the breaker table (the sharded service passes the
+        shard id) and may repeat across tasks (several queries to one shard).
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            task_id, payload = tasks[0]
+            return [self._run_one(fn, task_id, payload, deadline)]
+        orchestra, _ = self._ensure_pools()
+        futures = [
+            orchestra.submit(self._run_one, fn, task_id, payload, deadline)
+            for task_id, payload in tasks
+        ]
+        return [future.result() for future in futures]
+
+    def _call(self, fn: Callable[[Any], Any], task_id: int, payload: Any) -> Any:
+        if self.injector is not None:
+            return self.injector.call(f"shard-{task_id}", fn, payload)
+        return fn(payload)
+
+    def _run_one(
+        self,
+        fn: Callable[[Any], Any],
+        task_id: int,
+        payload: Any,
+        deadline: Optional[Deadline],
+    ) -> TaskOutcome:
+        breaker = self.breakers[task_id] if task_id < len(self.breakers) else None
+        retry = self.policy.retry
+        attempts = 0
+        last_error: Optional[str] = None
+        while attempts < retry.max_attempts:
+            if deadline is not None and deadline.expired():
+                return TaskOutcome(
+                    task_id, ok=False, attempts=attempts, skipped_reason="deadline", error=last_error
+                )
+            if breaker is not None and not breaker.allow():
+                self.counters.increment("breaker_skips")
+                return TaskOutcome(
+                    task_id, ok=False, attempts=attempts, skipped_reason="breaker-open", error=last_error
+                )
+            if attempts:
+                self.counters.increment("shard_retries")
+                pause = retry.backoff_ms(attempts - 1, key=f"shard-{task_id}") / 1000.0
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline.remaining()))
+                if pause > 0:
+                    self._sleep(pause)
+            attempts += 1
+            outcome = self._attempt_with_hedge(fn, task_id, payload, deadline)
+            outcome.attempts = attempts
+            if outcome.ok:
+                if breaker is not None:
+                    breaker.record_success()
+                return outcome
+            last_error = outcome.error or last_error
+            if outcome.skipped_reason == "deadline":
+                outcome.error = last_error
+                return outcome
+            if breaker is not None:
+                breaker.record_failure()
+                if breaker.state == CircuitBreaker.OPEN:
+                    self.counters.increment("breaker_opens")
+            self.counters.increment("shard_attempt_failures")
+        return TaskOutcome(
+            task_id,
+            ok=False,
+            attempts=attempts,
+            skipped_reason="retries-exhausted",
+            error=last_error,
+        )
+
+    def _attempt_with_hedge(
+        self,
+        fn: Callable[[Any], Any],
+        task_id: int,
+        payload: Any,
+        deadline: Optional[Deadline],
+    ) -> TaskOutcome:
+        """One logical attempt: a primary call, optionally raced by one hedge."""
+        _, attempts_pool = self._ensure_pools()
+        primary: Future = attempts_pool.submit(self._call, fn, task_id, payload)
+        pending = {primary}
+        hedge: Optional[Future] = None
+        hedge_delay = self.policy.hedge_delay_ms
+        last_error: Optional[str] = None
+        while pending:
+            timeout: Optional[float] = None
+            if hedge is None and hedge_delay is not None:
+                timeout = hedge_delay / 1000.0
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    for straggler in pending:
+                        straggler.cancel()
+                    return TaskOutcome(task_id, ok=False, skipped_reason="deadline", error=last_error)
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            done, _ = wait(pending, timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done:
+                pending.discard(future)
+                error = future.exception()
+                if error is None:
+                    for straggler in pending:
+                        straggler.cancel()
+                    if hedge is not None and future is hedge:
+                        self.counters.increment("hedges_won")
+                    return TaskOutcome(task_id, ok=True, result=future.result())
+                last_error = f"{type(error).__name__}: {error}"
+            if not done and hedge is None and hedge_delay is not None:
+                # The primary is a straggler: race a duplicate against it.
+                hedge = attempts_pool.submit(self._call, fn, task_id, payload)
+                pending.add(hedge)
+                self.counters.increment("hedges_launched")
+        return TaskOutcome(task_id, ok=False, error=last_error or "all attempts failed")
+
+    def breaker_states(self) -> List[Optional[str]]:
+        return [None if breaker is None else breaker.state for breaker in self.breakers]

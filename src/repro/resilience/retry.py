@@ -1,0 +1,169 @@
+"""Retry policies and circuit breakers for the shard fan-out.
+
+Both primitives are deliberately boring and deterministic:
+
+* :class:`RetryPolicy` computes capped exponential backoff with *seeded*
+  jitter — the jitter fraction is a CRC32 hash of ``(seed, key, attempt)``,
+  not a random draw, so two runs with the same policy produce the same
+  schedule (Python's ``hash()`` is salted per process and unusable here).
+* :class:`CircuitBreaker` is the classic three-state machine
+  (closed → open → half-open) with an injectable clock so the cooldown can
+  be driven by a fake clock in tests.
+
+Neither knows anything about shards; :mod:`repro.resilience.fanout` wires
+them to per-shard tasks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+def seeded_fraction(seed: int, *parts: object) -> float:
+    """A deterministic pseudo-random fraction in ``[0, 1)`` from seed + parts.
+
+    Shared by jitter and probabilistic fault injection so every stochastic
+    choice in the resilience layer replays from its seed.
+    """
+    token = ":".join([str(seed), *[str(part) for part in parts]]).encode("utf-8")
+    return (zlib.crc32(token) % 10_000) / 10_000.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``backoff_ms(attempt, key)`` is the delay *before* retry ``attempt``
+    (0-based: the delay between the first failure and the second try is
+    ``backoff_ms(0, ...)``).  Jitter multiplies the capped delay by a factor
+    in ``[1 - jitter, 1]`` derived from ``(seed, key, attempt)``.
+    """
+
+    max_attempts: int = 3
+    base_delay_ms: float = 10.0
+    max_delay_ms: float = 200.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be positive, got {self.max_attempts}")
+        if self.base_delay_ms < 0 or self.max_delay_ms < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_ms(self, attempt: int, key: str = "") -> float:
+        """Delay in milliseconds before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"attempt must be non-negative, got {attempt}")
+        delay = min(self.max_delay_ms, self.base_delay_ms * (self.multiplier ** attempt))
+        if self.jitter:
+            delay *= 1.0 - self.jitter * seeded_fraction(self.seed, key, attempt)
+        return delay
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Configuration for the per-shard circuit breakers."""
+
+    failure_threshold: int = 3
+    cooldown_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be positive, got {self.failure_threshold}")
+        if self.cooldown_seconds < 0:
+            raise ValueError(f"cooldown_seconds must be non-negative, got {self.cooldown_seconds}")
+
+    def make(self, clock: Callable[[], float] = time.monotonic) -> "CircuitBreaker":
+        return CircuitBreaker(
+            failure_threshold=self.failure_threshold,
+            cooldown_seconds=self.cooldown_seconds,
+            clock=clock,
+        )
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a half-open probe.
+
+    States: **closed** (calls flow; consecutive failures counted), **open**
+    (calls rejected until the cooldown elapses), **half-open** (exactly one
+    probe call allowed; success closes the breaker, failure re-opens it).
+    Thread-safe — the fan-out records outcomes from worker threads.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be positive, got {failure_threshold}")
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            # Report the transition an allow() would take, so observers see
+            # "half-open" once the cooldown has elapsed.
+            if self._state == self.OPEN and self._cooldown_elapsed():
+                return self.HALF_OPEN
+            return self._state
+
+    def _cooldown_elapsed(self) -> bool:
+        return self._opened_at is not None and self._clock() >= self._opened_at + self.cooldown_seconds
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (claims the probe slot if half-open)."""
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.OPEN:
+                if not self._cooldown_elapsed():
+                    return False
+                self._state = self.HALF_OPEN
+                self._probe_in_flight = True
+                return True
+            # Half-open: a single probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = self.CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN or self._consecutive_failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state!r}, failures={self._consecutive_failures})"

@@ -60,6 +60,7 @@ from repro.utils.executor import TaskExecutor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard layer imports service)
     from repro.mapping.engine import TopKPool
+    from repro.resilience.deadline import Deadline
 
 
 class MatchingService(MatcherAPIMixin):
@@ -225,6 +226,7 @@ class MatchingService(MatcherAPIMixin):
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
         shared_pool: Optional["TopKPool"] = None,
+        deadline: Optional["Deadline"] = None,
         *,
         fingerprint: Optional[str] = None,
     ) -> MatchResult:
@@ -283,14 +285,21 @@ class MatchingService(MatcherAPIMixin):
             candidates=cached,
             top_k=top_k,
             shared_pool=shared_pool,
+            deadline=deadline,
         )
         if key is not None:
             if cached is not None:
                 self.counters.increment("query_cache_hits")
             else:
                 self.counters.increment("query_cache_misses")
+                # Caching the *candidates* (element-match tables) of a partial
+                # result is sound: element matching completed before the
+                # generation stage was cut short, so the table is the same one
+                # a deadline-free run would compute.
                 self._query_cache.put(key, result.candidates)
         self.counters.increment("queries")
+        if result.partial:
+            self.counters.increment("partials_returned")
         return result
 
     def _match_many_schemas(
@@ -298,6 +307,7 @@ class MatchingService(MatcherAPIMixin):
         personal_schemas: Sequence[SchemaTree],
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> List[MatchResult]:
         """Answer a batch of queries; result ``i`` belongs to schema ``i``.
 
@@ -322,7 +332,7 @@ class MatchingService(MatcherAPIMixin):
             return []
         if not self.query_cache_size:
             return [
-                self._match_schema(schema, delta=delta, top_k=top_k)
+                self._match_schema(schema, delta=delta, top_k=top_k, deadline=deadline)
                 for schema in personal_schemas
             ]
         effective_delta = self.delta if delta is None else delta
@@ -335,7 +345,7 @@ class MatchingService(MatcherAPIMixin):
             result = resolved.get(key)
             if result is None:
                 result = self._match_schema(
-                    schema, delta=delta, top_k=top_k, fingerprint=fingerprint
+                    schema, delta=delta, top_k=top_k, deadline=deadline, fingerprint=fingerprint
                 )
                 resolved[key] = result
             else:

@@ -47,11 +47,8 @@ missing objects rather than silently substituting defaults.
 from __future__ import annotations
 
 import base64
-import contextlib
 import json
-import os
 import sys
-import tempfile
 from array import array
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -69,6 +66,7 @@ from repro.schema.serialization import repository_from_dict, repository_to_dict
 from repro.service.partition import PartitionClusterer, RepositoryPartition
 from repro.service.service import MatchingService
 from repro.utils.executor import TaskExecutor
+from repro.utils.fileio import write_text_atomic
 
 SNAPSHOT_FORMAT = "bellflower-service-snapshot"
 SNAPSHOT_VERSION = 1
@@ -267,18 +265,7 @@ def write_snapshot(service: MatchingService, path: str | Path, build: bool = Tru
     processes keep a loadable file at all times.
     """
     payload = service_to_snapshot_dict(service, build=build)
-    target = Path(path)
-    handle, temp_name = tempfile.mkstemp(
-        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or "."
-    )
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream)
-        os.replace(temp_name, target)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(temp_name)
-        raise
+    write_text_atomic(Path(path), json.dumps(payload))
     return payload
 
 

@@ -33,8 +33,10 @@ from repro.schema.repository import SchemaRepository
 from repro.service.fingerprint import schema_fingerprint
 from repro.service.snapshot import load_snapshot, write_snapshot
 from repro.shard.router import ShardRouter, make_router
+from repro.resilience.fanout import ResiliencePolicy
 from repro.shard.service import ShardedMatchingService, copy_tree
 from repro.utils.executor import TaskExecutor
+from repro.utils.fileio import write_text_atomic
 
 MANIFEST_FORMAT = "bellflower-shard-manifest"
 MANIFEST_VERSION = 1
@@ -73,7 +75,9 @@ def write_shard_set(
     ``global_version`` defaults to the service's current version; rebalance
     passes the old version + 1 so clients observe the rewrite.  Returns the
     manifest document.  Writes the shard snapshots first and the manifest
-    last, so a crash mid-write never leaves a manifest naming missing files.
+    last (itself atomically, temp file + rename like the snapshots), so a
+    crash at any point never leaves a manifest naming missing files and
+    never truncates an existing good manifest.
     """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
@@ -98,8 +102,8 @@ def write_shard_set(
         "assignment": service.assignment,
         "shards": shards_entry,
     }
-    (target / manifest_name).write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    write_text_atomic(
+        target / manifest_name, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
     )
     return manifest
 
@@ -174,12 +178,15 @@ def load_shard_set(
     *,
     executor: Optional[TaskExecutor] = None,
     query_cache_size: Optional[int] = None,
+    resilience: Optional[ResiliencePolicy] = None,
     **snapshot_overrides: Any,
 ) -> ShardedMatchingService:
     """Load a sharded service from a manifest written by :func:`write_shard_set`.
 
     ``query_cache_size`` overrides both the front-end result cache and each
-    shard's candidate cache; other keyword overrides are forwarded to every
+    shard's candidate cache; ``resilience`` enables the retry/hedge/failover
+    fan-out (see :class:`~repro.shard.service.ShardedMatchingService`); other
+    keyword overrides are forwarded to every
     :func:`~repro.service.snapshot.load_snapshot` call (matcher, objective,
     …).  Loaded shard sizes are validated against the manifest digests.
     """
@@ -216,6 +223,7 @@ def load_shard_set(
             shards[0].query_cache_size if query_cache_size is None else query_cache_size
         ),
         global_version=int(payload.get("global_version", 1)),
+        resilience=resilience,
     )
 
 

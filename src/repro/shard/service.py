@@ -65,7 +65,7 @@ query is small.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.api.envelope import PROTOCOL_VERSION
 from repro.api.matcher import MatcherAPIMixin
@@ -82,6 +82,7 @@ from repro.matchers.index import LRUMemo
 from repro.matchers.selection import MappingElement, MappingElementSets
 from repro.schema.repository import RepositoryNodeRef, SchemaRepository
 from repro.schema.serialization import tree_from_dict, tree_to_dict
+from repro.resilience.fanout import ResiliencePolicy, ResilientFanout
 from repro.schema.tree import SchemaTree
 from repro.service.fingerprint import schema_fingerprint
 from repro.service.partition import PartitionClusterer
@@ -91,6 +92,9 @@ from repro.system.results import ClusterReport, MatchResult
 from repro.utils.counters import CounterSet, ThreadSafeCounterSet
 from repro.utils.executor import TaskExecutor
 from repro.utils.timers import StageTimer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.deadline import Deadline
 
 
 def copy_tree(tree: SchemaTree) -> SchemaTree:
@@ -159,8 +163,9 @@ class _ShardSignatureTranslator:
 
 def _run_shard_query(task) -> MatchResult:
     """Worker body of the shard fan-out (module-level so process pools can pickle it)."""
-    shard, personal_schema, delta, top_k, pool = task
-    return shard.match(personal_schema, delta=delta, top_k=top_k, shared_pool=pool)
+    shard, personal_schema, delta, top_k, pool, deadline = task
+    extra = {} if deadline is None else {"deadline": deadline}
+    return shard.match(personal_schema, delta=delta, top_k=top_k, shared_pool=pool, **extra)
 
 
 class ShardedRepositoryView:
@@ -244,6 +249,14 @@ class ShardedMatchingService(MatcherAPIMixin):
     global_version:
         The shard-set version (manifest loads pass the manifest's value).
         Bumped by every live mutation.
+    resilience:
+        Optional :class:`~repro.resilience.ResiliencePolicy`.  When given,
+        shard queries run through a :class:`~repro.resilience.ResilientFanout`
+        (retries with seeded backoff, optional hedging, per-shard circuit
+        breakers) instead of ``executor``, and a shard that stays unreachable
+        degrades the answer to the surviving shards — the merged result is
+        then marked ``degraded`` and lists the ``skipped_shards``.  ``None``
+        keeps the strict behaviour: any shard failure propagates.
     """
 
     backend_kind = "sharded"
@@ -257,6 +270,7 @@ class ShardedMatchingService(MatcherAPIMixin):
         executor: Optional[TaskExecutor] = None,
         query_cache_size: int = 64,
         global_version: int = 1,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         if not shards:
             raise ShardError("a sharded service needs at least one shard")
@@ -274,6 +288,14 @@ class ShardedMatchingService(MatcherAPIMixin):
         # Thread-safe: the asyncio server runs concurrent queries against one
         # service instance from thread-pool workers.
         self.counters = ThreadSafeCounterSet()
+        self.resilience = resilience
+        # One fanout per service: breakers and fault-injection call counters
+        # must persist across queries to be meaningful.
+        self._fanout: Optional[ResilientFanout] = (
+            None
+            if resilience is None
+            else ResilientFanout(resilience, len(shards), counters=self.counters)
+        )
         self._validate_shards()
         self._rebuild_translation()
         # Per-shard router loads are only needed for live add_tree placement
@@ -385,6 +407,7 @@ class ShardedMatchingService(MatcherAPIMixin):
         use_batch_matching: Optional[bool] = None,
         query_cache_size: int = 64,
         partition_max_fragment_size: int = 20,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> "ShardedMatchingService":
         """Split a repository into ``shard_count`` shards and serve them.
 
@@ -419,6 +442,7 @@ class ShardedMatchingService(MatcherAPIMixin):
             router=active_router,
             executor=executor,
             query_cache_size=query_cache_size,
+            resilience=resilience,
         )
 
     # -- accessors ------------------------------------------------------------
@@ -470,6 +494,11 @@ class ShardedMatchingService(MatcherAPIMixin):
         for shard in self.shards:
             shard.build_derived_state()
 
+    def close(self) -> None:
+        """Release the resilient fan-out's thread pools (if any were started)."""
+        if self._fanout is not None:
+            self._fanout.close()
+
     def _loads(self) -> List[int]:
         """Current per-shard loads in the router's weight unit (lazily built)."""
         if self._shard_loads is None:
@@ -489,6 +518,7 @@ class ShardedMatchingService(MatcherAPIMixin):
         personal_schema: SchemaTree,
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> MatchResult:
         """Match one personal schema across all shards and merge the ranking.
 
@@ -498,13 +528,16 @@ class ShardedMatchingService(MatcherAPIMixin):
         <repro.api.matcher.MatcherAPIMixin.match>` shim, which also accepts
         typed :class:`~repro.api.envelope.MatchRequest` envelopes.
         """
-        return self._match_many_schemas([personal_schema], delta=delta, top_k=top_k)[0]
+        return self._match_many_schemas(
+            [personal_schema], delta=delta, top_k=top_k, deadline=deadline
+        )[0]
 
     def _match_many_schemas(
         self,
         personal_schemas: Sequence[SchemaTree],
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> List[MatchResult]:
         """Answer a batch of queries; result ``i`` belongs to schema ``i``.
 
@@ -568,16 +601,46 @@ class ShardedMatchingService(MatcherAPIMixin):
                     if pool is None
                     else TranslatingTopKPool(pool, self._translators[shard_id])
                 )
-                tasks.append((shard, schema, delta, top_k, view))
+                tasks.append((shard, schema, delta, top_k, view, deadline))
         self.counters.increment("shard_queries", len(tasks))
-        if self.executor is not None and len(tasks) > 1:
-            raw = self.executor.map(_run_shard_query, tasks)
+        if self._fanout is not None:
+            # Resilient mode: the fanout's own thread pools run the shard
+            # calls (with retries, hedging and circuit breaking); ``executor``
+            # is not consulted for queries.
+            fan_tasks = [
+                (index % self.shard_count, task) for index, task in enumerate(tasks)
+            ]
+            outcomes = self._fanout.run(_run_shard_query, fan_tasks, deadline=deadline)
         else:
-            raw = [_run_shard_query(task) for task in tasks]
+            outcomes = None
+            if self.executor is not None and len(tasks) > 1:
+                raw = self.executor.map(_run_shard_query, tasks)
+            else:
+                raw = [_run_shard_query(task) for task in tasks]
         for miss_index, (key, schema) in enumerate(misses):
-            shard_results = raw[miss_index * self.shard_count : (miss_index + 1) * self.shard_count]
-            merged = self._merge_results(shard_results, top_k)
-            if self.query_cache_size:
+            start = miss_index * self.shard_count
+            if outcomes is None:
+                pairs = list(enumerate(raw[start : start + self.shard_count]))
+                skipped: Tuple[int, ...] = ()
+            else:
+                window = outcomes[start : start + self.shard_count]
+                pairs = [(outcome.task_id, outcome.result) for outcome in window if outcome.ok]
+                skipped = tuple(outcome.task_id for outcome in window if not outcome.ok)
+                if not pairs:
+                    reasons = "; ".join(
+                        f"shard {outcome.task_id}: {outcome.skipped_reason or outcome.error}"
+                        for outcome in window
+                    )
+                    raise ShardError(f"all {self.shard_count} shards failed ({reasons})")
+            merged = self._merge_results(pairs, top_k, skipped=skipped)
+            if merged.degraded:
+                self.counters.increment("degraded_queries")
+                self.counters.increment("shards_skipped", len(skipped))
+            if merged.partial:
+                self.counters.increment("partials_returned")
+            # A partial (deadline-truncated) or degraded (missing-shard) merge
+            # is not the canonical answer for its cache key — never cache it.
+            if self.query_cache_size and not (merged.partial or merged.degraded):
                 self._result_cache.put(key, merged)
             resolved[key] = merged
 
@@ -590,13 +653,24 @@ class ShardedMatchingService(MatcherAPIMixin):
     # -- merge ---------------------------------------------------------------
 
     def _merge_results(
-        self, shard_results: Sequence[MatchResult], top_k: Optional[int]
+        self,
+        shard_pairs: Sequence[Tuple[int, MatchResult]],
+        top_k: Optional[int],
+        skipped: Tuple[int, ...] = (),
     ) -> MatchResult:
-        """Merge per-shard results into one merged-coordinate :class:`MatchResult`."""
-        cluster_map = self._merged_cluster_ids(shard_results)
+        """Merge ``(shard id, result)`` pairs into one merged-coordinate :class:`MatchResult`.
+
+        In strict mode every shard contributes a pair and ``skipped`` is
+        empty.  In resilient mode unreachable shards are absent from
+        ``shard_pairs`` and listed in ``skipped`` instead — the merge then
+        covers the surviving shards only and the result is marked
+        ``degraded`` (with the skipped ids) so callers can tell the answer
+        from the canonical full-repository one.
+        """
+        cluster_map = self._merged_cluster_ids(shard_pairs)
 
         translated_groups: List[List[SchemaMapping]] = []
-        for shard_id, result in enumerate(shard_results):
+        for shard_id, result in shard_pairs:
             translated_groups.append(
                 [
                     self._translate_mapping(shard_id, mapping, cluster_map)
@@ -610,26 +684,29 @@ class ShardedMatchingService(MatcherAPIMixin):
         generation = GenerationResult(mappings=mappings)
         counters = CounterSet()
         timers = StageTimer()
-        for result in shard_results:
+        for _shard_id, result in shard_pairs:
             generation.counters.merge(result.generation.counters)
             generation.elapsed_seconds += result.generation.elapsed_seconds
             counters.merge(result.counters)
             timers.merge(result.timers)
 
         return MatchResult(
-            variant_name=shard_results[0].variant_name,
+            variant_name=shard_pairs[0][1].variant_name,
             mappings=mappings,
-            candidates=self._merge_candidates(shard_results),
-            clustering=self._merge_clustering(shard_results, cluster_map),
+            candidates=self._merge_candidates(shard_pairs),
+            clustering=self._merge_clustering(shard_pairs, cluster_map),
             generation=generation,
             timers=timers,
-            cluster_reports=self._merge_reports(shard_results, cluster_map),
+            cluster_reports=self._merge_reports(shard_pairs, cluster_map),
             counters=counters,
             top_k=top_k,
+            partial=any(result.partial for _shard_id, result in shard_pairs),
+            degraded=bool(skipped),
+            skipped_shards=tuple(sorted(skipped)),
         )
 
     def _merged_cluster_ids(
-        self, shard_results: Sequence[MatchResult]
+        self, shard_pairs: Sequence[Tuple[int, MatchResult]]
     ) -> Dict[Tuple[int, int], int]:
         """(shard id, local cluster id) → merged cluster id.
 
@@ -637,10 +714,11 @@ class ShardedMatchingService(MatcherAPIMixin):
         order, and shard-local tree order follows merged tree order, so
         re-ranking every shard's clusters by (merged tree id, local cluster
         id) reproduces exactly the ids one clustering pass over the merged
-        repository would assign.
+        repository would assign.  (In a degraded merge the re-ranking covers
+        the surviving shards only, so ids are ordinal within that subset.)
         """
         entries: List[Tuple[int, int, int]] = []
-        for shard_id, result in enumerate(shard_results):
+        for shard_id, result in shard_pairs:
             if result.clustering is None:  # pragma: no cover - service always clusters
                 continue
             local_to_global = self._local_to_global[shard_id]
@@ -686,7 +764,9 @@ class ShardedMatchingService(MatcherAPIMixin):
             cluster_id=cluster_id,
         )
 
-    def _merge_candidates(self, shard_results: Sequence[MatchResult]) -> MappingElementSets:
+    def _merge_candidates(
+        self, shard_pairs: Sequence[Tuple[int, MatchResult]]
+    ) -> MappingElementSets:
         """The union of the shards' candidate tables, in unsharded element order.
 
         The unsharded selector emits a node's elements in ascending global id
@@ -694,11 +774,11 @@ class ShardedMatchingService(MatcherAPIMixin):
         translation is monotone within a shard, so sorting the translated
         union by global id reproduces the unsharded table exactly.
         """
-        node_ids = shard_results[0].candidates.personal_node_ids
+        node_ids = shard_pairs[0][1].candidates.personal_node_ids
         merged = MappingElementSets(node_ids)
         for node_id in node_ids:
             elements: List[MappingElement] = []
-            for shard_id, result in enumerate(shard_results):
+            for shard_id, result in shard_pairs:
                 elements.extend(
                     MappingElement(
                         personal_node_id=element.personal_node_id,
@@ -714,13 +794,13 @@ class ShardedMatchingService(MatcherAPIMixin):
 
     def _merge_clustering(
         self,
-        shard_results: Sequence[MatchResult],
+        shard_pairs: Sequence[Tuple[int, MatchResult]],
         cluster_map: Dict[Tuple[int, int], int],
     ) -> Optional[ClusteringResult]:
         clusters: List[Optional[Cluster]] = [None] * len(cluster_map)
         counters = CounterSet()
         elapsed = 0.0
-        for shard_id, result in enumerate(shard_results):
+        for shard_id, result in shard_pairs:
             if result.clustering is None:  # pragma: no cover - service always clusters
                 return None
             counters.merge(result.clustering.counters)
@@ -747,11 +827,11 @@ class ShardedMatchingService(MatcherAPIMixin):
 
     def _merge_reports(
         self,
-        shard_results: Sequence[MatchResult],
+        shard_pairs: Sequence[Tuple[int, MatchResult]],
         cluster_map: Dict[Tuple[int, int], int],
     ) -> List[ClusterReport]:
         reports: List[ClusterReport] = []
-        for shard_id, result in enumerate(shard_results):
+        for shard_id, result in shard_pairs:
             local_to_global = self._local_to_global[shard_id]
             reports.extend(
                 ClusterReport(
@@ -836,6 +916,9 @@ class ShardedMatchingService(MatcherAPIMixin):
         summary["executor"] = "serial" if self.executor is None else self.executor.name
         summary["query_cache_capacity"] = self.query_cache_size
         summary["query_cache_entries"] = len(self._result_cache)
+        if self._fanout is not None:
+            summary["resilience"] = self.resilience.describe()
+            summary["breaker_states"] = self._fanout.breaker_states()
         summary.update(self.counters.as_dict())
         summary["per_shard"] = [
             dict(shard.stats(), shard=shard_id)
@@ -844,7 +927,10 @@ class ShardedMatchingService(MatcherAPIMixin):
         return summary
 
     def _capabilities(self):
-        return super()._capabilities() | {"mutations", "shards"}
+        capabilities = super()._capabilities() | {"mutations", "shards"}
+        if self._fanout is not None:
+            capabilities |= {"resilience"}
+        return capabilities
 
     def _describe_extra(self) -> Dict[str, object]:
         return {
@@ -853,6 +939,7 @@ class ShardedMatchingService(MatcherAPIMixin):
             "router": self.router.name,
             "query_cache_capacity": self.query_cache_size,
             "query_cache_kind": "merged results",
+            "resilience": None if self.resilience is None else self.resilience.describe(),
             "per_shard": [
                 {
                     "shard": shard_id,

@@ -40,6 +40,7 @@ from repro.matchers.name import FuzzyNameMatcher
 from repro.matchers.selection import MappingElementSelector, MappingElementSets
 from repro.objective.base import ObjectiveFunction
 from repro.objective.bellflower import BellflowerObjective
+from repro.resilience.deadline import Deadline
 from repro.schema.repository import SchemaRepository
 from repro.schema.tree import SchemaTree
 from repro.system.results import ClusterReport, MatchResult
@@ -142,6 +143,7 @@ class Bellflower(MatcherAPIMixin):
         delta: float,
         top_k: Optional[int] = None,
         shared_pool: Optional[TopKPool] = None,
+        deadline: Optional[Deadline] = None,
     ) -> tuple[GenerationResult, List[ClusterReport]]:
         """Search every useful cluster and merge the per-cluster results.
 
@@ -168,6 +170,12 @@ class Bellflower(MatcherAPIMixin):
         every one of them, so a good mapping found by any participating
         service raises the pruning floor for all.  Ignored without ``top_k``
         (the complete ``Δ >= δ`` search admits no incumbent pruning).
+
+        ``deadline`` makes the per-cluster searches *anytime*: each problem
+        polls it cooperatively and, on expiry, contributes the mappings it
+        realized so far.  The merged counters then carry ``deadline_expired``
+        (the number of cluster searches cut short) and the caller marks the
+        result partial.
         """
         validate_top_k(top_k)
         pool = None
@@ -190,6 +198,7 @@ class Bellflower(MatcherAPIMixin):
                     cluster_id=cluster.cluster_id,
                     top_k=top_k,
                     shared_pool=pool,
+                    deadline=deadline,
                 )
             )
             reports.append(
@@ -224,6 +233,7 @@ class Bellflower(MatcherAPIMixin):
         candidates: Optional[MappingElementSets] = None,
         top_k: Optional[int] = None,
         shared_pool: Optional[TopKPool] = None,
+        deadline: Optional[Deadline] = None,
     ) -> MatchResult:
         """Run the full pipeline and return a :class:`MatchResult`.
 
@@ -240,7 +250,9 @@ class Bellflower(MatcherAPIMixin):
         sharing); ``None`` keeps the complete ``Δ >= δ`` semantics.
         ``shared_pool`` additionally shares that incumbent with sibling
         pipelines of the same logical query (shard fan-out; see
-        :meth:`generate_mappings`).
+        :meth:`generate_mappings`).  ``deadline`` bounds the generation stage
+        cooperatively; an expired deadline yields a result with
+        ``partial=True`` holding the mappings found so far.
         """
         if personal_schema.node_count == 0:
             raise ConfigurationError("cannot match an empty personal schema")
@@ -265,10 +277,14 @@ class Bellflower(MatcherAPIMixin):
                 effective_delta,
                 top_k=top_k,
                 shared_pool=shared_pool,
+                deadline=deadline,
             )
 
         counters.merge(generation.counters)
         counters.merge(clustering.counters)
+        partial = generation.counters.get("deadline_expired") > 0
+        if partial:
+            counters.set("partials_returned", 1)
 
         return MatchResult(
             variant_name=self.variant_name,
@@ -280,6 +296,7 @@ class Bellflower(MatcherAPIMixin):
             cluster_reports=reports,
             counters=counters,
             top_k=top_k,
+            partial=partial,
         )
 
     def _match_many_schemas(
@@ -287,6 +304,7 @@ class Bellflower(MatcherAPIMixin):
         personal_schemas: List[SchemaTree],
         delta: Optional[float] = None,
         top_k: Optional[int] = None,
+        deadline: Optional[Deadline] = None,
     ) -> List[MatchResult]:
         """Answer a batch of queries; result ``i`` belongs to schema ``i``.
 
@@ -309,7 +327,7 @@ class Bellflower(MatcherAPIMixin):
 
         if _matcher_config(self.matcher) is None:
             return [
-                self._match_schema(schema, delta=delta, top_k=top_k)
+                self._match_schema(schema, delta=delta, top_k=top_k, deadline=deadline)
                 for schema in personal_schemas
             ]
         results: List[Optional[MatchResult]] = [None] * len(personal_schemas)
@@ -318,7 +336,7 @@ class Bellflower(MatcherAPIMixin):
             fingerprint = schema_fingerprint(schema)
             result = computed.get(fingerprint)
             if result is None:
-                result = self._match_schema(schema, delta=delta, top_k=top_k)
+                result = self._match_schema(schema, delta=delta, top_k=top_k, deadline=deadline)
                 computed[fingerprint] = result
             results[index] = result
         return results  # type: ignore[return-value]

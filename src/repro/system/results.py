@@ -9,7 +9,7 @@ counters of the generator, and per-stage wall-clock times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.clustering.kmeans import ClusteringResult
 from repro.mapping.base import GenerationResult
@@ -44,6 +44,14 @@ class MatchResult:
     counters: CounterSet = field(default_factory=CounterSet)
     #: The ``top_k`` the query ran with (``None``: complete ``Δ >= δ`` search).
     top_k: Optional[int] = None
+    #: The query deadline expired: ``mappings`` are the incumbents found so
+    #: far, not the complete ranking.  Partial results are never cached.
+    partial: bool = False
+    #: One or more shards were skipped (dead / breaker-open); the ranking
+    #: covers only the surviving shards listed out of ``skipped_shards``.
+    degraded: bool = False
+    #: Shard ids the sharded service skipped for a degraded answer.
+    skipped_shards: Tuple[int, ...] = ()
 
     # -- Table 1a style properties -------------------------------------------------
 

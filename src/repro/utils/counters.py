@@ -92,6 +92,16 @@ class ThreadSafeCounterSet(CounterSet):
         with self._lock:
             return super().merge(other)
 
+    def as_dict(self) -> Dict[str, int]:
+        # Snapshot under the lock: copying a dict that another thread is
+        # inserting into can raise "dictionary changed size during iteration".
+        with self._lock:
+            return super().as_dict()
+
+    def __iter__(self) -> Iterator[Tuple[str, int]]:
+        # Iterate over a locked snapshot for the same reason as as_dict().
+        return iter(sorted(self.as_dict().items()))
+
     def __reduce__(self):
         # Locks do not pickle; a copy travelling to a worker process only
         # needs the counts (mirrors LRUMemo's pickling contract).

@@ -60,6 +60,31 @@ class TaskExecutor(abc.ABC):
         return f"{type(self).__name__}()"
 
 
+class DelegatingExecutor(TaskExecutor):
+    """Base class for executors that wrap another executor.
+
+    Forwards ``map``/``close`` to the inner executor untouched; subclasses
+    override ``map`` to interpose (fault injection, instrumentation) while
+    inheriting the inner executor's ordering contract.
+    """
+
+    name = "delegating"
+
+    def __init__(self, inner: TaskExecutor) -> None:
+        self.inner = inner
+
+    def map(
+        self, fn: Callable[[_ItemT], _ResultT], items: Sequence[_ItemT]
+    ) -> List[_ResultT]:
+        return self.inner.map(fn, items)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.inner!r})"
+
+
 class SerialExecutor(TaskExecutor):
     """Run tasks inline on the calling thread (the default everywhere)."""
 

@@ -1,0 +1,30 @@
+"""Atomic file writes shared by every persistence path.
+
+One pattern, one implementation: write to a temp file in the target's
+directory (same filesystem, so the rename cannot degrade to a copy), then
+``os.replace`` it over the destination.  A crash mid-write leaves the old
+file intact; readers never observe a truncated document.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+
+def write_text_atomic(path: str | Path, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text`` (temp file + rename)."""
+    target = Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or "."
+    )
+    try:
+        with os.fdopen(handle, "w", encoding=encoding) as stream:
+            stream.write(text)
+        os.replace(temp_name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(temp_name)
+        raise

@@ -213,3 +213,50 @@ class TestLegacyDialect:
         assert "must be a JSON object" in dispatcher.handle_line("[1, 2]")["error"]
         response = dispatcher.handle_line(json.dumps({"personal": {"person": ["name"]}}))
         assert "mappings" in response
+
+
+class TestDeadlinesAndResultFlags:
+    def test_legacy_timeout_ms_is_accepted_and_harmless_when_generous(self, dispatcher):
+        response = dispatcher.handle_request(
+            {"personal": {"person": ["name"]}, "top": 1, "timeout_ms": 3_600_000}
+        )
+        assert "mappings" in response
+        # A deadline that never fires leaves the response unmarked.
+        assert "partial" not in response and "degraded" not in response
+
+    @pytest.mark.parametrize("bad", [0, -5, "soon", True])
+    def test_legacy_invalid_timeout_ms_is_a_clean_error(self, dispatcher, bad):
+        response = dispatcher.handle_request(
+            {"personal": {"person": ["name"]}, "timeout_ms": bad}
+        )
+        assert "timeout_ms" in response["error"]
+
+    def test_serve_default_timeout_applies_when_the_request_has_none(self, service):
+        dispatcher = RequestDispatcher(service, ServeDefaults(timeout_ms=3_600_000))
+        response = dispatcher.handle_request({"personal": {"person": ["name"]}, "top": 1})
+        assert "mappings" in response and "partial" not in response
+
+    def test_partial_and_degraded_flags_surface_in_both_dialects(self):
+        import dataclasses
+
+        class FlaggedService(MatchingService):
+            """Stands in for a backend that truncated and degraded the answer."""
+
+            def _match_schema(self, *args, **kwargs):
+                result = super()._match_schema(*args, **kwargs)
+                return dataclasses.replace(
+                    result, partial=True, degraded=True, skipped_shards=(1,)
+                )
+
+        flagged = RequestDispatcher(
+            FlaggedService(small_repository_factory(), element_threshold=0.5, delta=0.6)
+        )
+        legacy = flagged.handle_request({"personal": {"person": ["name"]}, "top": 1})
+        assert legacy["partial"] is True
+        assert legacy["degraded"] is True
+        assert legacy["skipped_shards"] == [1]
+        typed = flagged.handle_request(MatchRequest(schema={"person": ["name"]}).to_wire())
+        assert typed["kind"] == "match_response"
+        assert typed["partial"] is True
+        assert typed["degraded"] is True
+        assert typed["skipped_shards"] == [1]

@@ -149,6 +149,38 @@ class TestLifecycle:
 
         asyncio.run(main())
 
+    def test_stop_drains_an_in_flight_request_to_completion(self):
+        import threading
+        import time
+
+        started = threading.Event()
+
+        class SlowService(MatchingService):
+            def _match_schema(self, *args, **kwargs):
+                started.set()
+                time.sleep(0.3)  # keep the request in flight while stop() runs
+                return super()._match_schema(*args, **kwargs)
+
+        async def main():
+            service = SlowService(small_repository_factory(), element_threshold=0.5, delta=0.6)
+            server = MatcherServer(service, port=0)
+            await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            await read_json(reader)
+            await send_json(writer, {"personal": {"person": ["name"]}, "top": 1})
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, started.wait, 5)
+            # Shut down while the request is executing: the drain window must
+            # let it finish and its response reach the client before close.
+            stop_task = asyncio.ensure_future(server.stop(drain_timeout=10.0))
+            response = await read_json(reader)
+            assert "mappings" in response
+            await stop_task
+            assert await reader.readline() == b""
+            writer.close()
+
+        asyncio.run(main())
+
     def test_a_stopped_server_can_be_started_again(self):
         async def main():
             server = MatcherServer(make_service(), port=0)
@@ -179,7 +211,7 @@ class TestLifecycle:
 
         asyncio.run(main())
 
-    def test_oversized_request_line_is_answered_then_dropped(self):
+    def test_oversized_request_line_is_rejected_and_the_connection_survives(self):
         async def main():
             server = MatcherServer(make_service(), port=0, max_line_bytes=1024)
             await server.start()
@@ -191,7 +223,30 @@ class TestLifecycle:
                 response = await read_json(reader)
                 assert response["kind"] == "error"
                 assert "exceeds" in response["error"]
-                assert await reader.readline() == b""  # connection dropped
+                # The server resynchronizes on the line terminator: the same
+                # connection keeps answering well-formed requests.
+                await send_json(writer, {"personal": {"person": ["name"]}, "top": 1})
+                follow_up = await read_json(reader)
+                assert "mappings" in follow_up
+                writer.close()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_oversized_line_followed_by_eof_closes_the_connection(self):
+        async def main():
+            server = MatcherServer(make_service(), port=0, max_line_bytes=1024)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                await read_json(reader)
+                writer.write(b"y" * 4096)  # oversized AND unterminated
+                await writer.drain()
+                writer.write_eof()
+                response = await read_json(reader)
+                assert response["kind"] == "error"
+                assert await reader.readline() == b""  # server closed cleanly
                 writer.close()
             finally:
                 await server.stop()

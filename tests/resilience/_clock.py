@@ -1,0 +1,14 @@
+"""A deterministic clock shared by the resilience tests."""
+
+
+class TickingClock:
+    """A fake monotonic clock advanced explicitly by the test."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds

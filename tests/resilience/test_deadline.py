@@ -1,0 +1,50 @@
+"""Deadline semantics: injectable clock, expiry, pickling re-anchoring."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from _clock import TickingClock
+
+from repro.resilience import Deadline
+
+
+class TestDeadline:
+    def test_expires_exactly_at_the_budget(self):
+        clock = TickingClock()
+        deadline = Deadline.after_ms(100, clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == pytest.approx(0.1)
+        clock.now = 0.099
+        assert not deadline.expired()
+        clock.now = 0.1
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(0.0)
+
+    def test_remaining_goes_negative_past_expiry(self):
+        clock = TickingClock()
+        deadline = Deadline.after_ms(50, clock)
+        clock.now = 1.0
+        assert deadline.remaining() < 0
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_non_positive_budgets_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Deadline.after_ms(bad)
+
+    def test_pickling_preserves_the_remaining_budget(self):
+        # Monotonic readings are process-local; a pickled deadline must travel
+        # as a duration and re-anchor on the receiver's clock.
+        deadline = Deadline.after_ms(60_000)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert not clone.expired()
+        assert clone.remaining() == pytest.approx(60.0, abs=1.0)
+
+    def test_pickled_expired_deadline_stays_expired(self):
+        clock = TickingClock()
+        deadline = Deadline.after_ms(10, clock)
+        clock.now = 5.0
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.expired()

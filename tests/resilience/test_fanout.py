@@ -1,0 +1,226 @@
+"""The resilient fan-out runner: retries, breakers, hedging, deadlines."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from _clock import TickingClock
+
+from repro.resilience import (
+    BreakerPolicy,
+    Deadline,
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.resilience.fanout import ResilientFanout
+from repro.utils.counters import ThreadSafeCounterSet
+
+
+def fast_policy(**overrides):
+    """A policy whose real sleeps are microscopic, for wall-clock-bound tests."""
+    defaults = dict(
+        retry=RetryPolicy(base_delay_ms=0.1, max_delay_ms=0.5, jitter=0.0),
+        breaker=BreakerPolicy(failure_threshold=3, cooldown_seconds=0.05),
+    )
+    defaults.update(overrides)
+    return ResiliencePolicy(**defaults)
+
+
+class FlakyFn:
+    """Fails the first ``failures`` calls per payload, then succeeds."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self._calls: dict = {}
+        self._lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self._lock:
+            count = self._calls.get(payload, 0)
+            self._calls[payload] = count + 1
+        if count < self.failures:
+            raise RuntimeError(f"transient #{count}")
+        return payload * 10
+
+
+class TestRetries:
+    def test_transient_failures_are_retried_to_success(self):
+        counters = ThreadSafeCounterSet()
+        fanout = ResilientFanout(fast_policy(), task_space=2, counters=counters)
+        try:
+            outcomes = fanout.run(FlakyFn(failures=2), [(0, 1), (1, 2)])
+        finally:
+            fanout.close()
+        assert [outcome.task_id for outcome in outcomes] == [0, 1]
+        assert all(outcome.ok for outcome in outcomes)
+        assert [outcome.result for outcome in outcomes] == [10, 20]
+        assert all(outcome.attempts == 3 for outcome in outcomes)
+        assert counters.as_dict()["shard_retries"] == 4
+
+    def test_exhausted_retries_skip_the_task(self):
+        def always_fail(_payload):
+            raise RuntimeError("permanent")
+
+        fanout = ResilientFanout(fast_policy(), task_space=1)
+        try:
+            [outcome] = fanout.run(always_fail, [(0, None)])
+        finally:
+            fanout.close()
+        assert not outcome.ok
+        assert outcome.skipped_reason == "retries-exhausted"
+        assert outcome.attempts == 3
+        assert "permanent" in outcome.error
+
+    def test_single_task_runs_inline(self):
+        fanout = ResilientFanout(fast_policy(), task_space=1)
+        try:
+            [outcome] = fanout.run(lambda payload: payload + 1, [(0, 41)])
+            assert outcome.ok and outcome.result == 42
+            assert outcome.attempts == 1
+        finally:
+            fanout.close()
+
+    def test_outcomes_follow_task_order_not_completion_order(self):
+        def staggered(payload):
+            time.sleep(0.02 if payload == 0 else 0.0)
+            return payload
+
+        fanout = ResilientFanout(fast_policy(), task_space=4)
+        try:
+            outcomes = fanout.run(staggered, [(index, index) for index in range(4)])
+        finally:
+            fanout.close()
+        assert [outcome.result for outcome in outcomes] == [0, 1, 2, 3]
+
+
+class TestBreakers:
+    def test_open_breaker_skips_without_calling(self):
+        counters = ThreadSafeCounterSet()
+        policy = fast_policy(breaker=BreakerPolicy(failure_threshold=2, cooldown_seconds=60.0))
+        fanout = ResilientFanout(policy, task_space=1, counters=counters)
+        calls = []
+
+        def always_fail(payload):
+            calls.append(payload)
+            raise RuntimeError("down")
+
+        try:
+            [first] = fanout.run(always_fail, [(0, "a")])
+            # Two failures trip the breaker, so the third attempt is shed.
+            assert not first.ok and first.skipped_reason == "breaker-open"
+            calls_after_first = len(calls)
+            assert calls_after_first == 2
+            [second] = fanout.run(always_fail, [(0, "b")])
+        finally:
+            fanout.close()
+        assert second.skipped_reason == "breaker-open"
+        assert len(calls) == calls_after_first  # the open breaker shed the load
+        assert counters.as_dict()["breaker_opens"] >= 1
+        assert counters.as_dict()["breaker_skips"] >= 1
+        assert fanout.breaker_states() == ["open"]
+
+    def test_breakers_are_per_task_id(self):
+        policy = fast_policy(breaker=BreakerPolicy(failure_threshold=1, cooldown_seconds=60.0))
+        fanout = ResilientFanout(policy, task_space=2)
+
+        def fail_shard_zero(payload):
+            if payload == 0:
+                raise RuntimeError("down")
+            return "ok"
+
+        try:
+            fanout.run(fail_shard_zero, [(0, 0), (1, 1)])
+            outcomes = fanout.run(fail_shard_zero, [(0, 0), (1, 1)])
+        finally:
+            fanout.close()
+        assert outcomes[0].skipped_reason == "breaker-open"
+        assert outcomes[1].ok
+        assert fanout.breaker_states() == ["open", "closed"]
+
+    def test_disabled_breaker_always_allows(self):
+        fanout = ResilientFanout(fast_policy(breaker=None), task_space=1)
+        calls = []
+
+        def always_fail(payload):
+            calls.append(payload)
+            raise RuntimeError("down")
+
+        try:
+            fanout.run(always_fail, [(0, None)])
+            fanout.run(always_fail, [(0, None)])
+        finally:
+            fanout.close()
+        assert len(calls) == 6  # 2 queries x 3 attempts, nothing shed
+        assert fanout.breaker_states() == [None]
+
+
+class TestHedging:
+    def test_hedge_wins_over_a_straggling_primary(self):
+        # Delay faults on even call indexes hit only primary attempts; the
+        # hedge (call #1) runs clean and finishes first.
+        plan = FaultPlan(
+            specs=(FaultSpec(key="shard-0", kind="delay", delay_ms=150.0, calls={"every": 2}),)
+        )
+        counters = ThreadSafeCounterSet()
+        policy = fast_policy(hedge_delay_ms=5.0, fault_plan=plan)
+        fanout = ResilientFanout(policy, task_space=1, counters=counters)
+        try:
+            start = time.monotonic()
+            [outcome] = fanout.run(lambda payload: payload, [(0, "fast")])
+            elapsed = time.monotonic() - start
+        finally:
+            fanout.close()
+        assert outcome.ok and outcome.result == "fast"
+        assert elapsed < 0.15  # did not wait out the 150ms straggler
+        assert counters.as_dict()["hedges_launched"] == 1
+        assert counters.as_dict()["hedges_won"] == 1
+
+    def test_no_hedge_is_launched_when_the_primary_is_fast(self):
+        counters = ThreadSafeCounterSet()
+        fanout = ResilientFanout(
+            fast_policy(hedge_delay_ms=50.0), task_space=1, counters=counters
+        )
+        try:
+            [outcome] = fanout.run(lambda payload: payload, [(0, "quick")])
+        finally:
+            fanout.close()
+        assert outcome.ok
+        assert "hedges_launched" not in counters.as_dict()
+
+
+class TestDeadlines:
+    def test_expired_deadline_abandons_before_any_attempt(self):
+        clock = TickingClock()
+        deadline = Deadline.after_ms(10, clock)
+        clock.now = 1.0
+        fanout = ResilientFanout(fast_policy(), task_space=1)
+        calls = []
+        try:
+            [outcome] = fanout.run(calls.append, [(0, "x")], deadline=deadline)
+        finally:
+            fanout.close()
+        assert not outcome.ok
+        assert outcome.skipped_reason == "deadline"
+        assert calls == []
+
+    def test_deadline_cuts_the_retry_loop_short(self):
+        clock = TickingClock()
+        deadline = Deadline.after_ms(50, clock)
+
+        def fail_and_burn(_payload):
+            clock.advance(0.1)  # each attempt burns past the deadline
+            raise RuntimeError("slow failure")
+
+        fanout = ResilientFanout(fast_policy(), task_space=1)
+        try:
+            [outcome] = fanout.run(fail_and_burn, [(0, None)], deadline=deadline)
+        finally:
+            fanout.close()
+        assert not outcome.ok
+        assert outcome.skipped_reason == "deadline"
+        assert outcome.attempts == 1  # no second attempt after expiry

@@ -1,0 +1,128 @@
+"""RetryPolicy backoff determinism and the circuit-breaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from _clock import TickingClock
+
+from repro.resilience import BreakerPolicy, RetryPolicy
+from repro.resilience.retry import CircuitBreaker, seeded_fraction
+
+
+class TestSeededFraction:
+    def test_replays_from_the_seed(self):
+        assert seeded_fraction(7, "shard-0", 1) == seeded_fraction(7, "shard-0", 1)
+
+    def test_varies_with_every_part(self):
+        values = {
+            seeded_fraction(7, "shard-0", 1),
+            seeded_fraction(8, "shard-0", 1),
+            seeded_fraction(7, "shard-1", 1),
+            seeded_fraction(7, "shard-0", 2),
+        }
+        assert len(values) == 4
+
+    def test_stays_in_the_unit_interval(self):
+        for index in range(100):
+            assert 0.0 <= seeded_fraction(0, "key", index) < 1.0
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay_ms=10, multiplier=2, max_delay_ms=1000, jitter=0.0)
+        assert [policy.backoff_ms(a) for a in range(4)] == [10, 20, 40, 80]
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(base_delay_ms=10, multiplier=10, max_delay_ms=50, jitter=0.0)
+        assert policy.backoff_ms(5) == 50
+
+    def test_jitter_shrinks_but_never_inflates_the_delay(self):
+        policy = RetryPolicy(base_delay_ms=100, multiplier=1, max_delay_ms=100, jitter=0.5)
+        for attempt in range(20):
+            delay = policy.backoff_ms(attempt, key="shard-3")
+            assert 50.0 <= delay <= 100.0
+
+    def test_schedule_is_deterministic_per_key(self):
+        policy = RetryPolicy(seed=42)
+        first = [policy.backoff_ms(a, key="shard-1") for a in range(3)]
+        second = [policy.backoff_ms(a, key="shard-1") for a in range(3)]
+        assert first == second
+        assert first != [policy.backoff_ms(a, key="shard-2") for a in range(3)]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_ms": -1},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_negative_attempt_is_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_ms(-1)
+
+
+class TestCircuitBreaker:
+    def make(self, threshold=2, cooldown=10.0):
+        clock = TickingClock()
+        breaker = BreakerPolicy(failure_threshold=threshold, cooldown_seconds=cooldown).make(clock)
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _clock = self.make(threshold=2)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _clock = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.now = 5.0
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # a second concurrent call is rejected
+
+    def test_probe_success_closes_the_breaker(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        breaker, clock = self.make(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 5.0
+        assert breaker.allow()
+        breaker.record_failure()  # probe failed: re-open even below the threshold
+        assert not breaker.allow()
+        clock.now = 9.9
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()
+
+    @pytest.mark.parametrize("kwargs", [{"failure_threshold": 0}, {"cooldown_seconds": -1}])
+    def test_invalid_breaker_policies_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerPolicy(**kwargs)

@@ -1,0 +1,37 @@
+"""Atomic text writes: the crash-safety primitive under snapshots + manifests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.utils.fileio import write_text_atomic
+
+
+class TestWriteTextAtomic:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "doc.json"
+        write_text_atomic(target, "first")
+        assert target.read_text(encoding="utf-8") == "first"
+        write_text_atomic(target, "second")
+        assert target.read_text(encoding="utf-8") == "second"
+
+    def test_leaves_no_temp_files_behind(self, tmp_path):
+        write_text_atomic(tmp_path / "doc.json", "payload")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+    def test_a_failed_write_preserves_the_old_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "doc.json"
+        write_text_atomic(target, "good")
+
+        # Fail at the final rename: the target must keep its old content and
+        # the orphaned temp file must be cleaned up.
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_text_atomic(target, "bad")
+        assert target.read_text(encoding="utf-8") == "good"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
