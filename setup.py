@@ -17,4 +17,8 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # The matching kernels (repro/kernels/) vectorize the hot loops with
+    # numpy; the scalar reference implementation remains as the differential
+    # test oracle and the fallback for degenerate inputs.
+    install_requires=["numpy>=1.22"],
 )

@@ -281,6 +281,23 @@ def _load_service_argument(args: argparse.Namespace):
     )
 
 
+def _close_service(service) -> None:
+    """Release what a CLI-owned service holds on the way out.
+
+    The sharded ``close()`` stops fan-out pools and unpublishes shared-memory
+    segments; the task executor the CLI created in :func:`_make_executor` is
+    shut down explicitly — a process pool left to interpreter teardown races
+    concurrent.futures' atexit hook into spurious fd errors on stderr.
+    """
+    close = getattr(service, "close", None)
+    if callable(close):
+        close()
+    task_executor = getattr(service, "_task_executor", None)
+    executor = task_executor() if callable(task_executor) else getattr(service, "executor", None)
+    if executor is not None:
+        executor.close()
+
+
 def _personal_schema_from_spec(spec, name: str = "personal"):
     from repro.api.dispatch import personal_schema_from_spec
 
@@ -340,6 +357,13 @@ def _command_query(args: argparse.Namespace) -> int:
         raise ReproError(f"top must be non-negative, got {args.top}")
     deadline_kwargs = _deadline_kwargs(args)
     service = _load_service_argument(args)
+    try:
+        return _run_query(service, args, deadline_kwargs)
+    finally:
+        _close_service(service)
+
+
+def _run_query(service, args: argparse.Namespace, deadline_kwargs) -> int:
     if args.batch:
         schemas = _load_batch_file(args.batch)
         results = _match_many(service, schemas, args.delta, args.top_k, deadline_kwargs)
@@ -462,6 +486,13 @@ def _command_serve(args: argparse.Namespace) -> int:
     executing at once, and SIGINT/SIGTERM shut the server down gracefully.
     """
     service = _load_service_argument(args)
+    try:
+        return _run_serve(service, args)
+    finally:
+        _close_service(service)
+
+
+def _run_serve(service, args: argparse.Namespace) -> int:
     if args.port is not None:
         from repro.api.server import run_server
 

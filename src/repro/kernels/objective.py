@@ -1,0 +1,82 @@
+"""Packed evaluation table for the branch-and-bound ``fast_bound``.
+
+``TreeSearchContext.bound`` is the single hottest call of a mapping search —
+one evaluation per search-tree node.  For :class:`BellflowerObjective` the
+bound is::
+
+    alpha * clamp(optimistic_similarity / node_count)
+    + (1 - alpha) * path_similarity(schema, partial_edge_count)
+
+Only the last term depends on the (integer) partial edge count, and a search
+over one personal schema asks for a small, dense range of edge counts, so the
+whole ``(1 - alpha) * path_similarity(schema, e)`` family is precomputed into
+a packed ``array('d')`` indexed by ``e`` and the per-node work collapses to a
+multiply, a clamp, an add and one table load.
+
+Bit-identity: every float operation is performed in the same order as
+``fast_bound`` — the table entry is literally ``(1 - alpha) *
+path_similarity(schema, e)`` (the same two Python expressions), and the
+``alpha * clamp(sim) + term`` combination matches ``fast_bound``'s final
+expression because float addition of the two products is performed on
+identical operands.  The differential suite in ``tests/kernels/`` pins this.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.schema.tree import SchemaTree
+
+
+class PackedBoundTable:
+    """Precomputed ``fast_bound`` terms for one objective × personal schema."""
+
+    __slots__ = ("alpha", "node_count", "_terms", "_term_at")
+
+    def __init__(self, alpha: float, node_count: int, term_at) -> None:
+        self.alpha = alpha
+        self.node_count = node_count
+        self._terms = array("d")
+        self._term_at = term_at
+
+    def bound(self, optimistic_similarity: float, partial_target_edge_count: int) -> float:
+        """``fast_bound(schema, assigned, remaining, e)`` with the totals pre-added."""
+        terms = self._terms
+        if partial_target_edge_count >= len(terms):
+            term_at = self._term_at
+            for edge_count in range(len(terms), partial_target_edge_count + 1):
+                terms.append(term_at(edge_count))
+        sim_bound = optimistic_similarity / self.node_count
+        if sim_bound < 0.0:
+            sim_bound = 0.0
+        elif sim_bound > 1.0:
+            sim_bound = 1.0
+        return self.alpha * sim_bound + terms[partial_target_edge_count]
+
+
+def bellflower_bound_table(objective, personal_schema: SchemaTree):
+    """Build a :class:`PackedBoundTable` for a Bellflower-family objective.
+
+    Returns ``None`` when a subclass overrides the pieces the table bakes in
+    (``fast_bound`` or ``path_similarity``) — the generic per-call path must
+    win in that case — or when the schema is empty (``fast_bound`` special-
+    cases ``node_count == 0``).
+    """
+    from repro.objective.bellflower import BellflowerObjective
+
+    cls = type(objective)
+    if (
+        cls.fast_bound is not BellflowerObjective.fast_bound
+        or cls.path_similarity is not BellflowerObjective.path_similarity
+    ):
+        return None
+    node_count = personal_schema.node_count
+    if node_count == 0:
+        return None
+    alpha = objective.alpha
+    path_weight = 1.0 - alpha
+
+    def term_at(edge_count: int) -> float:
+        return path_weight * objective.path_similarity(personal_schema, edge_count)
+
+    return PackedBoundTable(alpha, node_count, term_at)

@@ -48,12 +48,15 @@ class SparseTable:
         if len(values) == 0:
             raise LabelingError("cannot rebuild a sparse table over an empty sequence")
         instance = cls.__new__(cls)
-        instance._values = list(values)
+        # Adopt list inputs, keep everything else (array('i') buffers, range
+        # for the identity level) live — argmin/minimum only ever index and
+        # len() them, and copying per-integer would defeat the packed loaders.
+        instance._values = values if not isinstance(values, list) else list(values)
         size = len(instance._values)
         instance._log = [0] * (size + 1)
         for i in range(2, size + 1):
             instance._log[i] = instance._log[i // 2] + 1
-        instance._table = [list(row) for row in table]
+        instance._table = [row if not isinstance(row, list) else list(row) for row in table]
         if len(instance._table) != instance._log[size] + 1:
             raise LabelingError(
                 f"serialized sparse table has {len(instance._table)} levels, "

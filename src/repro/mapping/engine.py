@@ -211,6 +211,7 @@ class TreeSearchContext:
         "best_similarity",
         "remaining_totals",
         "_remaining_maps",
+        "_bound_table",
     )
 
     def __init__(
@@ -239,6 +240,9 @@ class TreeSearchContext:
         # eagerly would be dead weight on every default-configuration search,
         # so they materialize on first use.
         self._remaining_maps: Optional[List[Dict[int, float]]] = None
+        # Packed fast_bound table (repro.kernels.objective); None when the
+        # objective declines, in which case fast_bound/bound run per call.
+        self._bound_table = problem.objective.bound_table(problem.personal_schema)
 
     def remaining_map(self, level: int) -> Dict[int, float]:
         """Best remaining per-node similarities for ``order[level:]`` (lazy)."""
@@ -261,6 +265,14 @@ class TreeSearchContext:
     ) -> float:
         """Admissible bound for a partial assignment covering ``order[:level]``."""
         result.counters.increment("bound_evaluations")
+        table = self._bound_table
+        if table is not None:
+            # Same operands, same operation order as fast_bound — the packed
+            # table only hoists the per-edge-count path term (tests/kernels
+            # pins bit-identity).
+            return table.bound(
+                assigned_similarity + self.remaining_totals[level], edge_count
+            )
         objective = self.problem.objective
         fast = objective.fast_bound(
             self.problem.personal_schema,

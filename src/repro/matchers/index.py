@@ -270,6 +270,36 @@ class RepositoryNameIndex:
                 ids[ref.global_id] = name_id
         return ids
 
+    def packed_name_table(self):
+        """Lazily built code-point matrix of the keys for the batch DL kernel.
+
+        ``None`` when the kernel cannot be used (no numpy, an over-long or
+        unencodable key).  Index instances are immutable snapshots, so the
+        table is built at most once; incremental clones
+        (:meth:`with_tree_added` / :meth:`with_tree_removed`) start without
+        one and rebuild lazily against their own key list.
+        """
+        packed = getattr(self, "_packed_names", None)
+        if packed is None:
+            from repro.kernels.strings import PackedNameTable
+
+            built = PackedNameTable.build(self.keys)
+            # Cache the failure too (False) so unsupported key sets do not
+            # retry the packing scan on every query.
+            packed = self._packed_names = built if built is not None else False
+        return packed or None
+
+    # -- pickling -----------------------------------------------------------------
+    # Name indexes travel inside snapshots and (rarely) pickled repositories;
+    # the packed matrix is derived state and rebuilds lazily, so it never
+    # rides along (numpy arrays would bloat the payload and tie the wire
+    # format to numpy's).
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_packed_names", None)
+        return state
+
     # -- blocking persistence ----------------------------------------------------
 
     def ensure_blocking(self) -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import MatcherError
+from repro.kernels.strings import batch_fuzzy_scores
 from repro.matchers.base import BatchElementMatcher, MatchContext
 from repro.matchers.index import LRUMemo, RepositoryNameIndex
 from repro.matchers.string_metrics import _ngrams, fuzzy_similarity, ngram_similarity
@@ -111,15 +112,21 @@ class FuzzyNameMatcher(BatchElementMatcher):
 
         candidate_ids, pruned_pairs = index.fuzzy_candidates(query, threshold)
         keys = index.keys
-        scores: Dict[int, float] = {}
-        kernel_runs = 0
-        for name_id in candidate_ids:
-            kernel_runs += 1
-            score = fuzzy_similarity(
-                query, keys[name_id], case_sensitive=True, min_similarity=threshold
-            )
-            if score > 0.0:
-                scores[name_id] = score
+        kernel_runs = len(candidate_ids)
+        # The vectorized kernel scores all survivors in one DP sweep; it is
+        # bit-identical to the scalar loop (tests/kernels pins this) and
+        # declines — returning None — for tiny batches or unusual inputs.
+        scores = batch_fuzzy_scores(
+            query, index.packed_name_table(), candidate_ids, threshold
+        )
+        if scores is None:
+            scores = {}
+            for name_id in candidate_ids:
+                score = fuzzy_similarity(
+                    query, keys[name_id], case_sensitive=True, min_similarity=threshold
+                )
+                if score > 0.0:
+                    scores[name_id] = score
         if counters is not None:
             counters.increment("comparisons_pruned", pruned_pairs)
             counters.increment("index_hits", index.node_count - pruned_pairs - kernel_runs)

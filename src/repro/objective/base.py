@@ -84,6 +84,20 @@ class ObjectiveFunction(abc.ABC):
         """
         return None
 
+    def bound_table(self, personal_schema: SchemaTree):
+        """Packed per-search evaluation table, or ``None`` when unsupported.
+
+        Objectives whose :meth:`fast_bound` depends on the integer partial
+        edge count only through a precomputable per-edge-count term can return
+        a table object with a ``bound(optimistic_similarity,
+        partial_target_edge_count)`` method (see
+        :class:`repro.kernels.objective.PackedBoundTable`).  The engine builds
+        one table per search context and calls it in place of
+        :meth:`fast_bound`; the table must return exactly the value
+        :meth:`fast_bound` (and therefore :meth:`bound`) would compute.
+        """
+        return None
+
     @abc.abstractmethod
     def bound(
         self,

@@ -139,6 +139,16 @@ class BellflowerObjective(ObjectiveFunction):
         path_bound = self.path_similarity(personal_schema, partial_target_edge_count)
         return self.alpha * _clamp_unit(sim_bound) + (1.0 - self.alpha) * path_bound
 
+    def bound_table(self, personal_schema: SchemaTree):
+        """Packed per-edge-count table of :meth:`fast_bound`'s path term.
+
+        Declines (``None``) for subclasses that override the baked-in pieces;
+        see :func:`repro.kernels.objective.bellflower_bound_table`.
+        """
+        from repro.kernels.objective import bellflower_bound_table
+
+        return bellflower_bound_table(self, personal_schema)
+
 
 class NameOnlyObjective(BellflowerObjective):
     """Δ = Δsim: the degenerate α = 1 case, used in ablations and tests."""

@@ -1,0 +1,455 @@
+"""Shared-memory repository views for process-pool workers.
+
+The process executor's historical cost was the payload: every per-cluster (or
+per-shard) task pickled the repository and distance-oracle tables into the
+worker, where they were rebuilt into Python objects — for a large repository
+that copy dwarfed the search it was shipped to run.  This module publishes a
+service's repository and derived state **once** into a
+:mod:`multiprocessing.shared_memory` segment; workers *attach* to the segment
+(a page-table mapping, not a copy) and rebuild live views lazily, caching the
+heavy parts per segment so every subsequent task in the same worker reuses
+them.
+
+Segment layout
+--------------
+::
+
+    [8 bytes little-endian header length][JSON header][raw int32 data region]
+
+The header is exactly the snapshot document of
+:func:`repro.service.snapshot.service_to_snapshot_dict`, serialized with a
+``pack`` codec that appends each flat int sequence to the raw data region and
+leaves a ``{"__shm__": [offset, count]}`` descriptor in its place.  Attaching
+inverts the codec: each descriptor becomes a live ``array('i')`` copied out of
+the mapped region (the dominant cost — base64 decode — is gone, and the JSON
+header is small because every bulk sequence lives in the raw region).
+
+Attach vs. copy
+---------------
+Publishing is *opt-in* (:meth:`MatchingService.share_memory
+<repro.service.service.MatchingService.share_memory>`).  While a service has
+a live, version-matched view, pickling redirects:
+
+* pickling its :class:`~repro.labeling.distance.RepositoryDistanceOracle`
+  (what every per-cluster :class:`~repro.mapping.model.MappingProblem`
+  carries) yields ``_attach_repository_oracle(segment_name)`` — the worker
+  gets the prototype's fully built oracle over the shared repository;
+* pickling the whole service (what every shard fan-out task carries) yields
+  ``_attach_shared_service(segment_name)`` — the worker builds a *fresh*
+  service wrapper (fresh matcher memos, fresh counters, fresh query cache —
+  exactly the state a conventionally unpickled copy would have, keeping the
+  per-chunk counters deterministic) around the cached heavy parts.
+
+Without a view — or when the repository has mutated since ``share_memory()``
+— pickling falls back to the plain copy path unchanged.  Mutations through
+the service (:meth:`add_tree`/:meth:`remove_tree`) unpublish eagerly; the
+server's read/write lock keeps mutations out of in-flight query windows.
+
+Lifecycle
+---------
+The publishing process owns the segment: ``close()`` unmaps and unlinks it,
+and an ``atexit`` hook unlinks anything still published at interpreter exit.
+Pool workers attach read-only through the tracker they inherit from the
+publisher's process tree, so their attachments deduplicate against the
+publisher's own registration and a crashed worker never destroys the segment.
+An *unrelated* attaching process (its own tracker) additionally deregisters
+its attachment — on this Python version the tracker would otherwise unlink
+the publisher's segment when that process exits.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import multiprocessing
+import struct
+import sys
+import threading
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError, ReproError
+
+_HEADER_STRUCT = struct.Struct("<Q")
+
+#: Key of a packed-buffer descriptor inside the shared-segment header.
+_DESCRIPTOR_KEY = "__shm__"
+
+
+class _BufferPacker:
+    """``pack`` codec: append int32 bytes to one region, emit descriptors."""
+
+    def __init__(self) -> None:
+        self._chunks: list = []
+        self._offset = 0
+
+    def __call__(self, values) -> Dict[str, Any]:
+        buffer = array("i", values)
+        if sys.byteorder == "big":  # pragma: no cover - x86/arm are little-endian
+            buffer.byteswap()
+        raw = buffer.tobytes()
+        descriptor = {_DESCRIPTOR_KEY: [self._offset, len(buffer)]}
+        self._chunks.append(raw)
+        self._offset += len(raw)
+        return descriptor
+
+    def data(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class _BufferUnpacker:
+    """``unpack`` codec: resolve descriptors against the mapped data region."""
+
+    def __init__(self, view: memoryview) -> None:
+        self._view = view
+
+    def __call__(self, descriptor: Dict[str, Any]) -> array:
+        offset, count = descriptor[_DESCRIPTOR_KEY]
+        buffer = array("i")
+        buffer.frombytes(self._view[offset : offset + 4 * count].tobytes())
+        if sys.byteorder == "big":  # pragma: no cover - x86/arm are little-endian
+            buffer.byteswap()
+        return buffer
+
+
+#: Segments created by this process, for the atexit sweep.
+_PUBLISHED: Dict[str, shared_memory.SharedMemory] = {}
+_PUBLISHED_LOCK = threading.Lock()
+
+
+def _cleanup_published() -> None:  # pragma: no cover - interpreter teardown
+    with _PUBLISHED_LOCK:
+        segments = list(_PUBLISHED.values())
+        _PUBLISHED.clear()
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_published)
+
+
+def _objective_config(objective) -> Optional[Dict[str, Any]]:
+    """Reconstructible descriptor of a bundled objective, else ``None``.
+
+    Exact type checks: a subclass may override scoring, so it must refuse.
+    """
+    from repro.objective.bellflower import (
+        BellflowerObjective,
+        NameOnlyObjective,
+        PathOnlyObjective,
+    )
+
+    if type(objective) is BellflowerObjective:
+        return {
+            "type": "bellflower",
+            "alpha": objective.alpha,
+            "path_normalization": objective.path_normalization,
+        }
+    if type(objective) is NameOnlyObjective:
+        return {"type": "name-only"}
+    if type(objective) is PathOnlyObjective:
+        return {"type": "path-only", "path_normalization": objective.path_normalization}
+    return None
+
+
+def _objective_from_config(config: Dict[str, Any]):
+    from repro.objective.bellflower import (
+        BellflowerObjective,
+        NameOnlyObjective,
+        PathOnlyObjective,
+    )
+
+    kind = config.get("type")
+    if kind == "bellflower":
+        return BellflowerObjective(
+            alpha=float(config["alpha"]),
+            path_normalization=float(config["path_normalization"]),
+        )
+    if kind == "name-only":
+        return NameOnlyObjective()
+    if kind == "path-only":
+        return PathOnlyObjective(path_normalization=float(config["path_normalization"]))
+    raise ReproError(f"shared segment names an unknown objective type {kind!r}")
+
+
+def _generator_config(generator) -> Optional[Dict[str, Any]]:
+    """Reconstructible descriptor of a bundled mapping generator, else ``None``."""
+    from repro.mapping.astar import AStarGenerator
+    from repro.mapping.beam import BeamSearchGenerator
+    from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+    from repro.mapping.exhaustive import ExhaustiveGenerator
+
+    if type(generator) is BranchAndBoundGenerator:
+        return {"type": "branch-and-bound", "use_bounding": generator.use_bounding}
+    if type(generator) is AStarGenerator:
+        return {"type": "astar", "max_expansions": generator.max_expansions}
+    if type(generator) is BeamSearchGenerator:
+        return {"type": "beam", "beam_width": generator.beam_width}
+    if type(generator) is ExhaustiveGenerator:
+        return {"type": "exhaustive"}
+    return None
+
+
+def _generator_from_config(config: Dict[str, Any]):
+    from repro.mapping.astar import AStarGenerator
+    from repro.mapping.beam import BeamSearchGenerator
+    from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+    from repro.mapping.exhaustive import ExhaustiveGenerator
+
+    kind = config.get("type")
+    if kind == "branch-and-bound":
+        return BranchAndBoundGenerator(use_bounding=bool(config["use_bounding"]))
+    if kind == "astar":
+        budget = config.get("max_expansions")
+        return AStarGenerator(max_expansions=None if budget is None else int(budget))
+    if kind == "beam":
+        return BeamSearchGenerator(beam_width=int(config["beam_width"]))
+    if kind == "exhaustive":
+        return ExhaustiveGenerator()
+    raise ReproError(f"shared segment names an unknown generator type {kind!r}")
+
+
+class SharedMemoryRepositoryView:
+    """A published repository + derived state, owned by the serving process."""
+
+    def __init__(
+        self, segment: shared_memory.SharedMemory, repository_version: int
+    ) -> None:
+        self._segment = segment
+        self.name = segment.name
+        self.repository_version = repository_version
+        self.stale = False
+
+    @classmethod
+    def publish(cls, service) -> "SharedMemoryRepositoryView":
+        """Serialize ``service`` into a fresh shared-memory segment.
+
+        Refuses configurations whose behaviour a descriptor cannot carry
+        (custom matchers, clusterers, objectives or generators): silently
+        substituting defaults in the workers would change results.
+        """
+        from repro.service.snapshot import _matcher_config, service_to_snapshot_dict
+
+        if _matcher_config(service.matcher) is None:
+            raise ConfigurationError(
+                "share_memory() requires a bundled matcher "
+                "(custom matcher objects cannot be reconstructed by workers)"
+            )
+        if service.variant_name is None:
+            raise ConfigurationError(
+                "share_memory() requires a named clustering variant or the "
+                "default partition clusterer (custom clusterers cannot be "
+                "reconstructed by workers)"
+            )
+        objective_config = _objective_config(service.system.objective)
+        if objective_config is None:
+            raise ConfigurationError(
+                "share_memory() requires a bundled objective function "
+                "(custom objectives cannot be reconstructed by workers)"
+            )
+        generator_config = _generator_config(service.system.generator)
+        if generator_config is None:
+            raise ConfigurationError(
+                "share_memory() requires a bundled mapping generator "
+                "(custom generators cannot be reconstructed by workers)"
+            )
+
+        packer = _BufferPacker()
+        payload = service_to_snapshot_dict(service, build=True, pack=packer)
+        payload["shared"] = {
+            "objective": objective_config,
+            "generator": generator_config,
+        }
+        header = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        data = packer.data()
+        total = _HEADER_STRUCT.size + len(header) + len(data)
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        try:
+            segment.buf[: _HEADER_STRUCT.size] = _HEADER_STRUCT.pack(len(header))
+            start = _HEADER_STRUCT.size
+            segment.buf[start : start + len(header)] = header
+            start += len(header)
+            segment.buf[start : start + len(data)] = data
+        except Exception:
+            segment.close()
+            segment.unlink()
+            raise
+        with _PUBLISHED_LOCK:
+            _PUBLISHED[segment.name] = segment
+        return cls(segment, getattr(service.repository, "version", 0))
+
+    @property
+    def size_bytes(self) -> int:
+        return self._segment.size
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self.stale:
+            return
+        self.stale = True
+        with _PUBLISHED_LOCK:
+            _PUBLISHED.pop(self.name, None)
+        try:
+            self._segment.close()
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedMemoryRepositoryView(name={self.name!r}, "
+            f"size={self.size_bytes}, stale={self.stale})"
+        )
+
+
+class _AttachedSegment:
+    """Worker-side cache of the heavy parts rebuilt from one segment."""
+
+    __slots__ = ("prototype", "shared_config")
+
+    def __init__(self, prototype, shared_config: Dict[str, Any]) -> None:
+        self.prototype = prototype
+        self.shared_config = shared_config
+
+
+_ATTACHED: Dict[str, _AttachedSegment] = {}
+_ATTACH_LOCK = threading.Lock()
+
+#: Whether this process shares its resource tracker with a parent process
+#: (decided once, *before* our first attach spawns a tracker of our own).
+_TRACKER_INHERITED: Optional[bool] = None
+
+
+def _tracker_is_inherited() -> bool:
+    """True when this process inherited a running resource tracker.
+
+    Fork children started after the tracker exists — and spawn children, which
+    receive the tracker fd during bootstrap — share the publisher tree's
+    tracker, where the segment registration is deduplicated against (and owned
+    by) the publisher's own entry.  A process whose tracker only starts with
+    our first attach owns that tracker outright.  Must be called before the
+    first ``SharedMemory`` attach, which is why the result is cached.
+    """
+    global _TRACKER_INHERITED
+    if _TRACKER_INHERITED is None:
+        tracker_fd = getattr(resource_tracker._resource_tracker, "_fd", None)  # type: ignore[attr-defined]
+        _TRACKER_INHERITED = (
+            multiprocessing.parent_process() is not None and tracker_fd is not None
+        )
+    return _TRACKER_INHERITED
+
+
+def _load_segment(name: str) -> _AttachedSegment:
+    """Attach to a segment and rebuild its prototype service (cached)."""
+    with _ATTACH_LOCK:
+        cached = _ATTACHED.get(name)
+        if cached is not None:
+            return cached
+        from repro.service.snapshot import snapshot_to_service
+
+        shared_tracker = _tracker_is_inherited()  # must precede the attach
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError as exc:
+            raise ReproError(
+                f"shared repository segment {name!r} is gone (unpublished or "
+                "the owning service exited); re-run the query"
+            ) from exc
+        with _PUBLISHED_LOCK:
+            is_owner = name in _PUBLISHED
+        if not is_owner and not shared_tracker:
+            try:
+                # On this Python version attaching registers the segment with
+                # our own resource tracker, which would unlink the publisher's
+                # segment when this process exits; deregister the attachment.
+                # Processes sharing the publisher tree's tracker must NOT do
+                # this — there the registration deduplicated against the
+                # publisher's own entry, which close()/unlink() removes.
+                resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+            except Exception:  # pragma: no cover - tracker internals vary
+                pass
+        try:
+            (header_length,) = _HEADER_STRUCT.unpack_from(segment.buf, 0)
+            start = _HEADER_STRUCT.size
+            header = bytes(segment.buf[start : start + header_length])
+            payload = json.loads(header.decode("utf-8"))
+            data_view = segment.buf[start + header_length :]
+            unpacker = _BufferUnpacker(data_view)
+            shared_config = payload.get("shared", {})
+            prototype = snapshot_to_service(
+                payload,
+                objective=_objective_from_config(shared_config["objective"]),
+                generator=_generator_from_config(shared_config["generator"]),
+                unpack=unpacker,
+            )
+        finally:
+            # Every descriptor was copied into a private array('i'); release
+            # the exported memoryview so the segment can be closed.  The
+            # mapping itself stays open for the worker's lifetime (the cache
+            # entry keeps the rebuilt state, not the raw pages).
+            try:
+                data_view.release()
+            except UnboundLocalError:  # pragma: no cover - header parse failed
+                pass
+            segment.close()
+        attached = _AttachedSegment(prototype, shared_config)
+        _ATTACHED[name] = attached
+        return attached
+
+
+def _fresh_service(attached: _AttachedSegment):
+    """A fresh service wrapper over the cached heavy parts.
+
+    Mirrors what a conventional unpickle hands a worker: the shared
+    repository (with its installed name indexes), the prototype's fully built
+    distance oracle and partition — all read-only during queries — wrapped in
+    a brand-new :class:`MatchingService` with empty matcher memos, counters
+    and query cache, so per-chunk counter semantics are identical to the
+    copy path.
+    """
+    from repro.service.partition import PartitionClusterer
+    from repro.service.service import MatchingService
+    from repro.service.snapshot import _matcher_config, _matcher_from_config
+
+    prototype = attached.prototype
+    kwargs: Dict[str, Any] = {}
+    if prototype.partition is not None:
+        kwargs["clusterer"] = PartitionClusterer(prototype.partition)
+    else:
+        kwargs["variant"] = prototype.variant_name
+    service = MatchingService(
+        prototype.repository,
+        matcher=_matcher_from_config(_matcher_config(prototype.matcher)),
+        objective=_objective_from_config(attached.shared_config["objective"]),
+        generator=_generator_from_config(attached.shared_config["generator"]),
+        element_threshold=prototype.element_threshold,
+        delta=prototype.delta,
+        use_batch_matching=prototype.system.use_batch_matching,
+        executor=None,
+        query_cache_size=prototype.query_cache_size,
+        **kwargs,
+    )
+    for tree_id in prototype.oracle.built_tree_ids():
+        service.oracle.install(tree_id, prototype.oracle.oracle(tree_id))
+    return service
+
+
+def _attach_repository_oracle(name: str):
+    """Pickle target for a redirected :class:`RepositoryDistanceOracle`."""
+    return _load_segment(name).prototype.oracle
+
+
+def _attach_shared_service(name: str):
+    """Pickle target for a redirected :class:`MatchingService`."""
+    return _fresh_service(_load_segment(name))
+
+
+def attached_segment_names() -> list:
+    """Names of segments this process has attached to (tests/diagnostics)."""
+    with _ATTACH_LOCK:
+        return sorted(_ATTACHED)

@@ -1,0 +1,218 @@
+"""Differential tests: the packed bound table vs ``fast_bound`` / ``bound``.
+
+The table bakes ``(1 - alpha) * path_similarity(schema, e)`` per edge count
+and must reproduce ``fast_bound`` bit for bit — the search engine consults it
+on every expansion, so a single differing ulp could change which branches are
+pruned and therefore the produced ranking.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.objective import PackedBoundTable, bellflower_bound_table
+from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+from repro.mapping.model import MappingProblem
+from repro.objective.bellflower import (
+    BellflowerObjective,
+    NameOnlyObjective,
+    PathOnlyObjective,
+)
+from repro.schema.builder import TreeBuilder
+
+
+def chain_schema(node_count: int):
+    builder = TreeBuilder(f"chain-{node_count}")
+    node = builder.root("n0")
+    for i in range(1, node_count):
+        node = builder.child(node, f"n{i}")
+    return builder.build()
+
+
+def bits(value: float) -> bytes:
+    return struct.pack("<d", value)
+
+
+alphas = st.sampled_from([0.0, 0.1, 0.25, 0.5, 0.6180339887, 0.75, 1.0])
+normalizations = st.sampled_from([0.5, 1.0, 3.0, 4.0, 10.0])
+similarities = st.floats(min_value=-2.0, max_value=20.0, allow_nan=False, width=64)
+
+
+@given(
+    alphas,
+    normalizations,
+    st.integers(min_value=1, max_value=9),
+    similarities,
+    similarities,
+    st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=400, deadline=None)
+def test_table_bound_bit_identical_to_fast_bound(
+    alpha, normalization, node_count, assigned, remaining, edge_count
+):
+    schema = chain_schema(node_count)
+    objective = BellflowerObjective(alpha=alpha, path_normalization=normalization)
+    table = objective.bound_table(schema)
+    assert table is not None
+    expected = objective.fast_bound(schema, assigned, remaining, edge_count)
+    actual = table.bound(assigned + remaining, edge_count)
+    assert bits(actual) == bits(expected)
+
+
+@given(
+    alphas,
+    st.integers(min_value=2, max_value=6),
+    st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=20),
+)
+@settings(max_examples=200, deadline=None)
+def test_table_lazy_extension_is_order_independent(alpha, node_count, edge_counts):
+    """Asking for edge counts in any order yields the same entries as ascending."""
+    schema = chain_schema(node_count)
+    objective = BellflowerObjective(alpha=alpha)
+    shuffled = objective.bound_table(schema)
+    ascending = objective.bound_table(schema)
+    for edge_count in edge_counts:
+        assert bits(shuffled.bound(1.0, edge_count)) == bits(
+            objective.fast_bound(schema, 1.0, 0.0, edge_count)
+        )
+    for edge_count in sorted(edge_counts):
+        assert bits(ascending.bound(1.0, edge_count)) == bits(
+            objective.fast_bound(schema, 1.0, 0.0, edge_count)
+        )
+
+
+def test_table_clamps_similarity_like_fast_bound():
+    schema = chain_schema(3)
+    objective = BellflowerObjective(alpha=0.7)
+    table = objective.bound_table(schema)
+    # above the unit interval: optimistic similarity 10 over 3 nodes
+    assert bits(table.bound(10.0, 2)) == bits(objective.fast_bound(schema, 10.0, 0.0, 2))
+    # below it: negative optimistic similarity
+    assert bits(table.bound(-1.0, 2)) == bits(objective.fast_bound(schema, -1.0, 0.0, 2))
+    # clamp boundaries are exact
+    assert bits(table.bound(3.0, 2)) == bits(objective.fast_bound(schema, 3.0, 0.0, 2))
+    assert bits(table.bound(0.0, 2)) == bits(objective.fast_bound(schema, 0.0, 0.0, 2))
+
+
+def test_table_single_node_schema_path_term_is_trivial():
+    schema = chain_schema(1)
+    objective = BellflowerObjective(alpha=0.5)
+    table = objective.bound_table(schema)
+    for edge_count in (0, 1, 5):
+        assert bits(table.bound(0.5, edge_count)) == bits(
+            objective.fast_bound(schema, 0.5, 0.0, edge_count)
+        )
+
+
+def test_name_only_and_path_only_objectives_get_tables():
+    schema = chain_schema(4)
+    for objective in (NameOnlyObjective(), PathOnlyObjective(path_normalization=2.0)):
+        table = objective.bound_table(schema)
+        assert table is not None
+        for edge_count in range(8):
+            assert bits(table.bound(2.5, edge_count)) == bits(
+                objective.fast_bound(schema, 2.5, 0.0, edge_count)
+            )
+
+
+def test_subclass_overriding_fast_bound_declines():
+    class LooserBound(BellflowerObjective):
+        def fast_bound(self, schema, assigned, remaining, edge_count):
+            return 1.0
+
+    assert LooserBound().bound_table(chain_schema(3)) is None
+    assert bellflower_bound_table(LooserBound(), chain_schema(3)) is None
+
+
+def test_subclass_overriding_path_similarity_declines():
+    class CustomPath(BellflowerObjective):
+        def path_similarity(self, schema, target_edge_count):
+            return 0.5
+
+    assert CustomPath().bound_table(chain_schema(3)) is None
+
+
+def test_plain_subclass_inheriting_both_pieces_gets_a_table():
+    class Renamed(BellflowerObjective):
+        pass
+
+    schema = chain_schema(3)
+    objective = Renamed(alpha=0.3)
+    table = objective.bound_table(schema)
+    assert table is not None
+    assert bits(table.bound(1.5, 4)) == bits(objective.fast_bound(schema, 1.5, 0.0, 4))
+
+
+def test_empty_schema_declines():
+    class EmptySchema:
+        node_count = 0
+        edge_count = 0
+
+    assert bellflower_bound_table(BellflowerObjective(), EmptySchema()) is None
+
+
+def test_base_objective_hook_returns_none_by_default():
+    from repro.objective.base import ObjectiveFunction
+
+    class Minimal(ObjectiveFunction):
+        name = "minimal"
+
+        def evaluate(self, personal_schema, assignment, target_edge_count):
+            raise NotImplementedError
+
+        def bound(self, personal_schema, assignment, best_remaining_similarity, partial_target_edge_count):
+            raise NotImplementedError
+
+    assert Minimal().bound_table(chain_schema(2)) is None
+
+
+def test_packed_table_golden_terms():
+    # alpha = 0.5, K = 4, chain of 4 nodes (3 edges): term(e) =
+    # 0.5 * clamp(1 - (e - 3) / 12).  Pin a few exact values.
+    schema = chain_schema(4)
+    objective = BellflowerObjective(alpha=0.5, path_normalization=4.0)
+    table = objective.bound_table(schema)
+    assert isinstance(table, PackedBoundTable)
+    assert table.bound(0.0, 3) == 0.5  # path term alone, undistorted subtree
+    assert table.bound(0.0, 15) == 0.0  # fully stretched: clamped to 0
+    assert table.bound(4.0, 3) == 1.0  # perfect similarity + perfect path
+    assert bits(table.bound(2.0, 6)) == bits(objective.fast_bound(schema, 2.0, 0.0, 6))
+
+
+# -- engine integration: the table must not change a single search result ---------
+
+
+def _search_signature(result):
+    return [
+        (bits(m.score), m.tree_id, tuple(sorted(m.repository_global_ids())))
+        for m in result.mappings
+    ]
+
+
+@pytest.mark.parametrize("top_k", [None, 3])
+def test_search_with_and_without_table_is_identical(
+    paper_schema, small_candidates, small_oracle, top_k
+):
+    class NoTable(BellflowerObjective):
+        # overriding fast_bound (with the inherited body) disables the table
+        def fast_bound(self, schema, assigned, remaining, edge_count):
+            return super().fast_bound(schema, assigned, remaining, edge_count)
+
+    generator = BranchAndBoundGenerator()
+    results = []
+    for objective in (BellflowerObjective(alpha=0.5), NoTable(alpha=0.5)):
+        problem = MappingProblem(
+            personal_schema=paper_schema,
+            candidates=small_candidates,
+            oracle=small_oracle,
+            objective=objective,
+            delta=0.0,
+            top_k=top_k,
+        )
+        results.append(generator.generate(problem))
+    with_table, without_table = results
+    assert _search_signature(with_table) == _search_signature(without_table)
+    assert with_table.counters.as_dict() == without_table.counters.as_dict()

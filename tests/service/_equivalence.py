@@ -28,3 +28,49 @@ def cluster_key(result):
         (report.cluster_id, report.tree_id, report.member_count, report.search_space)
         for report in result.cluster_reports
     ]
+
+
+def path_records_key(result):
+    """Per-mapping path evidence: subtree edge counts and score components.
+
+    ``target_edge_count`` is the ``|Et|`` the objective's path hint was
+    evaluated at; the components carry the exact ``sim``/``path`` breakdown.
+    Two results equal under this key computed identical mapping subtrees, not
+    just identical final scores.
+    """
+    return [
+        (
+            mapping.tree_id,
+            mapping.target_edge_count,
+            tuple(sorted(mapping.components.items())),
+            mapping.element_pairs(),
+        )
+        for mapping in result.mappings
+    ]
+
+
+def counters_key(result):
+    """The result's counter set as a sorted, comparable tuple."""
+    return tuple(sorted(result.counters.as_dict().items()))
+
+
+def execution_backends(max_workers=2):
+    """The four execution regimes every service query must agree across.
+
+    Yields ``(name, executor_factory, share_memory)`` triples; ``executor``
+    is ``None`` for the serial regime.  The shared-memory regime reuses the
+    process executor but publishes the service's repository first, so workers
+    attach instead of unpickling.
+    """
+    from repro.utils.executor import ProcessPoolTaskExecutor, ThreadPoolTaskExecutor
+
+    return [
+        ("serial", lambda: None, False),
+        ("thread", lambda: ThreadPoolTaskExecutor(max_workers=max_workers), False),
+        ("process", lambda: ProcessPoolTaskExecutor(max_workers=max_workers), False),
+        (
+            "process+shm",
+            lambda: ProcessPoolTaskExecutor(max_workers=max_workers),
+            True,
+        ),
+    ]

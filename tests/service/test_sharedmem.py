@@ -1,0 +1,367 @@
+"""Lifecycle and determinism tests for the shared-memory repository views.
+
+These pin the operational contract of ``repro.service.sharedmem``:
+
+* publishing is explicit, attach is exact (bit-identical rankings), and the
+  pickle redirect collapses task payloads to a segment name;
+* segments never leak: ``unshare_memory``/``close`` unlink eagerly, worker
+  crashes cannot unlink the publisher's segment, and mutations unpublish;
+* results are independent of worker count and chunking — the executor's
+  determinism contract survives the shared-memory fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+
+from _equivalence import counters_key, execution_backends, path_records_key, result_key
+from repro.errors import ConfigurationError, ReproError
+from repro.matchers.name import NGramNameMatcher
+from repro.objective.bellflower import BellflowerObjective
+from repro.schema.builder import TreeBuilder
+from repro.service.service import MatchingService
+from repro.service.sharedmem import _load_segment
+from repro.shard.service import ShardedMatchingService, split_repository
+from repro.utils.executor import ProcessPoolTaskExecutor
+from repro.workload.generator import RepositoryGenerator, RepositoryProfile
+from repro.workload.personal import paper_personal_schema
+
+
+def make_repository(seed=97, nodes=400):
+    profile = RepositoryProfile(
+        target_node_count=nodes,
+        min_tree_size=12,
+        max_tree_size=50,
+        name=f"shm-test-{seed}",
+        seed=seed,
+    )
+    return RepositoryGenerator(profile).generate()
+
+
+def make_service(repository=None, **kwargs):
+    kwargs.setdefault("variant", "partition")
+    kwargs.setdefault("query_cache_size", 0)
+    service = MatchingService(repository or make_repository(), **kwargs)
+    service.build_derived_state()
+    return service
+
+
+def shm_segments():
+    """Names of python shared-memory segments currently in /dev/shm."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = shm_segments()
+    yield
+    assert shm_segments() - before == set(), "test leaked shared-memory segments"
+
+
+class TestPublishAttach:
+    def test_attach_round_trip_is_bit_identical(self):
+        service = make_service()
+        schema = paper_personal_schema()
+        baseline = service.match(schema, top_k=5)
+        view = service.share_memory()
+        try:
+            clone = pickle.loads(pickle.dumps(service))
+            result = clone.match(schema, top_k=5)
+            assert result_key(result) == result_key(baseline)
+            assert path_records_key(result) == path_records_key(baseline)
+        finally:
+            service.unshare_memory()
+
+    def test_redirected_pickles_are_tiny(self):
+        service = make_service()
+        plain_service = len(pickle.dumps(service))
+        plain_oracle = len(pickle.dumps(service.oracle))
+        service.share_memory()
+        try:
+            assert len(pickle.dumps(service)) < 256 < plain_service
+            assert len(pickle.dumps(service.oracle)) < 256 < plain_oracle
+        finally:
+            service.unshare_memory()
+
+    def test_attached_oracle_answers_like_the_original(self):
+        service = make_service()
+        repository = service.repository
+        service.share_memory()
+        try:
+            attached = pickle.loads(pickle.dumps(service.oracle))
+            for tree_id in (0, repository.tree_count - 1):
+                tree = repository.tree(tree_id)
+                first = repository.ref(tree_id, 0)
+                last = repository.ref(tree_id, tree.node_count - 1)
+                assert attached.distance(first, last) == service.oracle.distance(first, last)
+        finally:
+            service.unshare_memory()
+
+    def test_share_memory_is_idempotent(self):
+        service = make_service()
+        view = service.share_memory()
+        try:
+            assert service.share_memory() is view
+            assert len(shm_segments()) >= 1
+        finally:
+            service.unshare_memory()
+
+    def test_segment_cache_is_reused_within_a_process(self):
+        service = make_service()
+        view = service.share_memory()
+        try:
+            first = _load_segment(view.name)
+            second = _load_segment(view.name)
+            assert first is second
+        finally:
+            service.unshare_memory()
+
+    def test_stats_reports_shared_memory(self):
+        service = make_service()
+        assert service.stats()["shared_memory"] is False
+        service.share_memory()
+        try:
+            assert service.stats()["shared_memory"] is True
+        finally:
+            service.unshare_memory()
+        assert service.stats()["shared_memory"] is False
+
+
+class TestPublishRefusals:
+    def test_refuses_custom_matcher(self):
+        class CustomMatcher(NGramNameMatcher):
+            pass
+
+        service = make_service(matcher=CustomMatcher())
+        with pytest.raises(ConfigurationError, match="matcher"):
+            service.share_memory()
+
+    def test_refuses_custom_clusterer(self):
+        from repro.clustering.baselines import FragmentClusterer
+
+        service = make_service(variant=None, clusterer=FragmentClusterer(max_fragment_size=10))
+        assert service.variant_name is None
+        with pytest.raises(ConfigurationError, match="clusterer|variant"):
+            service.share_memory()
+
+    def test_refuses_custom_objective(self):
+        class CustomObjective(BellflowerObjective):
+            pass
+
+        service = make_service(objective=CustomObjective())
+        with pytest.raises(ConfigurationError, match="objective"):
+            service.share_memory()
+
+    def test_refuses_custom_generator(self):
+        from repro.mapping.branch_and_bound import BranchAndBoundGenerator
+
+        class CustomGenerator(BranchAndBoundGenerator):
+            pass
+
+        service = make_service(generator=CustomGenerator())
+        with pytest.raises(ConfigurationError, match="generator"):
+            service.share_memory()
+
+    def test_refusal_leaves_no_segment(self):
+        class CustomObjective(BellflowerObjective):
+            pass
+
+        service = make_service(objective=CustomObjective())
+        before = shm_segments()
+        with pytest.raises(ConfigurationError):
+            service.share_memory()
+        assert shm_segments() == before
+
+
+class TestLifecycle:
+    def test_unshare_removes_segment_and_is_idempotent(self):
+        service = make_service()
+        view = service.share_memory()
+        assert view.name in shm_segments()
+        service.unshare_memory()
+        assert view.name not in shm_segments()
+        assert view.stale
+        service.unshare_memory()  # second call is a no-op
+
+    def test_mutation_unpublishes_and_query_falls_back(self):
+        service = make_service()
+        schema = paper_personal_schema()
+        view = service.share_memory()
+        builder = TreeBuilder("added")
+        root = builder.root("contactRoot")
+        builder.child(root, "name", datatype="string")
+        service.add_tree(builder.build())
+        assert view.stale
+        assert view.name not in shm_segments()
+        assert service.shared_view is None
+        # plain pickling works again and reflects the mutation
+        clone = pickle.loads(pickle.dumps(service))
+        assert clone.repository.tree_count == service.repository.tree_count
+
+    def test_direct_repository_mutation_falls_back_without_unpublish(self):
+        service = make_service()
+        view = service.share_memory()
+        try:
+            builder = TreeBuilder("side-channel")
+            root = builder.root("r")
+            builder.child(root, "c")
+            # bypass the service: version bumps, view goes version-stale
+            service.repository.add_tree(builder.build())
+            assert view.repository_version != service.repository.version
+            blob = pickle.dumps(service.oracle)
+            assert len(blob) > 256  # fell back to the copy path
+            clone = pickle.loads(blob)
+            assert clone.repository.tree_count == service.repository.tree_count
+        finally:
+            service.unshare_memory()
+
+    def test_republish_after_mutation_creates_fresh_segment(self):
+        service = make_service()
+        first = service.share_memory()
+        builder = TreeBuilder("second")
+        root = builder.root("r")
+        builder.child(root, "c")
+        service.add_tree(builder.build())
+        second = service.share_memory()
+        try:
+            assert second.name != first.name
+            assert second.name in shm_segments()
+        finally:
+            service.unshare_memory()
+
+    def test_attaching_a_missing_segment_raises(self):
+        service = make_service()
+        view = service.share_memory()
+        name = view.name
+        service.unshare_memory()
+        with pytest.raises(ReproError, match="gone"):
+            _load_segment(name + "x")
+
+
+def _attach_and_crash(blob):  # pragma: no cover - runs in a worker process
+    pickle.loads(blob)
+    os._exit(1)
+
+
+class TestWorkerCrash:
+    def test_worker_crash_does_not_unlink_the_segment(self):
+        service = make_service()
+        schema = paper_personal_schema()
+        baseline = service.match(schema, top_k=5)
+        view = service.share_memory()
+        try:
+            blob = pickle.dumps(service)
+            executor = ProcessPoolTaskExecutor(max_workers=2)
+            with pytest.raises(BrokenProcessPool):
+                executor.map(_attach_and_crash, [blob, blob])
+            executor.close()
+            # the publisher's segment must have survived the crashed workers
+            assert view.name in shm_segments()
+            fresh_executor = ProcessPoolTaskExecutor(max_workers=2)
+            survivor = make_service(service.repository, executor=fresh_executor)
+            survivor.repository._shared_view = view  # reuse the live view
+            result = survivor.match(schema, top_k=5)
+            fresh_executor.close()
+            assert result_key(result) == result_key(baseline)
+        finally:
+            service.unshare_memory()
+
+
+class TestDeterminism:
+    def test_identical_results_across_worker_counts(self):
+        repository = make_repository(seed=131)
+        schema = paper_personal_schema()
+        reference = make_service(repository)
+        baseline = reference.match(schema, top_k=5)
+        for workers in (1, 2, 4):
+            executor = ProcessPoolTaskExecutor(max_workers=workers)
+            service = make_service(repository, executor=executor)
+            service.share_memory()
+            try:
+                result = service.match(schema, top_k=5)
+                assert result_key(result) == result_key(baseline), workers
+                assert path_records_key(result) == path_records_key(baseline), workers
+            finally:
+                service.unshare_memory()
+                executor.close()
+
+    def test_identical_results_across_chunkings(self):
+        repository = make_repository(seed=151)
+        schema = paper_personal_schema()
+        reference = make_service(repository)
+        baseline = reference.match(schema)
+        for tasks_per_worker in (1, 3):
+            executor = ProcessPoolTaskExecutor(max_workers=2, tasks_per_worker=tasks_per_worker)
+            service = make_service(repository, executor=executor)
+            service.share_memory()
+            try:
+                result = service.match(schema)
+                assert result_key(result) == result_key(baseline), tasks_per_worker
+                assert counters_key(result) == counters_key(baseline), tasks_per_worker
+            finally:
+                service.unshare_memory()
+                executor.close()
+
+    def test_backend_sweep_is_equivalent(self):
+        """Serial × thread × process × process+shm: one query, four regimes."""
+        repository = make_repository(seed=173)
+        schema = paper_personal_schema()
+        keys = {}
+        for name, executor_factory, share in execution_backends(max_workers=2):
+            executor = executor_factory()
+            service = make_service(repository, executor=executor)
+            if share:
+                service.share_memory()
+            try:
+                result = service.match(schema)
+                keys[name] = (
+                    result_key(result),
+                    path_records_key(result),
+                    counters_key(result),
+                )
+            finally:
+                service.unshare_memory()
+                if executor is not None:
+                    executor.close()
+        serial = keys.pop("serial")
+        for name, key in keys.items():
+            assert key == serial, name
+
+
+class TestShardedService:
+    def test_share_memory_covers_every_shard_and_close_cleans_up(self):
+        repository = make_repository(seed=211)
+        schema = paper_personal_schema()
+        assignment = [i % 3 for i in range(repository.tree_count)]
+
+        def build(executor=None):
+            shards = [
+                make_service(shard_repo)
+                for shard_repo in split_repository(repository, assignment)
+            ]
+            return ShardedMatchingService(
+                shards, assignment, executor=executor, query_cache_size=0
+            )
+
+        baseline = build().match(schema, top_k=5)
+        executor = ProcessPoolTaskExecutor(max_workers=2)
+        sharded = build(executor=executor)
+        before = shm_segments()
+        views = sharded.share_memory()
+        assert len(views) == 3
+        assert shm_segments() - before == {view.name for view in views}
+        first = sharded.match(schema, top_k=5)
+        second = sharded.match(schema, top_k=5)
+        sharded.close()
+        executor.close()
+        assert shm_segments() == before
+        assert result_key(first) == result_key(baseline)
+        assert result_key(second) == result_key(baseline)
+        assert path_records_key(first) == path_records_key(baseline)
