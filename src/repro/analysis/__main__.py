@@ -1,0 +1,84 @@
+"""``python -m repro.analysis`` — run the invariant battery over the tree."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.project import AnalysisConfig, AnalysisProject
+from repro.analysis.rules import CHECKER_CLASSES, default_checkers, rules_by_id
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST lints enforcing the repo's determinism, concurrency and drift contracts",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("."),
+        help="repository root to analyse (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (json is the CI artifact schema)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the report (in the chosen format) to this file",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their contracts and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for cls in CHECKER_CLASSES:
+            print(f"{cls.rule_id}  {cls.title}")
+            print(f"    scope: {', '.join(cls.include)}"
+                  + (f"  (excluding {', '.join(cls.exclude)})" if cls.exclude else ""))
+            print(f"    {cls.contract}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = tuple(part.strip() for part in args.rules.split(",") if part.strip())
+        unknown = [rule for rule in rules if rule not in rules_by_id()]
+        if unknown:
+            print(
+                f"unknown rule id(s) {', '.join(unknown)}; registered: "
+                + ", ".join(sorted(rules_by_id())),
+                file=sys.stderr,
+            )
+            return 2
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"--root {root} is not a directory", file=sys.stderr)
+        return 2
+    config = AnalysisConfig(root=root, rules=rules)
+    report = AnalysisProject(config=config, checkers=default_checkers()).run()
+    rendered = report.to_json() if args.format == "json" else report.to_human()
+    print(rendered)
+    if args.out is not None:
+        args.out.write_text(rendered + "\n", encoding="utf-8")
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

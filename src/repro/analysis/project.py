@@ -1,0 +1,174 @@
+"""The analysis driver: file discovery, rule execution, suppression resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.core import (
+    FRAMEWORK_RULE,
+    Checker,
+    FileContext,
+    Finding,
+    Suppression,
+    parse_suppressions,
+    path_matches,
+)
+from repro.analysis.report import Report
+
+#: Directories never scanned.  ``tests/analysis/fixtures`` holds deliberate
+#: rule violations (the golden positive fixtures) and must not fail the live
+#: tree; caches and VCS metadata are noise.
+DEFAULT_EXCLUDES = (
+    "tests/analysis/fixtures/**",
+    "**/__pycache__/**",
+    ".git/**",
+    ".pytest_cache/**",
+    "build/**",
+    "dist/**",
+)
+
+#: Where the scan looks for Python files, relative to the root.
+DEFAULT_SCAN_ROOTS = ("src", "tests", "benchmarks", "examples", "setup.py")
+
+
+@dataclass
+class AnalysisConfig:
+    """Knobs for one analysis run (tests point these at fixture trees)."""
+
+    root: Path
+    scan_roots: Tuple[str, ...] = DEFAULT_SCAN_ROOTS
+    exclude: Tuple[str, ...] = DEFAULT_EXCLUDES
+    #: The counter glossary RPA005 reconciles against, relative to ``root``.
+    glossary_path: str = "docs/ARCHITECTURE.md"
+    #: Restrict the run to these rule ids (None = every registered rule).
+    rules: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).resolve()
+
+
+@dataclass
+class AnalysisProject:
+    """One run of the checker battery over a source tree."""
+
+    config: AnalysisConfig
+    checkers: Sequence[Checker]
+    contexts: List[FileContext] = field(default_factory=list)
+
+    def discover_files(self) -> List[Path]:
+        files: List[Path] = []
+        for scan_root in self.config.scan_roots:
+            target = self.config.root / scan_root
+            if target.is_file() and target.suffix == ".py":
+                files.append(target)
+            elif target.is_dir():
+                files.extend(sorted(target.rglob("*.py")))
+        unique = sorted(set(files))
+        return [path for path in unique if not self._excluded(self._rel(path))]
+
+    def _rel(self, path: Path) -> str:
+        return path.resolve().relative_to(self.config.root).as_posix()
+
+    def _excluded(self, rel: str) -> bool:
+        return any(path_matches(rel, pattern) for pattern in self.config.exclude)
+
+    def run(self) -> Report:
+        active = [
+            checker
+            for checker in self.checkers
+            if self.config.rules is None or checker.rule_id in self.config.rules
+        ]
+        findings: List[Finding] = []
+        suppressions: List[Suppression] = []
+        self.contexts = []
+        for path in self.discover_files():
+            rel = self._rel(path)
+            try:
+                ctx = FileContext.load(path, rel)
+            except (SyntaxError, UnicodeDecodeError) as error:
+                lineno = getattr(error, "lineno", 1) or 1
+                findings.append(
+                    Finding(
+                        rule=FRAMEWORK_RULE,
+                        path=rel,
+                        line=int(lineno),
+                        col=1,
+                        message=f"file does not parse: {error}",
+                    )
+                )
+                continue
+            self.contexts.append(ctx)
+            file_suppressions, marker_problems = parse_suppressions(rel, ctx.source)
+            suppressions.extend(file_suppressions)
+            findings.extend(marker_problems)
+            for checker in active:
+                if checker.applies_to(rel):
+                    findings.extend(checker.check_file(ctx))
+        for checker in active:
+            findings.extend(checker.finalize(self))
+        kept, suppressed = self._resolve_suppressions(findings, suppressions)
+        active_rule_ids = {checker.rule_id for checker in active}
+        for marker in suppressions:
+            # A marker is only "unused" when the rules it names actually ran:
+            # a --rules subset must not turn every other marker into noise.
+            if not marker.used and any(rule in active_rule_ids for rule in marker.rules):
+                kept.append(
+                    Finding(
+                        rule=FRAMEWORK_RULE,
+                        path=marker.path,
+                        line=marker.line,
+                        col=1,
+                        message=(
+                            f"unused suppression of {', '.join(marker.rules)} — "
+                            "no finding matched this line"
+                        ),
+                        hint="delete stale markers so every suppression documents a live exception",
+                    )
+                )
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+        suppressed.sort(key=lambda pair: (pair[0].path, pair[0].line, pair[0].rule))
+        return Report(
+            root=str(self.config.root),
+            rules=sorted(active_rule_ids),
+            files_checked=len(self.contexts),
+            findings=kept,
+            suppressed=suppressed,
+        )
+
+    @staticmethod
+    def _resolve_suppressions(
+        findings: Iterable[Finding], suppressions: Sequence[Suppression]
+    ) -> Tuple[List[Finding], List[Tuple[Finding, str]]]:
+        by_location: Dict[Tuple[str, int], List[Suppression]] = {}
+        for marker in suppressions:
+            by_location.setdefault((marker.path, marker.line), []).append(marker)
+        kept: List[Finding] = []
+        silenced: List[Tuple[Finding, str]] = []
+        for finding in findings:
+            for marker in by_location.get((finding.path, finding.line), ()):
+                if marker.covers(finding):
+                    marker.used = True
+                    silenced.append((finding, marker.justification))
+                    break
+            else:
+                kept.append(finding)
+        return kept, silenced
+
+
+def run_analysis(
+    root: Path,
+    *,
+    checkers: Optional[Sequence[Checker]] = None,
+    rules: Optional[Tuple[str, ...]] = None,
+    glossary_path: str = "docs/ARCHITECTURE.md",
+) -> Report:
+    """Convenience entry point: analyse ``root`` with the full battery."""
+    from repro.analysis.rules import default_checkers
+
+    config = AnalysisConfig(root=Path(root), rules=rules, glossary_path=glossary_path)
+    project = AnalysisProject(
+        config=config, checkers=list(checkers) if checkers is not None else default_checkers()
+    )
+    return project.run()

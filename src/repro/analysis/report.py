@@ -1,0 +1,105 @@
+"""Findings report: human-readable text and a stable JSON schema.
+
+The JSON form is what CI archives (``--format json``); its schema is
+versioned by :data:`REPORT_SCHEMA_VERSION` and round-trips through
+:func:`report_from_json` (pinned by tests), so downstream tooling can diff
+reports across commits.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.core import Finding
+
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class Report:
+    """Outcome of one analysis run."""
+
+    root: str
+    rules: List[str]
+    files_checked: int
+    findings: List[Finding]
+    suppressed: List[Tuple[Finding, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_human(self) -> str:
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(f"{finding.location()}: {finding.rule}: {finding.message}")
+            if finding.hint:
+                lines.append(f"    hint: {finding.hint}")
+        if self.suppressed:
+            lines.append("")
+            lines.append(f"{len(self.suppressed)} suppressed finding(s):")
+            for finding, justification in self.suppressed:
+                lines.append(
+                    f"  {finding.location()}: {finding.rule} allowed — {justification}"
+                )
+        lines.append("")
+        summary = ", ".join(f"{rule}={n}" for rule, n in sorted(self.counts_by_rule().items()))
+        lines.append(
+            f"checked {self.files_checked} file(s) under {self.root}: "
+            + (f"{len(self.findings)} finding(s) [{summary}]" if self.findings else "clean")
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "root": self.root,
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+            "counts": self.counts_by_rule(),
+            "findings": [finding.to_json() for finding in self.findings],
+            "suppressed": [
+                {**finding.to_json(), "justification": justification}
+                for finding, justification in self.suppressed
+            ],
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+
+def report_from_json(payload: object) -> Report:
+    """Rebuild a :class:`Report` from its JSON form (schema-checked)."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"report payload must be an object, got {type(payload).__name__}")
+    version = payload.get("schema_version")
+    if version != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported report schema version {version!r} (this build reads v{REPORT_SCHEMA_VERSION})"
+        )
+    findings = [Finding.from_json(entry) for entry in payload.get("findings", [])]
+    suppressed = [
+        (Finding.from_json(entry), str(entry.get("justification", "")))
+        for entry in payload.get("suppressed", [])
+    ]
+    return Report(
+        root=str(payload.get("root", "")),
+        rules=[str(rule) for rule in payload.get("rules", [])],
+        files_checked=int(payload.get("files_checked", 0)),  # type: ignore[arg-type]
+        findings=findings,
+        suppressed=suppressed,
+    )

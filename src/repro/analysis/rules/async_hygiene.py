@@ -1,0 +1,150 @@
+"""RPA004 — the asyncio server path never blocks the event loop.
+
+The API server (PR 5/6) keeps one event loop responsive for accepts, reads
+and graceful shutdown while CPU work runs on a thread pool.  A single
+blocking call inside an ``async def`` — ``time.sleep``, synchronous file IO,
+a synchronous ``Lock.acquire`` — stalls *every* connection, and a synchronous
+lock held across an ``await`` is a deadlock seed (the awaiting task parks
+while other tasks on the same loop spin on the lock).  This rule polices
+``api/`` async function bodies for both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Checker, FileContext, Finding, ImportTracker
+
+#: Attribute calls that are blocking file IO regardless of receiver type.
+_BLOCKING_IO_ATTRS = ("read_text", "write_text", "read_bytes", "write_bytes")
+#: Module-level calls that block the loop.
+_BLOCKING_MODULE_CALLS = {
+    "time": ("sleep",),
+    "subprocess": ("run", "call", "check_call", "check_output", "Popen"),
+    "os": ("system", "waitpid", "wait"),
+    "socket": ("create_connection",),
+}
+_OFFLOAD_HINT = "offload via loop.run_in_executor (or use the asyncio-native equivalent)"
+
+
+class AsyncHygieneChecker(Checker):
+    rule_id = "RPA004"
+    title = "async hygiene: no blocking calls or locks held across await"
+    contract = (
+        "Inside async def bodies in api/, no time.sleep, synchronous file IO "
+        "(open/read_text/...), or synchronous Lock.acquire; and no synchronous "
+        "`with <lock>:` block may contain an await."
+    )
+    include = ("src/repro/api/**",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        tracker = ImportTracker(tuple(_BLOCKING_MODULE_CALLS)).scan(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(self._check_async_body(ctx, node, tracker))
+        return findings
+
+    def _own_nodes(self, func: ast.AsyncFunctionDef) -> Iterable[ast.AST]:
+        """Walk the async function, skipping nested function bodies.
+
+        A nested ``def`` only blocks when called; if it is called on the loop
+        the call site (or the function's own home, if async) gets flagged.
+        """
+        stack: List[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _check_async_body(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef, tracker: ImportTracker
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in self._own_nodes(func):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, func, node, tracker))
+            elif isinstance(node, ast.With):
+                findings.extend(self._check_sync_with(ctx, func, node))
+        return findings
+
+    def _check_call(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        node: ast.Call,
+        tracker: ImportTracker,
+    ) -> Iterable[Finding]:
+        callee = node.func
+        if isinstance(callee, ast.Name):
+            if callee.id == "open":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"blocking `open()` inside async def {func.name}",
+                    _OFFLOAD_HINT,
+                )
+            for module, members in _BLOCKING_MODULE_CALLS.items():
+                if tracker.member_origin(callee.id, module) in members:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"blocking `{module}.{callee.id}` inside async def {func.name}",
+                        _OFFLOAD_HINT,
+                    )
+        elif isinstance(callee, ast.Attribute):
+            for module, members in _BLOCKING_MODULE_CALLS.items():
+                if callee.attr in members and tracker.is_module(callee.value, module):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"blocking `{module}.{callee.attr}` inside async def {func.name}",
+                        _OFFLOAD_HINT,
+                    )
+            if callee.attr in _BLOCKING_IO_ATTRS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"blocking file IO `.{callee.attr}()` inside async def {func.name}",
+                    _OFFLOAD_HINT,
+                )
+            if callee.attr == "acquire" and not self._is_awaited(func, node):
+                receiver = ast.unparse(callee.value)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"synchronous `{receiver}.acquire()` inside async def {func.name}",
+                    "use asyncio.Lock (awaited) or run the locked section on the thread pool",
+                )
+
+    @staticmethod
+    def _is_awaited(func: ast.AsyncFunctionDef, call: ast.Call) -> bool:
+        return any(
+            isinstance(node, ast.Await) and node.value is call for node in ast.walk(func)
+        )
+
+    def _check_sync_with(
+        self, ctx: FileContext, func: ast.AsyncFunctionDef, node: ast.With
+    ) -> Iterable[Finding]:
+        lockish = [
+            ast.unparse(item.context_expr)
+            for item in node.items
+            if "lock" in ast.unparse(item.context_expr).lower()
+        ]
+        if not lockish:
+            return
+        has_await = any(
+            isinstance(inner, ast.Await)
+            for stmt in node.body
+            for inner in ast.walk(stmt)
+        )
+        if has_await:
+            yield self.finding(
+                ctx,
+                node,
+                f"synchronous lock `{lockish[0]}` held across an await in async def {func.name}",
+                "switch to `async with asyncio.Lock()` or release before awaiting",
+            )

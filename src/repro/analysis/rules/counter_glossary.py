@@ -1,0 +1,165 @@
+"""RPA005 — the counter glossary and the code cannot drift apart.
+
+``CounterSet`` names are the system's machine-independent efficiency
+instrumentation (the paper compares configurations by counting work, not
+seconds), and docs/ARCHITECTURE.md's "Counter glossary" is their contract:
+every counter the code increments is documented there, and every documented
+counter still exists in code.  Both directions are checked mechanically —
+a renamed counter that leaves its glossary row behind, or a new counter
+without documentation, is a finding.
+
+Counter names must be string literals at the call site; a computed name is
+invisible to this audit (and to every human reading the glossary), so it is
+flagged too.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.core import Checker, FileContext, Finding
+
+#: ``CounterSet`` mutators whose first argument is a counter name.
+_COUNTER_METHODS = ("increment", "set")
+_NAME_RE = re.compile(r"`([a-z][a-z0-9_]*)`")
+
+
+def parse_glossary(markdown: str) -> Dict[str, int]:
+    """Extract counter names (with line numbers) from the glossary section.
+
+    Names are the backticked tokens in the first column of the section's
+    tables; a row may document several related counters at once
+    (``\\`hedges_launched\\` / \\`hedges_won\\```).
+    """
+    names: Dict[str, int] = {}
+    in_section = False
+    for lineno, line in enumerate(markdown.splitlines(), start=1):
+        if line.startswith("## "):
+            in_section = line.strip().lower() == "## counter glossary"
+            continue
+        if not in_section or not line.lstrip().startswith("|"):
+            continue
+        cells = line.split("|")
+        if len(cells) < 2:
+            continue
+        first_cell = cells[1]
+        for name in _NAME_RE.findall(first_cell):
+            names.setdefault(name, lineno)
+    return names
+
+
+def _receiver_is_counters(node: ast.expr) -> bool:
+    """True for ``counters.…`` / ``self.counters.…`` / ``result.counters.…``."""
+    if isinstance(node, ast.Name):
+        return node.id == "counters" or node.id.endswith("_counters")
+    if isinstance(node, ast.Attribute):
+        return node.attr == "counters" or node.attr.endswith("_counters")
+    return False
+
+
+class CounterGlossaryChecker(Checker):
+    rule_id = "RPA005"
+    title = "counter names match the ARCHITECTURE counter glossary"
+    contract = (
+        "Every string literal passed to counters.increment()/set() appears in "
+        "docs/ARCHITECTURE.md's Counter glossary, and every glossary entry is "
+        "still incremented somewhere in src/repro."
+    )
+    include = ("src/repro/**",)
+    exclude = ("src/repro/analysis/**",)
+
+    def __init__(self) -> None:
+        self.used_names: Set[str] = set()
+        self._glossary: Optional[Dict[str, int]] = None
+        self._glossary_rel: str = "docs/ARCHITECTURE.md"
+        self._glossary_missing = False
+
+    def _load_glossary(self, project: object) -> Dict[str, int]:
+        if self._glossary is None:
+            config = getattr(project, "config", None)
+            rel = getattr(config, "glossary_path", "docs/ARCHITECTURE.md")
+            root = getattr(config, "root", None)
+            self._glossary_rel = rel
+            path = (root / rel) if root is not None else None
+            if path is None or not path.is_file():
+                self._glossary = {}
+                self._glossary_missing = True
+            else:
+                self._glossary = parse_glossary(path.read_text(encoding="utf-8"))
+        return self._glossary
+
+    # The glossary lives outside any FileContext, so both directions run in
+    # finalize(); check_file only collects call sites.
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        self.call_sites = getattr(self, "call_sites", [])
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _COUNTER_METHODS
+                and _receiver_is_counters(func.value)
+            ):
+                continue
+            if not node.args:
+                continue
+            name_arg = node.args[0]
+            if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+                self.call_sites.append((name_arg.value, ctx, node))
+                self.used_names.add(name_arg.value)
+            else:
+                self.call_sites.append((None, ctx, node))
+        return ()
+
+    def finalize(self, project: object) -> Iterable[Finding]:
+        glossary = self._load_glossary(project)
+        findings: List[Finding] = []
+        if self._glossary_missing:
+            return [
+                Finding(
+                    rule=self.rule_id,
+                    path=self._glossary_rel,
+                    line=1,
+                    col=1,
+                    message="counter glossary document not found",
+                    hint="RPA005 reconciles counter names against this file",
+                )
+            ]
+        sites: List[Tuple[Optional[str], FileContext, ast.Call]] = getattr(
+            self, "call_sites", []
+        )
+        for name, ctx, node in sites:
+            if name is None:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "counter name is not a string literal — invisible to the glossary audit",
+                        "pass a literal name (build variants as separate literal counters)",
+                    )
+                )
+            elif name not in glossary:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"counter `{name}` is not documented in the counter glossary",
+                        f"add a `{name}` row to {self._glossary_rel} (## Counter glossary)",
+                    )
+                )
+        for name, lineno in sorted(glossary.items()):
+            if name not in self.used_names:
+                findings.append(
+                    Finding(
+                        rule=self.rule_id,
+                        path=self._glossary_rel,
+                        line=lineno,
+                        col=1,
+                        message=f"glossary documents counter `{name}` but nothing increments it",
+                        hint="remove the stale row or restore the counter",
+                    )
+                )
+        return findings

@@ -1,0 +1,162 @@
+"""RPA001 — no wall-clock or unseeded randomness on deterministic paths.
+
+The pipeline's outputs are bit-identical across runs, machines and executors
+(PR 1/3/4 equivalence suites).  That only holds if no code on the engine,
+mapping, service, shard or API path reads the wall clock or an unseeded RNG:
+time must come from ``time.monotonic``/``time.perf_counter`` (deadlines and
+timings, never results) and randomness from
+:class:`repro.utils.rng.SeededRandom` / :func:`repro.utils.rng.derive_seed`.
+``utils/rng.py`` is the one audited owner of the ``random`` module, and
+``resilience/`` owns its CRC32-seeded jitter and injected sleeps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.core import Checker, FileContext, Finding, ImportTracker
+
+#: ``time`` members that read the wall clock (results may differ across runs).
+WALL_CLOCK_TIME = ("time", "time_ns", "ctime", "gmtime", "localtime", "strftime")
+#: ``datetime``-class constructors bound to the wall clock.
+WALL_CLOCK_DATETIME = ("now", "utcnow", "today", "fromtimestamp")
+#: Module-level ``random`` functions — all draw from the shared, unseeded
+#: global generator.  ``random.Random(seed)`` is fine; ``random.Random()``
+#: and ``random.SystemRandom`` are not.
+UNSEEDED_RANDOM = (
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "gammavariate",
+    "triangular",
+    "paretovariate",
+    "vonmisesvariate",
+    "weibullvariate",
+    "getrandbits",
+    "randbytes",
+    "seed",
+)
+
+_HINT = (
+    "deterministic paths take time from time.monotonic()/Deadline and randomness "
+    "from utils/rng.SeededRandom (derive_seed for sub-streams)"
+)
+
+
+class DeterminismChecker(Checker):
+    rule_id = "RPA001"
+    title = "determinism: no wall clock, no unseeded randomness"
+    contract = (
+        "Outside utils/rng.py and resilience/, library code must not call "
+        "time.time()/datetime.now()/unseeded random.* — results must be "
+        "bit-identical across runs, so clocks are monotonic-only and every "
+        "random draw is explicitly seeded."
+    )
+    include = ("src/repro/**",)
+    exclude = ("src/repro/utils/rng.py", "src/repro/resilience/**")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        tracker = ImportTracker(("time", "random", "datetime")).scan(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                findings.extend(self._check_attribute(ctx, node, tracker))
+            elif isinstance(node, ast.Name):
+                findings.extend(self._check_name(ctx, node, tracker))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(ctx, node, tracker))
+        return findings
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _check_attribute(
+        self, ctx: FileContext, node: ast.Attribute, tracker: ImportTracker
+    ) -> Iterable[Finding]:
+        # `time.time` / `t.time_ns` — flagged as a *reference*, not just a
+        # call, so `clock=time.time` default arguments are caught too.
+        if tracker.is_module(node.value, "time") and node.attr in WALL_CLOCK_TIME:
+            yield self.finding(
+                ctx, node, f"wall-clock read `time.{node.attr}` on a deterministic path", _HINT
+            )
+        if tracker.is_module(node.value, "random"):
+            if node.attr in UNSEEDED_RANDOM:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"unseeded global RNG `random.{node.attr}` on a deterministic path",
+                    _HINT,
+                )
+            elif node.attr == "SystemRandom":
+                yield self.finding(
+                    ctx, node, "`random.SystemRandom` is nondeterministic by design", _HINT
+                )
+        # `datetime.datetime.now` (module attribute) and `dt.now` where `dt`
+        # is the class imported via `from datetime import datetime`.
+        value = node.value
+        if node.attr in WALL_CLOCK_DATETIME:
+            if (
+                isinstance(value, ast.Attribute)
+                and value.attr in ("datetime", "date")
+                and tracker.is_module(value.value, "datetime")
+            ):
+                yield self.finding(
+                    ctx, node, f"wall-clock read `datetime.{value.attr}.{node.attr}`", _HINT
+                )
+            elif isinstance(value, ast.Name) and tracker.member_origin(
+                value.id, "datetime"
+            ) in ("datetime", "date"):
+                yield self.finding(
+                    ctx, node, f"wall-clock read `{value.id}.{node.attr}`", _HINT
+                )
+
+    def _check_name(
+        self, ctx: FileContext, node: ast.Name, tracker: ImportTracker
+    ) -> Iterable[Finding]:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        time_origin = tracker.member_origin(node.id, "time")
+        if time_origin in WALL_CLOCK_TIME:
+            yield self.finding(
+                ctx,
+                node,
+                f"wall-clock read `{node.id}` (from time import {time_origin})",
+                _HINT,
+            )
+        random_origin = tracker.member_origin(node.id, "random")
+        if random_origin in UNSEEDED_RANDOM:
+            yield self.finding(
+                ctx,
+                node,
+                f"unseeded global RNG `{node.id}` (from random import {random_origin})",
+                _HINT,
+            )
+
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, tracker: ImportTracker
+    ) -> Iterable[Finding]:
+        func = node.func
+        is_random_class = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "Random"
+            and tracker.is_module(func.value, "random")
+        ) or (
+            isinstance(func, ast.Name) and tracker.member_origin(func.id, "random") == "Random"
+        )
+        if is_random_class and not node.args and not node.keywords:
+            yield self.finding(
+                ctx,
+                node,
+                "`random.Random()` without a seed falls back to wall-clock/OS entropy",
+                "pass an explicit seed (derive_seed keeps sub-streams independent)",
+            )

@@ -1,0 +1,119 @@
+"""RPA002 — no hash-order-dependent iteration on ranking/wire paths.
+
+Python ``set`` iteration order depends on insertion history and (for strings,
+pre-``PYTHONHASHSEED`` pinning) hash randomization.  Rankings, signatures and
+wire envelopes are bit-identity surfaces (PR 3's executor-independent
+tie-breaking, PR 4's shard-merge identity, PR 5's codecs), so in ``mapping/``,
+``shard/`` and ``api/`` any iteration that *materializes an order* out of a
+set — or out of a bare ``.keys()`` view — must pin that order with
+``sorted(...)``.  Plain dict iteration is insertion-ordered and allowed; the
+rule targets the constructs whose order is not a documented property of the
+code that built them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.core import Checker, FileContext, Finding
+
+_HINT = "wrap the iterable in sorted(...) so the realized order is pinned, not hash-dependent"
+
+#: Wrappers we see through when inspecting a loop's iterable: the order of
+#: `enumerate(set(...))` is exactly the order of the inner set.  Order-
+#: insensitive consumers (sorted/min/max/sum/any/all/len) are never flagged.
+_TRANSPARENT_WRAPPERS = ("enumerate", "reversed", "list", "tuple", "iter")
+
+
+def _bare_set_expr(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if it is an expression of set type, else None."""
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return f"{node.func.id}(...)"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # Set algebra on set expressions (s1 | {x}) stays a set.
+        left, right = _bare_set_expr(node.left), _bare_set_expr(node.right)
+        if left or right:
+            return left or right
+    return None
+
+
+def _keys_view(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+class HashOrderChecker(Checker):
+    rule_id = "RPA002"
+    title = "hash-order dependence on ranking/signature/wire paths"
+    contract = (
+        "In mapping/, shard/ and api/, iteration that realizes an order out of "
+        "a set expression or a bare dict .keys() view must go through "
+        "sorted(...) — rankings, signatures and wire output are bit-identity "
+        "surfaces and may not inherit hash/insertion order."
+    )
+    include = ("src/repro/mapping/**", "src/repro/shard/**", "src/repro/api/**")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                findings.extend(self._check_iterable(ctx, node.iter))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    findings.extend(self._check_iterable(ctx, generator.iter))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_materializing_call(ctx, node))
+        return findings
+
+    def _check_iterable(self, ctx: FileContext, iterable: ast.expr) -> Iterable[Finding]:
+        # See through order-preserving wrappers: enumerate(set(...)) is as
+        # hash-ordered as the set itself.
+        while (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in _TRANSPARENT_WRAPPERS
+            and iterable.args
+        ):
+            iterable = iterable.args[0]
+        described = _bare_set_expr(iterable)
+        if described is not None:
+            yield self.finding(
+                ctx, iterable, f"iteration over a bare {described} realizes hash order", _HINT
+            )
+        elif _keys_view(iterable):
+            yield self.finding(
+                ctx,
+                iterable,
+                "iteration over a bare .keys() view on a bit-identity path",
+                _HINT + " (or iterate the mapping itself if insertion order is the contract)",
+            )
+
+    def _check_materializing_call(self, ctx: FileContext, node: ast.Call) -> Iterable[Finding]:
+        # list(set(...)), tuple({...}), ", ".join(set(...)) bake hash order
+        # into an ordered value even outside a loop.
+        func = node.func
+        materializes = (
+            isinstance(func, ast.Name) and func.id in ("list", "tuple")
+        ) or (isinstance(func, ast.Attribute) and func.attr == "join")
+        if not materializes or len(node.args) != 1:
+            return
+        described = _bare_set_expr(node.args[0])
+        if described is not None:
+            label = func.id if isinstance(func, ast.Name) else "str.join"
+            yield self.finding(
+                ctx,
+                node,
+                f"`{label}` over a bare {described} bakes hash order into an ordered value",
+                _HINT,
+            )

@@ -1,0 +1,194 @@
+"""RPA006 — wire codecs and their envelope dataclasses cannot diverge.
+
+The v1 envelopes (PR 5) promise ``from_wire(to_wire(x)) == x`` and
+unknown-field tolerance.  Both properties rot silently when a field is added
+to a dataclass but not to its codec (the field never travels), or when
+``to_wire`` emits a key ``from_wire`` never reads (clients see data the
+decoder drops).  For every ``@dataclass`` in ``api/`` that defines both
+``to_wire`` and ``from_wire``, this rule checks:
+
+* **field coverage** — every wire-eligible field (public, not marked
+  ``compare=False``, which the envelopes use for derived/non-wire metadata)
+  is referenced as ``self.<field>`` inside ``to_wire``;
+* **attribute sanity** — ``to_wire`` only references real fields (or other
+  class attributes), so a renamed field cannot leave a dangling serializer;
+* **key symmetry** — the literal keys ``to_wire`` emits (dict literals and
+  ``wire["k"] = …`` assignments, minus the ``v``/``kind`` frame) equal the
+  literal keys ``from_wire`` reads via ``.get("k")``/``["k"]``.  A decoder
+  that reads no keys at all (pure delegation) is skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.core import Checker, FileContext, Finding
+
+#: Envelope frame keys carried by every wire dict but backed by class-level
+#: constants, not dataclass fields.
+_FRAME_KEYS = {"v", "kind"}
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _field_compare_false(value: Optional[ast.expr]) -> bool:
+    """True when a field default is ``field(..., compare=False)``."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+    if name != "field":
+        return False
+    for keyword in value.keywords:
+        if keyword.arg == "compare" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value is False
+    return False
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in node.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _self_attribute_reads(func: ast.FunctionDef) -> Set[str]:
+    return {
+        node.attr
+        for node in ast.walk(func)
+        if isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    }
+
+
+def _emitted_keys(func: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.add(key.value)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.add(target.slice.value)
+    return keys
+
+
+def _parsed_keys(func: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            keys.add(node.args[0].value)
+        elif (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, ast.Load)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+    return keys
+
+
+class WireDriftChecker(Checker):
+    rule_id = "RPA006"
+    title = "wire codec fields match their envelope dataclass"
+    contract = (
+        "For every envelope dataclass with to_wire/from_wire, the serialized "
+        "field set equals the dataclass's wire-eligible fields, and the keys "
+        "to_wire emits are exactly the keys from_wire reads (v/kind frame "
+        "aside) — codec and dataclass cannot silently diverge."
+    )
+    include = ("src/repro/api/**",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                findings.extend(self._check_class(ctx, node))
+        return findings
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterable[Finding]:
+        to_wire = _method(cls, "to_wire")
+        from_wire = _method(cls, "from_wire")
+        if to_wire is None or from_wire is None:
+            return
+        fields: List[str] = []
+        non_wire: Set[str] = set()
+        class_attrs: Set[str] = set()
+        for item in cls.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                name = item.target.id
+                if name.startswith("_"):
+                    non_wire.add(name)
+                    continue
+                fields.append(name)
+                if _field_compare_false(item.value):
+                    non_wire.add(name)
+            elif isinstance(item, ast.Assign):
+                for target in item.targets:
+                    if isinstance(target, ast.Name):
+                        class_attrs.add(target.id)
+            elif isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                class_attrs.add(item.name)
+
+        referenced = _self_attribute_reads(to_wire)
+        wire_fields = [name for name in fields if name not in non_wire]
+
+        for name in wire_fields:
+            if name not in referenced:
+                yield self.finding(
+                    ctx,
+                    to_wire,
+                    f"{cls.name}.{name} is a wire-eligible field but to_wire never "
+                    "serializes it",
+                    "emit the field (or mark it compare=False if it is derived metadata)",
+                )
+        known = set(fields) | non_wire | class_attrs
+        for name in sorted(referenced - known):
+            yield self.finding(
+                ctx,
+                to_wire,
+                f"{cls.name}.to_wire references `self.{name}`, which is not a field of "
+                "the dataclass",
+                "a renamed field left a dangling serializer — update to_wire",
+            )
+
+        emitted = _emitted_keys(to_wire) - _FRAME_KEYS
+        parsed = _parsed_keys(from_wire) - _FRAME_KEYS
+        if not parsed:
+            return  # pure delegation (e.g. MatchOptions.from_wire -> options_from_wire)
+        for key in sorted(emitted - parsed):
+            yield self.finding(
+                ctx,
+                to_wire,
+                f"{cls.name}.to_wire emits key '{key}' that from_wire never reads",
+                "read it in from_wire or stop emitting it — one-way keys are silent drift",
+            )
+        for key in sorted(parsed - emitted):
+            yield self.finding(
+                ctx,
+                from_wire,
+                f"{cls.name}.from_wire reads key '{key}' that to_wire never emits",
+                "emit it in to_wire or stop reading it — one-way keys are silent drift",
+            )

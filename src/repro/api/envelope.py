@@ -526,6 +526,8 @@ class BatchResponse:
 
     kind = "batch_response"
 
+    # repro: allow[RPA006] 'queries' is a redundant convenience count for JSONL
+    # consumers; the decoder derives it as len(results), so it cannot drift
     def to_wire(self) -> Dict[str, object]:
         return {
             "v": PROTOCOL_VERSION,

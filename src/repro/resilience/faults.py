@@ -260,4 +260,7 @@ class ChaosExecutor(DelegatingExecutor):
             index, item = pair
             return injector.call(key_fn(item, index), fn, item)
 
+        # repro: allow[RPA003] ChaosExecutor is in-process by contract (the
+        # injector's shared call counters do not survive pickling — see class
+        # docstring); it only ever wraps serial or thread executors
         return self.inner.map(run, list(enumerate(items)))

@@ -1,0 +1,41 @@
+"""Shared helpers for the analysis-suite tests: fixture-tree runners."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.project import AnalysisConfig, AnalysisProject
+from repro.analysis.rules import default_checkers
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _run_fixture(name, *, rules=None, glossary_path="docs/ARCHITECTURE.md", checkers=None):
+    """Run the battery (or a subset) over ``tests/analysis/fixtures/<name>``."""
+    config = AnalysisConfig(
+        root=FIXTURES / name,
+        scan_roots=("src",),
+        glossary_path=glossary_path,
+        rules=rules,
+    )
+    project = AnalysisProject(
+        config=config,
+        checkers=list(checkers) if checkers is not None else default_checkers(),
+    )
+    return project.run()
+
+
+@pytest.fixture
+def run_fixture():
+    return _run_fixture
+
+
+@pytest.fixture
+def fixtures_dir():
+    return FIXTURES
+
+
+@pytest.fixture
+def repo_root():
+    return REPO_ROOT

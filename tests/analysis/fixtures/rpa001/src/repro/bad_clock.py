@@ -1,0 +1,35 @@
+"""Golden positive fixture for RPA001 — every construct below is a finding."""
+
+import random
+import time
+import time as t
+from datetime import datetime
+from random import shuffle
+
+
+def stamp():
+    return time.time()
+
+
+def stamp_ns():
+    return t.time_ns()
+
+
+def jitter():
+    return random.uniform(0.0, 1.0)
+
+
+def shuffle_in_place(items):
+    shuffle(items)
+
+
+def fresh_rng():
+    return random.Random()
+
+
+def os_rng():
+    return random.SystemRandom()
+
+
+def today():
+    return datetime.now()

@@ -1,0 +1,16 @@
+"""Golden negative fixture for RPA001 — monotonic clocks and seeded RNGs only."""
+
+import random
+import time
+
+
+def elapsed(start):
+    return time.monotonic() - start
+
+
+def timer():
+    return time.perf_counter()
+
+
+def seeded(seed):
+    return random.Random(seed)

@@ -1,0 +1,7 @@
+"""resilience/ owns its jitter and sleeps — excluded from RPA001 by path."""
+
+import time
+
+
+def wall():
+    return time.time()

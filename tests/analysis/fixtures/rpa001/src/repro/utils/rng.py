@@ -1,0 +1,7 @@
+"""The audited RNG owner — excluded from RPA001 by path."""
+
+import random
+
+
+def draw():
+    return random.random()

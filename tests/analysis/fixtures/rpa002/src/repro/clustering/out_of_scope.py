@@ -1,0 +1,5 @@
+"""Outside RPA002's mapping/shard/api scope — never flagged."""
+
+
+def centroids(points):
+    return list({p for p in points})

@@ -1,0 +1,25 @@
+"""Golden positive fixture for RPA002 — every construct below is a finding."""
+
+
+def ranked(candidates):
+    out = []
+    for name in {c.name for c in candidates}:
+        out.append(name)
+    return out
+
+
+def signature(parts):
+    return ",".join(set(parts))
+
+
+def keys_of(table):
+    return [key for key in table.keys()]
+
+
+def pairs(items):
+    for index, item in enumerate(set(items)):
+        yield index, item
+
+
+def as_list(values):
+    return list({v for v in values})

@@ -1,0 +1,17 @@
+"""Golden negative fixture for RPA002 — pinned or order-insensitive only."""
+
+
+def ranked(candidates):
+    return [name for name in sorted({c.name for c in candidates})]
+
+
+def totals(table):
+    return {key: table[key] for key in table}
+
+
+def best(scores):
+    return max(set(scores))
+
+
+def merged(left, right):
+    return sorted(set(left) | set(right))

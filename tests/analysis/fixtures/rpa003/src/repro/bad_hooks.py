@@ -1,0 +1,21 @@
+"""Golden positive fixture for RPA003 — hooks and unpicklable callables."""
+
+
+class UnauditedState:
+    def __getstate__(self):
+        return {}
+
+
+def fan_out(executor, items):
+    return executor.map(lambda item: item * 2, items)
+
+
+def fan_out_closure(executor, items):
+    def work(item):
+        return item + 1
+
+    return executor.map(work, items)
+
+
+def fan_out_module_fn(executor, items):
+    return executor.map(fan_out, items)

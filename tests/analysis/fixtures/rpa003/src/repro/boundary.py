@@ -1,0 +1,15 @@
+"""Allowlist-liveness fixture for RPA003 (paired with a custom allowlist)."""
+
+
+class AuditedPayload:
+    """Allowlisted as hooks=False in the test allowlist, but grew a hook."""
+
+    def __reduce__(self):
+        return (AuditedPayload, ())
+
+
+class ClaimsHooks:
+    """Allowlisted as hooks=True in the test allowlist, but defines none."""
+
+    def run(self):
+        return None

@@ -1,0 +1,25 @@
+"""Golden positive fixture for RPA004 — every construct below is a finding."""
+
+import asyncio
+import time
+from pathlib import Path
+
+
+async def handler(request):
+    time.sleep(0.1)
+    data = open("payload.json").read()
+    text = Path("payload.json").read_text()
+    return request, data, text
+
+
+async def guarded(self):
+    self._lock.acquire()
+    try:
+        return self.state
+    finally:
+        self._lock.release()
+
+
+async def held(self):
+    with self._lock:
+        await asyncio.sleep(0)

@@ -1,0 +1,28 @@
+"""Golden negative fixture for RPA004 — offloaded, awaited, or sync-only."""
+
+import asyncio
+import time
+
+
+async def handler(loop, work):
+    return await loop.run_in_executor(None, work)
+
+
+async def locked(self):
+    async with self._alock:
+        await asyncio.sleep(0)
+
+
+async def acquire_async(self):
+    await self._alock.acquire()
+
+
+def sync_helper():
+    time.sleep(0.1)
+
+
+async def outer():
+    def later():
+        time.sleep(0.1)
+
+    return later

@@ -1,0 +1,15 @@
+"""Counter-glossary fixture for RPA005 (paired with docs_glossary.md)."""
+
+
+class Engine:
+    def __init__(self, counters):
+        self.counters = counters
+
+    def step(self, name):
+        self.counters.increment("fixture_documented")
+        self.counters.increment("fixture_undocumented")
+        self.counters.increment(name)
+
+
+def record(counters):
+    counters.set("fixture_documented", 1)

@@ -1,0 +1,50 @@
+"""Wire-drift fixture for RPA006: one leaky codec, two clean ones."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class LeakyEnvelope:
+    kind = "leaky"
+    query: str
+    limit: int
+    _cache: Dict[str, object] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"v": 1, "kind": self.kind, "query": self.query, "rows": self.row_count}
+
+    @classmethod
+    def from_wire(cls, wire):
+        return cls(query=str(wire["query"]), limit=int(wire.get("limit", 0)))
+
+
+@dataclass
+class CleanEnvelope:
+    kind = "clean"
+    query: str
+    limit: int = 10
+    digest: str = field(default="", compare=False)
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"v": 1, "kind": self.kind, "query": self.query, "limit": self.limit}
+
+    @classmethod
+    def from_wire(cls, wire):
+        return cls(query=str(wire["query"]), limit=int(wire.get("limit", 10)))
+
+
+def _decode(cls, wire):
+    return cls(payload=str(wire.get("payload", "")))
+
+
+@dataclass
+class DelegatingEnvelope:
+    payload: str
+
+    def to_wire(self) -> Dict[str, object]:
+        return {"v": 1, "payload": self.payload}
+
+    @classmethod
+    def from_wire(cls, wire):
+        return _decode(cls, wire)

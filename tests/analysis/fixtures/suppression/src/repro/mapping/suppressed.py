@@ -1,0 +1,27 @@
+"""Suppression-handling fixture: used, unused, malformed, unjustified markers."""
+
+
+def pinned(parts):
+    return ",".join(set(parts))  # repro: allow[RPA002] order folds into a set-valued digest downstream
+
+
+def block_marked(parts):
+    # repro: allow[RPA002] the consumer re-sorts; this marker demonstrates
+    # standalone block coverage for the construct on the next code line
+    return list({p for p in parts})
+
+
+def stale(parts):
+    return sorted(parts)  # repro: allow[RPA002] nothing violates here, so this marker is unused
+
+
+def broken(parts):
+    return sorted(parts)  # repro: allow[] empty rule list
+
+
+def bad_id(parts):
+    return sorted(parts)  # repro: allow[NOPE] not a rule id
+
+
+def unjustified(parts):
+    return ",".join(set(parts))  # repro: allow[RPA002]

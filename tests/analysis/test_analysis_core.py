@@ -1,0 +1,121 @@
+"""Framework-level tests: path scoping, suppression parsing, import tracking."""
+
+import ast
+
+from repro.analysis.core import (
+    FRAMEWORK_RULE,
+    Finding,
+    ImportTracker,
+    Suppression,
+    parse_suppressions,
+    path_matches,
+)
+
+
+class TestPathMatches:
+    def test_double_star_matches_subtree_and_directory_itself(self):
+        assert path_matches("src/repro/mapping/engine.py", "src/repro/mapping/**")
+        assert path_matches("src/repro/mapping", "src/repro/mapping/**")
+        assert not path_matches("src/repro/mappings/x.py", "src/repro/mapping/**")
+
+    def test_literal_and_glob(self):
+        assert path_matches("src/repro/utils/rng.py", "src/repro/utils/rng.py")
+        assert path_matches("benchmarks/bench_micro.py", "benchmarks/bench_*.py")
+        assert not path_matches("src/repro/utils/rng.py", "src/repro/utils/executor.py")
+
+
+class TestParseSuppressions:
+    def test_trailing_marker_covers_its_own_line(self):
+        source = 'value = risky()  # repro: allow[RPA001] seeded upstream via derive_seed\n'
+        suppressions, problems = parse_suppressions("m.py", source)
+        assert problems == []
+        assert len(suppressions) == 1
+        marker = suppressions[0]
+        assert marker.line == 1
+        assert marker.rules == ("RPA001",)
+        assert marker.justification == "seeded upstream via derive_seed"
+
+    def test_standalone_block_covers_next_code_line_and_joins_justification(self):
+        source = (
+            "def f():\n"
+            "    # repro: allow[RPA002] the consumer re-sorts;\n"
+            "    # continuation of the justification\n"
+            "    return list({1, 2})\n"
+        )
+        suppressions, problems = parse_suppressions("m.py", source)
+        assert problems == []
+        (marker,) = suppressions
+        assert marker.line == 4
+        assert "continuation of the justification" in marker.justification
+
+    def test_multiple_rule_ids(self):
+        source = "x = f()  # repro: allow[RPA001, RPA004] both rules audited here\n"
+        (marker,), problems = parse_suppressions("m.py", source)
+        assert problems == []
+        assert marker.rules == ("RPA001", "RPA004")
+
+    def test_missing_justification_is_a_framework_finding(self):
+        source = "x = f()  # repro: allow[RPA001]\n"
+        suppressions, problems = parse_suppressions("m.py", source)
+        assert suppressions == []
+        (problem,) = problems
+        assert problem.rule == FRAMEWORK_RULE
+        assert "no justification" in problem.message
+
+    def test_invalid_rule_id_is_a_framework_finding(self):
+        source = "x = f()  # repro: allow[NOPE] why not\n"
+        suppressions, problems = parse_suppressions("m.py", source)
+        assert suppressions == []
+        (problem,) = problems
+        assert "invalid rule ids" in problem.message
+
+    def test_malformed_marker_is_a_framework_finding(self):
+        source = "x = f()  # repro: allow RPA001 forgot the brackets\n"
+        suppressions, problems = parse_suppressions("m.py", source)
+        assert suppressions == []
+        (problem,) = problems
+        assert "malformed suppression marker" in problem.message
+
+    def test_marker_text_inside_strings_is_ignored(self):
+        source = (
+            '"""Docs may mention # repro: allow[RPA001] as an example."""\n'
+            "PATTERN = 'repro: allow[RPA001] in a string'\n"
+            "x = 1\n"
+        )
+        suppressions, problems = parse_suppressions("m.py", source)
+        assert suppressions == []
+        assert problems == []
+
+
+class TestSuppressionCovers:
+    def _finding(self, rule, line=3):
+        return Finding(rule=rule, path="m.py", line=line, col=1, message="x")
+
+    def test_covers_matching_rule_line_and_path(self):
+        marker = Suppression(path="m.py", line=3, rules=("RPA001",), justification="why")
+        assert marker.covers(self._finding("RPA001"))
+        assert not marker.covers(self._finding("RPA002"))
+        assert not marker.covers(self._finding("RPA001", line=4))
+
+    def test_framework_rule_is_never_suppressible(self):
+        marker = Suppression(
+            path="m.py", line=3, rules=(FRAMEWORK_RULE,), justification="why"
+        )
+        assert not marker.covers(self._finding(FRAMEWORK_RULE))
+
+
+class TestImportTracker:
+    def test_module_aliases_and_member_origins(self):
+        tree = ast.parse(
+            "import time as t\n"
+            "import random\n"
+            "from random import shuffle as mix\n"
+            "from datetime import datetime\n"
+        )
+        tracker = ImportTracker(("time", "random", "datetime")).scan(tree)
+        assert tracker.is_module(ast.parse("t").body[0].value, "time")
+        assert tracker.is_module(ast.parse("random").body[0].value, "random")
+        assert not tracker.is_module(ast.parse("time").body[0].value, "time")
+        assert tracker.member_origin("mix", "random") == "shuffle"
+        assert tracker.member_origin("datetime", "datetime") == "datetime"
+        assert tracker.member_origin("shuffle", "random") is None
