@@ -77,6 +77,22 @@ PICKLE_BOUNDARY_ALLOWLIST: Dict[str, Dict[str, object]] = {
         "hooks": False,
         "why": "the per-cluster task payload; default pickling is the chunk-level dedup contract",
     },
+    "repro.storage.frozen.FrozenRepository": {
+        "hooks": True,
+        "why": "mmap views cannot pickle; reduces to a snapshot-path reopen shared per worker process",
+    },
+    "repro.storage.frozen.FrozenNameIndex": {
+        "hooks": True,
+        "why": "immutable mmap-backed index; reduces to (path, position) so workers attach, never copy",
+    },
+    "repro.storage.frozen.FrozenRepositoryDistanceOracle": {
+        "hooks": True,
+        "why": "shm redirect wins, else snapshot-path reopen while pristine, else copy sans mmap views",
+    },
+    "repro.storage.frozen.FrozenPartition": {
+        "hooks": True,
+        "why": "reduces to (path, reclustering) while segment-backed; materializes before plain pickling",
+    },
 }
 
 _HOOK_HINT = (

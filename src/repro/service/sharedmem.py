@@ -63,7 +63,6 @@ import atexit
 import json
 import multiprocessing
 import struct
-import sys
 import threading
 from array import array
 from multiprocessing import resource_tracker, shared_memory
@@ -78,18 +77,23 @@ _DESCRIPTOR_KEY = "__shm__"
 
 
 class _BufferPacker:
-    """``pack`` codec: append int32 bytes to one region, emit descriptors."""
+    """``pack`` codec: append int32 bytes to one region, emit descriptors.
+
+    The wire encoding is the storage subsystem's shared little-endian int32
+    carrier (:func:`repro.storage.format.pack_int32`) — the same bytes a
+    frozen-snapshot segment holds, so the shared-memory region and the on-disk
+    format can never drift apart.
+    """
 
     def __init__(self) -> None:
         self._chunks: list = []
         self._offset = 0
 
     def __call__(self, values) -> Dict[str, Any]:
-        buffer = array("i", values)
-        if sys.byteorder == "big":  # pragma: no cover - x86/arm are little-endian
-            buffer.byteswap()
-        raw = buffer.tobytes()
-        descriptor = {_DESCRIPTOR_KEY: [self._offset, len(buffer)]}
+        from repro.storage.format import pack_int32
+
+        raw = pack_int32(values)
+        descriptor = {_DESCRIPTOR_KEY: [self._offset, len(raw) // 4]}
         self._chunks.append(raw)
         self._offset += len(raw)
         return descriptor
@@ -105,12 +109,10 @@ class _BufferUnpacker:
         self._view = view
 
     def __call__(self, descriptor: Dict[str, Any]) -> array:
+        from repro.storage.format import unpack_int32
+
         offset, count = descriptor[_DESCRIPTOR_KEY]
-        buffer = array("i")
-        buffer.frombytes(self._view[offset : offset + 4 * count].tobytes())
-        if sys.byteorder == "big":  # pragma: no cover - x86/arm are little-endian
-            buffer.byteswap()
-        return buffer
+        return unpack_int32(self._view[offset : offset + 4 * count])
 
 
 #: Segments created by this process, for the atexit sweep.

@@ -58,7 +58,6 @@ from __future__ import annotations
 
 import base64
 import json
-import sys
 from array import array
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -83,20 +82,22 @@ SNAPSHOT_VERSION = 1
 
 
 def _pack_ints(values) -> str:
-    """Encode an int sequence as base64 little-endian int32 (see module docs)."""
-    buffer = array("i", values)
-    if sys.byteorder == "big":  # pragma: no cover - x86/arm are little-endian
-        buffer.byteswap()
-    return base64.b64encode(buffer.tobytes()).decode("ascii")
+    """Encode an int sequence as base64 little-endian int32 (see module docs).
+
+    The byte layout is the storage subsystem's shared carrier
+    (:func:`repro.storage.format.pack_int32`) — identical to a frozen-snapshot
+    segment and the shared-memory region, base64-armored for JSON.
+    """
+    from repro.storage.format import pack_int32
+
+    return base64.b64encode(pack_int32(values)).decode("ascii")
 
 
 def _unpack_ints(text: str) -> array:
     """Decode a packed buffer into a *live* ``array('i')`` (no int objects)."""
-    buffer = array("i")
-    buffer.frombytes(base64.b64decode(text))
-    if sys.byteorder == "big":  # pragma: no cover - x86/arm are little-endian
-        buffer.byteswap()
-    return buffer
+    from repro.storage.format import unpack_int32
+
+    return unpack_int32(base64.b64decode(text))
 
 
 def _pack_oracle(payload: Dict[str, Any], pack=_pack_ints) -> Dict[str, Any]:
@@ -387,7 +388,24 @@ def snapshot_to_service(
 
 
 def load_snapshot(path: str | Path, **overrides: Any) -> MatchingService:
-    """Load a service from a snapshot file written by :func:`write_snapshot`."""
+    """Load a service from a snapshot file — JSON or frozen, same call.
+
+    The carrier is sniffed from the file's magic bytes: frozen snapshots
+    (:mod:`repro.storage`) dispatch to the mmap-backed O(header) loader,
+    anything else takes the JSON parse path.  The keyword overrides are
+    identical either way.
+    """
+    try:
+        with open(path, "rb") as stream:
+            prefix = stream.read(8)
+    except OSError as exc:
+        raise ReproError(f"cannot read snapshot {path}: {exc}") from exc
+    from repro.storage.format import is_frozen_prefix
+
+    if is_frozen_prefix(prefix):
+        from repro.storage.frozen import load_frozen_service
+
+        return load_frozen_service(path, **overrides)
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except OSError as exc:

@@ -43,8 +43,8 @@ MANIFEST_VERSION = 1
 DEFAULT_MANIFEST_NAME = "manifest.json"
 
 
-def _shard_snapshot_name(shard_id: int) -> str:
-    return f"shard-{shard_id}.snapshot.json"
+def _shard_snapshot_name(shard_id: int, frozen: bool = False) -> str:
+    return f"shard-{shard_id}.snapshot.{'frozen' if frozen else 'json'}"
 
 
 def _shard_digest(repository: SchemaRepository) -> str:
@@ -63,34 +63,63 @@ def _shard_digest(repository: SchemaRepository) -> str:
     return hasher.hexdigest()[:16]
 
 
+def _loaded_shard_digest(shard) -> str:
+    """A loaded shard's forest digest, O(1) for pristine frozen snapshots.
+
+    A frozen snapshot's header records the same fingerprint fold the builder
+    computed while streaming (:class:`repro.storage.builder._FrozenWriter`
+    uses the identical recipe as :func:`_shard_digest`), so a frozen shard
+    self-certifies from its header — materializing every tree just to
+    re-derive a digest the file already carries would forfeit the O(1) open.
+    A mutated (thawed) repository no longer matches its file; it falls back
+    to the full fold, as does any JSON-loaded shard.
+    """
+    from repro.storage.frozen import FrozenRepository
+
+    repository = shard.repository
+    if type(repository) is FrozenRepository and repository.version == 0:
+        return str(repository._snapshot.header["repository"]["digest"])
+    return _shard_digest(repository)
+
+
 def write_shard_set(
     service: ShardedMatchingService,
     directory: str | Path,
     *,
     manifest_name: str = DEFAULT_MANIFEST_NAME,
     global_version: Optional[int] = None,
+    frozen: bool = False,
 ) -> Dict[str, Any]:
     """Persist a sharded service: one snapshot per shard plus the manifest.
 
     ``global_version`` defaults to the service's current version; rebalance
-    passes the old version + 1 so clients observe the rewrite.  Returns the
-    manifest document.  Writes the shard snapshots first and the manifest
-    last (itself atomically, temp file + rename like the snapshots), so a
-    crash at any point never leaves a manifest naming missing files and
+    passes the old version + 1 so clients observe the rewrite.  With
+    ``frozen`` each shard is written as a frozen (mmap) snapshot instead of
+    JSON — :func:`load_shard_set` then opens each shard in O(header) time.
+    Returns the manifest document.  Writes the shard snapshots first and the
+    manifest last (itself atomically, temp file + rename like the snapshots),
+    so a crash at any point never leaves a manifest naming missing files and
     never truncates an existing good manifest.
     """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
     shards_entry: List[Dict[str, Any]] = []
     for shard_id, shard in enumerate(service.shards):
-        snapshot_name = _shard_snapshot_name(shard_id)
-        write_snapshot(shard, target / snapshot_name)
+        snapshot_name = _shard_snapshot_name(shard_id, frozen=frozen)
+        if frozen:
+            from repro.storage.builder import freeze_service
+
+            header = freeze_service(shard, target / snapshot_name)
+            digest = str(header["repository"]["digest"])
+        else:
+            write_snapshot(shard, target / snapshot_name)
+            digest = _shard_digest(shard.repository)
         shards_entry.append(
             {
                 "path": snapshot_name,
                 "trees": shard.repository.tree_count,
                 "nodes": shard.repository.node_count,
-                "digest": _shard_digest(shard.repository),
+                "digest": digest,
             }
         )
     manifest = {
@@ -203,7 +232,7 @@ def load_shard_set(
         for field, actual in (
             ("trees", shard.repository.tree_count),
             ("nodes", shard.repository.node_count),
-            ("digest", _shard_digest(shard.repository)),
+            ("digest", _loaded_shard_digest(shard)),
         ):
             declared = entry.get(field)
             if declared is not None and (
@@ -247,6 +276,7 @@ def rebalance_shard_set(
     router: Optional[ShardRouter] = None,
     out_directory: Optional[str | Path] = None,
     manifest_name: str = DEFAULT_MANIFEST_NAME,
+    frozen: Optional[bool] = None,
 ) -> Dict[str, Any]:
     """Re-split an existing shard set with a new shard count and/or router.
 
@@ -262,6 +292,12 @@ def rebalance_shard_set(
     harmless.  Returns the new manifest document.
     """
     manifest_file = Path(manifest_path)
+    payload = load_manifest(manifest_file)
+    if frozen is None:
+        # Preserve the set's carrier: frozen in, frozen out.
+        frozen = any(
+            str(entry.get("path", "")).endswith(".frozen") for entry in payload["shards"]
+        )
     service = load_shard_set(manifest_file)
     new_router = router or service.router
     new_count = service.shard_count if shard_count is None else shard_count
@@ -287,4 +323,5 @@ def rebalance_shard_set(
         target,
         manifest_name=manifest_name,
         global_version=service.global_version + 1,
+        frozen=frozen,
     )

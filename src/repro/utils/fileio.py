@@ -16,13 +16,23 @@ from pathlib import Path
 
 def write_text_atomic(path: str | Path, text: str, encoding: str = "utf-8") -> None:
     """Atomically replace ``path`` with ``text`` (temp file + rename)."""
+    write_bytes_atomic(path, text.encode(encoding))
+
+
+def write_bytes_atomic(path: str | Path, payload: bytes) -> None:
+    """Atomically replace ``path`` with binary ``payload`` (temp file + rename).
+
+    The binary sibling of :func:`write_text_atomic`: frozen snapshot segments
+    are raw little-endian arrays, so they must never pass through text-mode
+    newline translation, and a crash mid-freeze must never leave a torn file.
+    """
     target = Path(path)
     handle, temp_name = tempfile.mkstemp(
         prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or "."
     )
     try:
-        with os.fdopen(handle, "w", encoding=encoding) as stream:
-            stream.write(text)
+        with os.fdopen(handle, "wb") as stream:
+            stream.write(payload)
         os.replace(temp_name, target)
     except BaseException:
         with contextlib.suppress(OSError):
