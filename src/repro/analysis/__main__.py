@@ -9,6 +9,7 @@ from typing import List, Optional
 
 from repro.analysis.project import AnalysisConfig, AnalysisProject
 from repro.analysis.rules import CHECKER_CLASSES, default_checkers, rules_by_id
+from repro.utils.fileio import write_text_atomic
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -76,7 +77,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     rendered = report.to_json() if args.format == "json" else report.to_human()
     print(rendered)
     if args.out is not None:
-        args.out.write_text(rendered + "\n", encoding="utf-8")
+        # Atomic like every other persisted artifact: CI archives this file
+        # even after a failing run, so it must never be observed truncated.
+        write_text_atomic(args.out, rendered + "\n")
     return report.exit_code()
 
 

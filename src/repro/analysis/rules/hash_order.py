@@ -57,12 +57,18 @@ class HashOrderChecker(Checker):
     rule_id = "RPA002"
     title = "hash-order dependence on ranking/signature/wire paths"
     contract = (
-        "In mapping/, shard/ and api/, iteration that realizes an order out of "
-        "a set expression or a bare dict .keys() view must go through "
-        "sorted(...) — rankings, signatures and wire output are bit-identity "
-        "surfaces and may not inherit hash/insertion order."
+        "In mapping/, shard/, api/ and ingest/, iteration that realizes an "
+        "order out of a set expression or a bare dict .keys() view must go "
+        "through sorted(...) — rankings, signatures, wire output and frozen "
+        "snapshots are bit-identity surfaces and may not inherit "
+        "hash/insertion order."
     )
-    include = ("src/repro/mapping/**", "src/repro/shard/**", "src/repro/api/**")
+    include = (
+        "src/repro/mapping/**",
+        "src/repro/shard/**",
+        "src/repro/api/**",
+        "src/repro/ingest/**",
+    )
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         findings: List[Finding] = []

@@ -1,6 +1,6 @@
 """Command-line interface for the Bellflower matcher.
 
-Seven subcommands cover the typical usage of the library without writing code:
+Nine subcommands cover the typical usage of the library without writing code:
 
 ``match``
     Match a personal schema (given as a nested JSON specification) against a
@@ -40,6 +40,16 @@ Seven subcommands cover the typical usage of the library without writing code:
     snapshots tied together by a manifest, ``status`` inspects a manifest,
     ``rebalance`` re-splits an existing set with a new shard count or router.
 
+``ingest``
+    Run the staged corpus-ingestion pipeline (``run``), inspect a run
+    directory (``status``) or continue an interrupted run (``resume``).  The
+    output is a frozen snapshot that ``query``/``serve`` load directly.
+
+``trace``
+    Synthesize a Zipf-skewed query trace (``synth``) or replay a trace file
+    against a snapshot or shard set (``replay``), reporting the canonical
+    ranking digest that must be bit-identical across backends.
+
 Examples
 --------
 ::
@@ -58,6 +68,10 @@ Examples
     python -m repro.cli query --shards ./shards/manifest.json --batch queries.jsonl --workers 4
     echo '{"personal": {"person": ["name", "email"]}}' | \\
         python -m repro.cli serve --shards ./shards/manifest.json --workers 4
+    python -m repro.cli ingest run --run-dir ./run --bundled --source-dir ./schemas
+    python -m repro.cli ingest resume --run-dir ./run --bundled --source-dir ./schemas
+    python -m repro.cli trace synth --out trace.json --length 200 --seed 7
+    python -m repro.cli trace replay --trace trace.json --snapshot run/out.frozen
 """
 
 from __future__ import annotations
@@ -686,6 +700,152 @@ def _command_shard_rebalance(args: argparse.Namespace) -> int:
     return 0
 
 
+def _ingest_sources(args: argparse.Namespace):
+    from repro.ingest import ArchiveSource, BundledCorpusSource, DirectorySource
+
+    sources = []
+    if getattr(args, "bundled", False):
+        sources.append(BundledCorpusSource())
+    for directory in getattr(args, "source_dir", None) or ():
+        sources.append(DirectorySource(Path(directory)))
+    for archive in getattr(args, "archive", None) or ():
+        sources.append(ArchiveSource(Path(archive)))
+    return sources
+
+
+def _ingest_pipeline(args: argparse.Namespace, *, with_config: bool):
+    from repro.ingest import IngestConfig, IngestPipeline
+
+    config = None
+    if with_config:
+        config = IngestConfig(
+            repository_name=args.name,
+            element_threshold=args.element_threshold,
+            delta=args.delta,
+            partition_max_fragment_size=args.max_fragment_size,
+            max_depth=args.max_depth,
+            merge_chunk_trees=args.chunk_trees,
+        )
+    return IngestPipeline(Path(args.run_dir), _ingest_sources(args), config)
+
+
+def _print_ingest_status(status: dict) -> None:
+    print(f"ingestion run {status['run_dir']} (sources: {', '.join(status['sources'])})")
+    for stage, entry in status["stages"].items():
+        counts = ", ".join(
+            f"{key}={value}"
+            for key, value in entry.items()
+            if key not in ("state", "snapshot_sha256")
+        )
+        print(f"  {stage:<9} {entry['state']}" + (f"  ({counts})" if counts else ""))
+    if status["quarantined"]:
+        print(f"  quarantined documents ({len(status['quarantined'])}):")
+        for doc_id in status["quarantined"]:
+            print(f"    {doc_id}")
+    snapshot = status.get("snapshot")
+    if snapshot:
+        print(f"  snapshot: {snapshot['path']} (sha256 {snapshot['sha256']})")
+    else:
+        print("  snapshot: not yet written")
+
+
+def _command_ingest_run(args: argparse.Namespace) -> int:
+    pipeline = _ingest_pipeline(args, with_config=True)
+    _print_ingest_status(pipeline.run(stop_after=args.stop_after))
+    return 0
+
+
+def _command_ingest_resume(args: argparse.Namespace) -> int:
+    # No config flags here: the run manifest is authoritative, and a resume
+    # under a different config could not reproduce the interrupted run.
+    pipeline = _ingest_pipeline(args, with_config=False)
+    _print_ingest_status(pipeline.run(resume=True, stop_after=args.stop_after))
+    return 0
+
+
+def _command_ingest_status(args: argparse.Namespace) -> int:
+    pipeline = _ingest_pipeline(args, with_config=False)
+    _print_ingest_status(pipeline.status())
+    return 0
+
+
+def _parse_optional_floats(text: str, flag: str):
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part == "default":
+            values.append(None)
+            continue
+        try:
+            values.append(float(part))
+        except ValueError as exc:
+            raise ReproError(f"{flag} entries must be numbers or 'default': {part!r}") from exc
+    if not values:
+        raise ReproError(f"{flag} must list at least one value")
+    return values
+
+
+def _parse_optional_ints(text: str, flag: str):
+    values = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part in ("default", "all"):
+            values.append(None)
+            continue
+        try:
+            values.append(int(part))
+        except ValueError as exc:
+            raise ReproError(f"{flag} entries must be integers, 'default' or 'all': {part!r}") from exc
+    if not values:
+        raise ReproError(f"{flag} must list at least one value")
+    return values
+
+
+def _command_trace_synth(args: argparse.Namespace) -> int:
+    from repro.workload.trace import save_trace, synthesize_zipf_trace
+
+    trace = synthesize_zipf_trace(
+        args.length,
+        args.seed,
+        name=args.name,
+        skew=args.skew,
+        deltas=_parse_optional_floats(args.deltas, "--deltas"),
+        top_ks=_parse_optional_ints(args.top_ks, "--top-ks"),
+    )
+    save_trace(trace, Path(args.out))
+    print(
+        f"wrote trace {trace.name!r}: {len(trace.queries)} queries "
+        f"({trace.unique_query_count()} unique) to {args.out} (seed {args.seed})"
+    )
+    return 0
+
+
+def _command_trace_replay(args: argparse.Namespace) -> int:
+    from repro.workload.trace import load_trace, replay_trace
+
+    trace = load_trace(Path(args.trace))
+    service = _load_service_argument(args)
+    try:
+        report = replay_trace(trace, service, use_match_many=not args.single)
+    finally:
+        _close_service(service)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    print(
+        f"replayed {report['queries']} queries ({report['unique_queries']} unique, "
+        f"{report['option_groups']} option groups) from trace {report['trace']!r}"
+    )
+    if report["partial"] or report["degraded"]:
+        print(f"  partial: {report['partial']}, degraded: {report['degraded']}")
+    print(f"  ranking digest: {report['ranking_digest']}")
+    return 0
+
+
 def _add_resilience_arguments(parser: argparse.ArgumentParser) -> None:
     """The resilience flags ``query`` and ``serve`` share."""
     parser.add_argument(
@@ -868,6 +1028,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the new set here instead of rewriting in place",
     )
     rebalance_parser.set_defaults(handler=_command_shard_rebalance)
+
+    ingest_parser = subparsers.add_parser(
+        "ingest", help="staged corpus ingestion into a frozen snapshot (run, status, resume)"
+    )
+    ingest_subparsers = ingest_parser.add_subparsers(dest="ingest_command", required=True)
+
+    def _add_ingest_source_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--run-dir", required=True, dest="run_dir", help="ingestion run directory")
+        sub.add_argument(
+            "--source-dir", action="append", dest="source_dir", default=[],
+            help="directory tree of .dtd/.xsd files (repeatable)",
+        )
+        sub.add_argument(
+            "--archive", action="append", default=[],
+            help="zip or tar archive of .dtd/.xsd files (repeatable)",
+        )
+        sub.add_argument(
+            "--bundled", action="store_true",
+            help="include the bundled hand-written corpus (repro.workload.corpus)",
+        )
+        sub.add_argument(
+            "--stop-after", default=None, dest="stop_after",
+            choices=("fetch", "parse", "validate", "dedupe", "merge"),
+            help="stop at this stage boundary (resume later); default: run to completion",
+        )
+
+    ingest_run_parser = ingest_subparsers.add_parser(
+        "run", help="start a new ingestion run (fetch, parse, validate, dedupe, merge)"
+    )
+    _add_ingest_source_arguments(ingest_run_parser)
+    ingest_run_parser.add_argument("--name", default="repository", help="repository name in the snapshot")
+    ingest_run_parser.add_argument("--element-threshold", type=float, default=0.45)
+    ingest_run_parser.add_argument("--delta", type=float, default=0.7)
+    ingest_run_parser.add_argument("--max-fragment-size", type=int, default=20, help="partition fragment size cap")
+    ingest_run_parser.add_argument("--max-depth", type=int, default=12, dest="max_depth", help="parser nesting cap")
+    ingest_run_parser.add_argument(
+        "--chunk-trees", type=int, default=16, dest="chunk_trees",
+        help="trees per merge generation (memory bound and resume granularity)",
+    )
+    ingest_run_parser.set_defaults(handler=_command_ingest_run)
+
+    ingest_status_parser = ingest_subparsers.add_parser("status", help="inspect an ingestion run directory")
+    ingest_status_parser.add_argument("--run-dir", required=True, dest="run_dir", help="ingestion run directory")
+    ingest_status_parser.set_defaults(handler=_command_ingest_status)
+
+    ingest_resume_parser = ingest_subparsers.add_parser(
+        "resume", help="continue an interrupted run (config comes from the run manifest)"
+    )
+    _add_ingest_source_arguments(ingest_resume_parser)
+    ingest_resume_parser.set_defaults(handler=_command_ingest_resume)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="synthesize or replay query traces (synth, replay)"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_synth_parser = trace_subparsers.add_parser(
+        "synth", help="synthesize a seeded Zipf-skewed query trace"
+    )
+    trace_synth_parser.add_argument("--out", required=True, help="output trace JSON file")
+    trace_synth_parser.add_argument("--length", type=int, default=100, help="number of queries")
+    trace_synth_parser.add_argument("--seed", type=int, default=20060403)
+    trace_synth_parser.add_argument("--skew", type=float, default=1.1, help="zipf exponent (weight 1/rank^skew)")
+    trace_synth_parser.add_argument(
+        "--deltas", default="default",
+        help="comma-separated δ values per query ('default' uses the backend's δ)",
+    )
+    trace_synth_parser.add_argument(
+        "--top-ks", default="default,5", dest="top_ks",
+        help="comma-separated top-k values per query ('default'/'all' means unbounded)",
+    )
+    trace_synth_parser.add_argument("--name", default=None, help="trace name (default: derived)")
+    trace_synth_parser.set_defaults(handler=_command_trace_synth)
+
+    trace_replay_parser = trace_subparsers.add_parser(
+        "replay", help="replay a trace against a snapshot or shard set"
+    )
+    trace_replay_parser.add_argument("--trace", required=True, help="trace JSON file")
+    trace_replay_parser.add_argument("--snapshot", help="snapshot file (JSON or frozen)")
+    trace_replay_parser.add_argument("--shards", help="shard-set manifest written by 'shard split'")
+    trace_replay_parser.add_argument(
+        "--single", action="store_true",
+        help="replay query-by-query through match() instead of the deduping match_many() batch path",
+    )
+    trace_replay_parser.add_argument("--json", action="store_true", help="print the full JSON report")
+    trace_replay_parser.add_argument("--workers", type=int, default=1, help="per-cluster generation workers")
+    trace_replay_parser.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="worker backend when --workers > 1",
+    )
+    trace_replay_parser.add_argument(
+        "--cache-size", type=int, default=None, dest="cache_size",
+        help="query-cache capacity override (entries; 0 disables)",
+    )
+    trace_replay_parser.set_defaults(handler=_command_trace_replay)
 
     return parser
 

@@ -99,8 +99,23 @@ class InjectedFaultError(ReproError):
     """
 
 
+class IngestError(ReproError):
+    """Raised for invalid ingestion-pipeline configuration or run state.
+
+    Covers pipeline-level failures — an unreadable run directory, a resume
+    against a manifest written by a different configuration, a merge over an
+    empty survivor set.  *Per-document* failures (a malformed DTD, a
+    structurally invalid tree) never raise this class: they are quarantined
+    with a typed reason record and the run continues.
+    """
+
+
 class WorkloadError(ReproError):
     """Raised when a synthetic workload cannot be generated as requested."""
+
+
+class TraceError(WorkloadError):
+    """Raised when a query-trace file is missing, malformed or unreplayable."""
 
 
 class ExperimentError(ReproError):

@@ -1,0 +1,33 @@
+"""Real-corpus ingestion: staged, resumable, quarantining, frozen-output.
+
+The pipeline (:class:`IngestPipeline`) turns raw schema documents from
+pluggable sources into one frozen :mod:`repro.storage` snapshot through five
+checkpointed stages (fetch, parse, validate, dedupe, merge).  A killed run
+resumes mid-stage and still produces byte-identical output; malformed
+documents are quarantined with typed reason records instead of aborting the
+run.  See ``docs/ARCHITECTURE.md`` ("Ingestion pipeline") for the layout of a
+run directory.
+"""
+
+from repro.ingest.checkpoint import STAGES, CheckpointStore, encode_doc_id
+from repro.ingest.pipeline import IngestConfig, IngestPipeline
+from repro.ingest.sources import (
+    ArchiveSource,
+    BundledCorpusSource,
+    CorpusSource,
+    DirectorySource,
+    SourceDocument,
+)
+
+__all__ = [
+    "STAGES",
+    "ArchiveSource",
+    "BundledCorpusSource",
+    "CheckpointStore",
+    "CorpusSource",
+    "DirectorySource",
+    "IngestConfig",
+    "IngestPipeline",
+    "SourceDocument",
+    "encode_doc_id",
+]

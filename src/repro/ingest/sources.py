@@ -1,0 +1,173 @@
+"""Pluggable corpus sources for the ingestion pipeline.
+
+A *source* enumerates raw schema documents — bytes, not parsed trees — in a
+deterministic order.  The fetch stage copies those bytes into the run
+directory and records a checkpoint, so every later stage (and every resumed
+run) reads from the run directory instead of going back to the source.  Three
+shapes cover the corpora the pipeline meets:
+
+* :class:`DirectorySource` — ``.dtd`` / ``.xsd`` files under a local
+  directory tree (the shape of a web-crawl landing area), ordered by relative
+  POSIX path;
+* :class:`ArchiveSource` — the same files inside a ``.zip`` or ``.tar[.gz]``
+  archive, ordered by member name, read without extracting to disk;
+* :class:`BundledCorpusSource` — the hand-written documents of
+  :mod:`repro.workload.corpus`, ordered by document name.
+
+Document ids are ``<source-label>/<relative-name>``: stable across runs (the
+pipeline's byte-identity guarantee starts here), unique across sources (the
+label disambiguates), and carried through checkpoints, quarantine records and
+the final merge order.
+"""
+
+from __future__ import annotations
+
+import tarfile
+import zipfile
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Protocol, runtime_checkable
+
+from repro.errors import IngestError
+
+#: File suffixes the pipeline recognizes, mapped to the parser format name.
+SCHEMA_SUFFIXES = {".dtd": "dtd", ".xsd": "xsd"}
+
+
+class SourceDocument(NamedTuple):
+    """One raw document as a source hands it to the fetch stage.
+
+    ``doc_id`` is the stable identity (``<source-label>/<relative-name>``);
+    ``format`` is ``"dtd"`` or ``"xsd"``; ``payload`` is the raw bytes
+    (decoding is the parse stage's job — a mis-encoded file must reach the
+    quarantine, not kill enumeration); ``origin`` names where the bytes came
+    from, for quarantine records and status output.
+    """
+
+    doc_id: str
+    format: str
+    payload: bytes
+    origin: str
+
+
+@runtime_checkable
+class CorpusSource(Protocol):
+    """The surface a fetch-stage source implements."""
+
+    label: str
+
+    def documents(self) -> Iterator[SourceDocument]: ...
+
+
+def _format_for(name: str) -> str | None:
+    suffix = Path(name).suffix.lower()
+    return SCHEMA_SUFFIXES.get(suffix)
+
+
+def _source_label(label: str) -> str:
+    if not label or "/" in label:
+        raise IngestError(f"source label {label!r} must be non-empty and slash-free")
+    return label
+
+
+class DirectorySource:
+    """Every ``.dtd``/``.xsd`` file under a directory tree, sorted by path."""
+
+    def __init__(self, directory: str | Path, label: str | None = None) -> None:
+        self.directory = Path(directory)
+        self.label = _source_label(label or self.directory.name or "dir")
+
+    def documents(self) -> Iterator[SourceDocument]:
+        if not self.directory.is_dir():
+            raise IngestError(f"source directory {self.directory} does not exist")
+        entries: List[tuple[str, Path, str]] = []
+        for path in self.directory.rglob("*"):
+            if not path.is_file():
+                continue
+            format_name = _format_for(path.name)
+            if format_name is None:
+                continue
+            entries.append((path.relative_to(self.directory).as_posix(), path, format_name))
+        for relative, path, format_name in sorted(entries):
+            try:
+                payload = path.read_bytes()
+            except OSError as exc:
+                raise IngestError(f"cannot read source document {path}: {exc}") from exc
+            yield SourceDocument(
+                doc_id=f"{self.label}/{relative}",
+                format=format_name,
+                payload=payload,
+                origin=str(path),
+            )
+
+
+class ArchiveSource:
+    """Every ``.dtd``/``.xsd`` member of a zip or tar archive, sorted by name."""
+
+    def __init__(self, archive: str | Path, label: str | None = None) -> None:
+        self.archive = Path(archive)
+        self.label = _source_label(label or self.archive.stem.replace("/", "-") or "archive")
+
+    def documents(self) -> Iterator[SourceDocument]:
+        if not self.archive.is_file():
+            raise IngestError(f"source archive {self.archive} does not exist")
+        if zipfile.is_zipfile(self.archive):
+            yield from self._zip_documents()
+        elif tarfile.is_tarfile(self.archive):
+            yield from self._tar_documents()
+        else:
+            raise IngestError(f"{self.archive} is neither a zip nor a tar archive")
+
+    def _zip_documents(self) -> Iterator[SourceDocument]:
+        with zipfile.ZipFile(self.archive) as archive:
+            members = [
+                info.filename
+                for info in archive.infolist()
+                if not info.is_dir() and _format_for(info.filename) is not None
+            ]
+            for member in sorted(members):
+                yield SourceDocument(
+                    doc_id=f"{self.label}/{member}",
+                    format=_format_for(member) or "",
+                    payload=archive.read(member),
+                    origin=f"{self.archive}!{member}",
+                )
+
+    def _tar_documents(self) -> Iterator[SourceDocument]:
+        with tarfile.open(self.archive) as archive:
+            members = {
+                member.name: member
+                for member in archive.getmembers()
+                if member.isfile() and _format_for(member.name) is not None
+            }
+            for name in sorted(members):
+                stream = archive.extractfile(members[name])
+                if stream is None:  # pragma: no cover - isfile() filtered already
+                    continue
+                with stream:
+                    payload = stream.read()
+                yield SourceDocument(
+                    doc_id=f"{self.label}/{name}",
+                    format=_format_for(name) or "",
+                    payload=payload,
+                    origin=f"{self.archive}!{name}",
+                )
+
+
+class BundledCorpusSource:
+    """The hand-written corpus bundled with :mod:`repro.workload.corpus`."""
+
+    def __init__(self, label: str = "bundled") -> None:
+        self.label = _source_label(label)
+
+    def documents(self) -> Iterator[SourceDocument]:
+        from repro.workload.corpus import bundled_corpus_documents
+
+        documents = bundled_corpus_documents()
+        for name in sorted(documents):
+            format_name, text = documents[name]
+            yield SourceDocument(
+                doc_id=f"{self.label}/{name}.{format_name}",
+                format=format_name,
+                payload=text.encode("utf-8"),
+                origin=f"repro.workload.corpus:{name}",
+            )

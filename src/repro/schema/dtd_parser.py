@@ -161,6 +161,19 @@ def parse_dtd(text: str, schema_name: str = "dtd", max_depth: int = 12) -> List[
 
 
 def parse_dtd_file(path: str | Path, max_depth: int = 12) -> List[SchemaTree]:
-    """Parse a DTD file into schema trees."""
+    """Parse a DTD file into schema trees.
+
+    Every failure mode — unreadable file, non-UTF-8 bytes, a document that
+    declares no elements — surfaces as :class:`SchemaParseError` naming the
+    file, never a leaked ``OSError``/``UnicodeDecodeError``: the ingestion
+    pipeline's quarantine catches parse errors by type and records their
+    reason, so the parser must own its whole error surface.
+    """
     path = Path(path)
-    return parse_dtd(path.read_text(encoding="utf-8"), schema_name=path.stem, max_depth=max_depth)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SchemaParseError(f"cannot read DTD file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise SchemaParseError(f"DTD file {path} is not valid UTF-8: {exc}") from exc
+    return parse_dtd(text, schema_name=path.stem, max_depth=max_depth)

@@ -81,9 +81,13 @@ class XsdParser:
         self.max_depth = max_depth
 
     def parse(self, text: str, schema_name: str = "xsd") -> List[SchemaTree]:
+        # ``ValueError`` covers expat's non-ParseError rejections — most
+        # notably a str payload carrying an ``encoding=`` declaration — so
+        # callers (the ingestion quarantine in particular) can rely on every
+        # malformed document raising the one typed SchemaParseError.
         try:
             root = ET.fromstring(text)
-        except ET.ParseError as exc:
+        except (ET.ParseError, ValueError) as exc:
             raise SchemaParseError(f"invalid XML in schema {schema_name!r}: {exc}") from exc
         document = _XsdDocument(root)
         if not document.global_elements:
@@ -230,6 +234,17 @@ def parse_xsd(text: str, schema_name: str = "xsd", max_depth: int = 12) -> List[
 
 
 def parse_xsd_file(path: str | Path, max_depth: int = 12) -> List[SchemaTree]:
-    """Parse an XSD file into schema trees."""
+    """Parse an XSD file into schema trees.
+
+    Mirrors :func:`repro.schema.dtd_parser.parse_dtd_file`: unreadable files
+    and non-UTF-8 bytes raise :class:`SchemaParseError` naming the file, so
+    callers catch one typed error for the entire parse surface.
+    """
     path = Path(path)
-    return parse_xsd(path.read_text(encoding="utf-8"), schema_name=path.stem, max_depth=max_depth)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SchemaParseError(f"cannot read XSD file {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise SchemaParseError(f"XSD file {path} is not valid UTF-8: {exc}") from exc
+    return parse_xsd(text, schema_name=path.stem, max_depth=max_depth)

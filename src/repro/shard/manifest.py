@@ -36,7 +36,7 @@ from repro.shard.router import ShardRouter, make_router
 from repro.resilience.fanout import ResiliencePolicy
 from repro.shard.service import ShardedMatchingService, copy_tree
 from repro.utils.executor import TaskExecutor
-from repro.utils.fileio import write_text_atomic
+from repro.utils.fileio import write_json_atomic
 
 MANIFEST_FORMAT = "bellflower-shard-manifest"
 MANIFEST_VERSION = 1
@@ -131,9 +131,7 @@ def write_shard_set(
         "assignment": service.assignment,
         "shards": shards_entry,
     }
-    write_text_atomic(
-        target / manifest_name, json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-    )
+    write_json_atomic(target / manifest_name, manifest)
     return manifest
 
 

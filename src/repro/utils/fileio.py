@@ -9,14 +9,33 @@ file intact; readers never observe a truncated document.
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Any
 
 
 def write_text_atomic(path: str | Path, text: str, encoding: str = "utf-8") -> None:
     """Atomically replace ``path`` with ``text`` (temp file + rename)."""
     write_bytes_atomic(path, text.encode(encoding))
+
+
+def write_json_atomic(
+    path: str | Path, document: Any, *, indent: int | None = 2, sort_keys: bool = True
+) -> None:
+    """Atomically replace ``path`` with ``document`` rendered as JSON.
+
+    One canonical rendering (sorted keys, trailing newline, UTF-8) for every
+    JSON artifact the library persists — shard manifests, ingest checkpoints,
+    trace files, analysis reports — so byte-identity comparisons between two
+    runs compare *content*, never incidental formatting.  Delegates to
+    :func:`write_bytes_atomic` for the temp-file + rename crash contract.
+    """
+    write_bytes_atomic(
+        path,
+        (json.dumps(document, indent=indent, sort_keys=sort_keys) + "\n").encode("utf-8"),
+    )
 
 
 def write_bytes_atomic(path: str | Path, payload: bytes) -> None:

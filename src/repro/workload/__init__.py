@@ -22,6 +22,15 @@ from repro.workload.personal import (
 )
 from repro.workload.corpus import bundled_corpus_documents, load_bundled_corpus
 from repro.workload.sampling import sample_repository
+from repro.workload.trace import (
+    QueryTrace,
+    TraceQuery,
+    load_trace,
+    replay_trace,
+    save_trace,
+    synthesize_zipf_trace,
+    trace_from_schemas,
+)
 
 __all__ = [
     "DOMAINS",
@@ -37,5 +46,12 @@ __all__ = [
     "paper_personal_schema",
     "publication_personal_schema",
     "purchase_personal_schema",
+    "QueryTrace",
+    "TraceQuery",
+    "load_trace",
+    "replay_trace",
     "sample_repository",
+    "save_trace",
+    "synthesize_zipf_trace",
+    "trace_from_schemas",
 ]

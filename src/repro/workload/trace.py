@@ -1,0 +1,290 @@
+"""Recorded and synthesized query traces, replayable against any backend.
+
+A *query trace* is a serialized stream of personal-schema queries with their
+options — the workload side of the ingestion story.  Traces are plain JSON
+(``bellflower-query-trace`` v1) so they can be recorded once and replayed
+forever, and every query embeds its full schema (via
+:func:`~repro.schema.serialization.tree_to_dict`) so a trace is self-contained:
+replaying needs no access to whatever produced it.
+
+Two ways to obtain one:
+
+* **record** an explicit schema stream with :func:`trace_from_schemas`;
+* **synthesize** a Zipf-skewed stream with :func:`synthesize_zipf_trace` —
+  queries are drawn from a deterministic pool (the experiment's personal
+  schemas plus small per-domain schemas built from the
+  :data:`~repro.workload.vocabulary.DOMAINS` vocabulary) with weight
+  ``1/rank^skew``, the classic shape of real query logs where a few hot
+  queries dominate.  Synthesis is a pure function of ``(parameters, seed)``.
+
+:func:`replay_trace` runs a trace against any :class:`~repro.api.Matcher`
+backend and reduces each result to a digest of its
+:meth:`~repro.system.results.MatchResult.ranking_key` — the repo's one
+canonical bit-identity of a ranking.  Equal replay digests across backends
+(unsharded service, sharded service, frozen snapshot) therefore mean equal
+rankings, score bits included; ``benchmarks/bench_ingest.py`` gates on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.schema.serialization import tree_from_dict, tree_to_dict
+from repro.schema.tree import SchemaTree
+from repro.utils.fileio import write_json_atomic
+from repro.utils.rng import SeededRandom
+from repro.workload.personal import (
+    book_personal_schema,
+    contact_personal_schema,
+    paper_personal_schema,
+    publication_personal_schema,
+    purchase_personal_schema,
+)
+from repro.workload.vocabulary import DOMAINS
+
+TRACE_FORMAT = "bellflower-query-trace"
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceQuery:
+    """One query of a trace: a serialized personal schema plus its options.
+
+    ``delta``/``top_k`` of ``None`` mean "use the backend's default", matching
+    the legacy ``match`` signature, so a trace can exercise both explicit and
+    default options.
+    """
+
+    schema: Dict[str, Any]
+    delta: Optional[float] = None
+    top_k: Optional[int] = None
+
+    def build_schema(self) -> SchemaTree:
+        return tree_from_dict(self.schema)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"schema": self.schema, "delta": self.delta, "top_k": self.top_k}
+
+
+@dataclass
+class QueryTrace:
+    """A named, optionally seeded stream of :class:`TraceQuery` entries."""
+
+    name: str
+    queries: List[TraceQuery]
+    seed: Optional[int] = None
+    #: Synthesis parameters, recorded for provenance (empty for recorded traces).
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise TraceError(f"trace {self.name!r} contains no queries")
+
+    def unique_query_count(self) -> int:
+        """Distinct (schema, options) combinations — the dedup ceiling."""
+        keys = {
+            (json.dumps(query.schema, sort_keys=True), query.delta, query.top_k)
+            for query in self.queries
+        }
+        return len(keys)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "parameters": self.parameters,
+            "queries": [query.to_dict() for query in self.queries],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "QueryTrace":
+        if not isinstance(payload, dict) or payload.get("format") != TRACE_FORMAT:
+            raise TraceError("not a bellflower-query-trace document")
+        if payload.get("version") != TRACE_VERSION:
+            raise TraceError(f"unsupported trace version {payload.get('version')!r}")
+        raw_queries = payload.get("queries")
+        if not isinstance(raw_queries, list) or not raw_queries:
+            raise TraceError("trace document contains no queries")
+        queries = []
+        for index, entry in enumerate(raw_queries):
+            if not isinstance(entry, dict) or not isinstance(entry.get("schema"), dict):
+                raise TraceError(f"trace query #{index} has no schema document")
+            queries.append(
+                TraceQuery(
+                    schema=entry["schema"],
+                    delta=entry.get("delta"),
+                    top_k=entry.get("top_k"),
+                )
+            )
+        return cls(
+            name=str(payload.get("name", "trace")),
+            queries=queries,
+            seed=payload.get("seed"),
+            parameters=dict(payload.get("parameters", {})),
+        )
+
+
+def save_trace(trace: QueryTrace, path: str | Path) -> None:
+    """Persist a trace atomically (one canonical JSON rendering)."""
+    write_json_atomic(path, trace.to_dict())
+
+
+def load_trace(path: str | Path) -> QueryTrace:
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace file {path} is not valid JSON: {exc}") from exc
+    return QueryTrace.from_dict(payload)
+
+
+def trace_from_schemas(
+    name: str,
+    schemas: Sequence[SchemaTree],
+    *,
+    delta: Optional[float] = None,
+    top_k: Optional[int] = None,
+) -> QueryTrace:
+    """Record an explicit schema stream as a trace (uniform options)."""
+    if not schemas:
+        raise TraceError(f"trace {name!r} needs at least one schema")
+    return QueryTrace(
+        name=name,
+        queries=[
+            TraceQuery(schema=tree_to_dict(schema), delta=delta, top_k=top_k)
+            for schema in schemas
+        ],
+    )
+
+
+# -- synthesis ----------------------------------------------------------------
+
+
+def _domain_schema(rng: SeededRandom, domain_name: str, roots, containers, leaves) -> SchemaTree:
+    """A small personal schema drawn from one domain's vocabulary."""
+    from repro.schema.builder import TreeBuilder
+
+    builder = TreeBuilder(f"trace-{domain_name}")
+    root = builder.root(rng.choice(list(roots)))
+    container = builder.child(root, rng.choice(list(containers)))
+    for leaf in rng.sample(list(leaves), k=min(3, len(leaves))):
+        builder.child(container, leaf, datatype="string")
+    return builder.build()
+
+
+def query_pool(seed: int) -> List[SchemaTree]:
+    """The deterministic schema pool Zipf synthesis draws from.
+
+    Rank order (which the Zipf skew turns into popularity) is: the five
+    experiment personal schemas first, then one schema per vocabulary domain.
+    Every schema is a pure function of ``seed``.
+    """
+    pool: List[SchemaTree] = [
+        paper_personal_schema(),
+        contact_personal_schema(),
+        book_personal_schema(),
+        publication_personal_schema(),
+        purchase_personal_schema(),
+    ]
+    base = SeededRandom(seed)
+    for domain in DOMAINS:
+        rng = base.spawn("trace-domain", domain.name)
+        pool.append(_domain_schema(rng, domain.name, domain.roots, domain.containers, domain.leaves))
+    return pool
+
+
+def synthesize_zipf_trace(
+    length: int,
+    seed: int,
+    *,
+    name: Optional[str] = None,
+    skew: float = 1.1,
+    deltas: Sequence[Optional[float]] = (None,),
+    top_ks: Sequence[Optional[int]] = (None, 5),
+) -> QueryTrace:
+    """Synthesize a Zipf-skewed query stream — a pure function of its arguments.
+
+    Query ``i`` draws a pool schema with probability proportional to
+    ``1/rank^skew`` and options uniformly from ``deltas`` × ``top_ks``.  The
+    resulting duplicate density is what makes ``match_many``'s fingerprint
+    dedup measurable during replay.
+    """
+    if length < 1:
+        raise TraceError("trace length must be at least 1")
+    if skew <= 0:
+        raise TraceError("zipf skew must be positive")
+    if not deltas or not top_ks:
+        raise TraceError("deltas and top_ks must be non-empty")
+    pool = query_pool(seed)
+    weights = [1.0 / (rank**skew) for rank in range(1, len(pool) + 1)]
+    rng = SeededRandom(seed).spawn("zipf-trace", length, skew)
+    indexes = rng.choices(range(len(pool)), weights=weights, k=length)
+    queries = [
+        TraceQuery(
+            schema=tree_to_dict(pool[index]),
+            delta=rng.choice(list(deltas)),
+            top_k=rng.choice(list(top_ks)),
+        )
+        for index in indexes
+    ]
+    return QueryTrace(
+        name=name or f"zipf-s{skew}-n{length}-seed{seed}",
+        queries=queries,
+        seed=seed,
+        parameters={"kind": "zipf", "length": length, "skew": skew, "pool": len(pool)},
+    )
+
+
+# -- replay -------------------------------------------------------------------
+
+
+def ranking_digest(result: Any) -> str:
+    """The digest of one result's canonical ranking (exact score bits)."""
+    return hashlib.sha256(repr(result.ranking_key()).encode("utf-8")).hexdigest()
+
+
+def replay_trace(trace: QueryTrace, backend: Any, *, use_match_many: bool = True) -> Dict[str, Any]:
+    """Replay a trace against a backend; return the per-query ranking digests.
+
+    Queries are grouped by ``(delta, top_k)`` in first-appearance order and
+    each group goes through ``match_many`` (the batch path with fingerprint
+    dedup) unless ``use_match_many`` is False, in which case every query runs
+    individually — the contrast the ingestion benchmark times.  Digests are
+    reported in original trace order either way, so the two modes (and any
+    two backends) are comparable entry by entry.
+    """
+    groups: Dict[Tuple[Optional[float], Optional[int]], List[int]] = {}
+    for index, query in enumerate(trace.queries):
+        groups.setdefault((query.delta, query.top_k), []).append(index)
+    digests: List[Optional[str]] = [None] * len(trace.queries)
+    partial = degraded = 0
+    for (delta, top_k), indexes in groups.items():
+        schemas = [trace.queries[index].build_schema() for index in indexes]
+        if use_match_many:
+            results = backend.match_many(schemas, delta=delta, top_k=top_k)
+        else:
+            results = [backend.match(schema, delta=delta, top_k=top_k) for schema in schemas]
+        for index, result in zip(indexes, results):
+            digests[index] = ranking_digest(result)
+            partial += bool(getattr(result, "partial", False))
+            degraded += bool(getattr(result, "degraded", False))
+    assert all(digest is not None for digest in digests)
+    return {
+        "trace": trace.name,
+        "queries": len(trace.queries),
+        "unique_queries": trace.unique_query_count(),
+        "option_groups": len(groups),
+        "partial": partial,
+        "degraded": degraded,
+        "query_digests": digests,
+        "ranking_digest": hashlib.sha256("\n".join(digests).encode("utf-8")).hexdigest(),  # type: ignore[arg-type]
+    }

@@ -1,0 +1,94 @@
+"""Corpus sources: deterministic enumeration, stable ids, typed errors."""
+
+from __future__ import annotations
+
+import tarfile
+import zipfile
+
+import pytest
+
+from repro.errors import IngestError
+from repro.ingest import ArchiveSource, BundledCorpusSource, CorpusSource, DirectorySource
+
+GOOD_DTD = "<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>"
+GOOD_XSD = (
+    "<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>"
+    "<xs:element name='order' type='xs:string'/></xs:schema>"
+)
+
+
+class TestDirectorySource:
+    def test_enumerates_sorted_with_stable_ids(self, tmp_path):
+        (tmp_path / "nested").mkdir()
+        (tmp_path / "zeta.dtd").write_text(GOOD_DTD)
+        (tmp_path / "nested" / "alpha.xsd").write_text(GOOD_XSD)
+        (tmp_path / "ignored.txt").write_text("not a schema")
+        source = DirectorySource(tmp_path, label="web")
+        documents = list(source.documents())
+        assert [doc.doc_id for doc in documents] == ["web/nested/alpha.xsd", "web/zeta.dtd"]
+        assert [doc.format for doc in documents] == ["xsd", "dtd"]
+        assert documents[1].payload == GOOD_DTD.encode("utf-8")
+
+    def test_two_walks_are_identical(self, tmp_path):
+        for name in ("b.dtd", "a.dtd", "c.xsd"):
+            (tmp_path / name).write_text(GOOD_DTD if name.endswith("dtd") else GOOD_XSD)
+        source = DirectorySource(tmp_path)
+        assert list(source.documents()) == list(source.documents())
+
+    def test_missing_directory_is_typed(self, tmp_path):
+        with pytest.raises(IngestError, match="does not exist"):
+            list(DirectorySource(tmp_path / "nope").documents())
+
+    def test_label_with_slash_is_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="slash-free"):
+            DirectorySource(tmp_path, label="a/b")
+
+    def test_satisfies_the_source_protocol(self, tmp_path):
+        assert isinstance(DirectorySource(tmp_path), CorpusSource)
+
+
+class TestArchiveSource:
+    def test_zip_members_sorted(self, tmp_path):
+        archive = tmp_path / "corpus.zip"
+        with zipfile.ZipFile(archive, "w") as handle:
+            handle.writestr("z.dtd", GOOD_DTD)
+            handle.writestr("a.xsd", GOOD_XSD)
+            handle.writestr("readme.md", "skip me")
+        documents = list(ArchiveSource(archive).documents())
+        assert [doc.doc_id for doc in documents] == ["corpus/a.xsd", "corpus/z.dtd"]
+        assert documents[1].payload == GOOD_DTD.encode("utf-8")
+
+    def test_tar_members_sorted(self, tmp_path):
+        import io
+
+        archive = tmp_path / "corpus.tar.gz"
+        with tarfile.open(archive, "w:gz") as handle:
+            for name, text in (("deep/z.dtd", GOOD_DTD), ("a.xsd", GOOD_XSD)):
+                payload = text.encode("utf-8")
+                info = tarfile.TarInfo(name)
+                info.size = len(payload)
+                handle.addfile(info, io.BytesIO(payload))
+        documents = list(ArchiveSource(archive, label="tar").documents())
+        assert [doc.doc_id for doc in documents] == ["tar/a.xsd", "tar/deep/z.dtd"]
+
+    def test_not_an_archive_is_typed(self, tmp_path):
+        bogus = tmp_path / "plain.bin"
+        bogus.write_bytes(b"neither zip nor tar")
+        with pytest.raises(IngestError, match="neither a zip nor a tar"):
+            list(ArchiveSource(bogus).documents())
+
+    def test_missing_archive_is_typed(self, tmp_path):
+        with pytest.raises(IngestError, match="does not exist"):
+            list(ArchiveSource(tmp_path / "nope.zip").documents())
+
+
+class TestBundledCorpusSource:
+    def test_covers_the_bundled_corpus_in_name_order(self):
+        from repro.workload.corpus import bundled_corpus_documents
+
+        documents = list(BundledCorpusSource().documents())
+        assert [doc.doc_id for doc in documents] == [
+            f"bundled/{name}.{fmt}"
+            for name, (fmt, _) in sorted(bundled_corpus_documents().items())
+        ]
+        assert all(doc.origin.startswith("repro.workload.corpus:") for doc in documents)

@@ -1,0 +1,94 @@
+"""The parsers' typed error surface: every failure is a SchemaParseError.
+
+The ingestion quarantine catches parse failures *by type* and records the
+exception class as the quarantine reason, so the DTD/XSD parsers may never
+leak ``xml.etree`` internals, ``OSError`` or ``UnicodeDecodeError`` — each
+golden malformed fixture below must surface as :class:`SchemaParseError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaParseError
+from repro.schema.dtd_parser import parse_dtd, parse_dtd_file
+from repro.schema.xsd_parser import parse_xsd, parse_xsd_file
+
+#: Golden malformed documents: (id, format, text, message fragment).
+MALFORMED_FIXTURES = [
+    ("dtd-empty", "dtd", "", "declares no elements"),
+    ("dtd-comment-only", "dtd", "<!-- nothing declared -->", "declares no elements"),
+    (
+        "xsd-unclosed-tag",
+        "xsd",
+        "<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'><unclosed>",
+        "invalid XML",
+    ),
+    ("xsd-not-xml", "xsd", "this is not XML at all", "invalid XML"),
+    (
+        "xsd-wrong-root",
+        "xsd",
+        "<catalog><book/></catalog>",
+        "expected an xs:schema document",
+    ),
+    (
+        "xsd-no-global-elements",
+        "xsd",
+        "<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'>"
+        "<xs:complexType name='orphan'/></xs:schema>",
+        "declares no global elements",
+    ),
+]
+
+
+class TestMalformedDocuments:
+    @pytest.mark.parametrize(
+        "format_name, text, fragment",
+        [(f, t, m) for _, f, t, m in MALFORMED_FIXTURES],
+        ids=[fixture_id for fixture_id, _, _, _ in MALFORMED_FIXTURES],
+    )
+    def test_malformed_text_raises_schema_parse_error(self, format_name, text, fragment):
+        parse = parse_dtd if format_name == "dtd" else parse_xsd
+        with pytest.raises(SchemaParseError, match=fragment):
+            parse(text, schema_name="fixture")
+
+    def test_expat_value_errors_fold_into_schema_parse_error(self, monkeypatch):
+        # Some expat builds reject str payloads with a ValueError instead of a
+        # ParseError (e.g. on encoding declarations); the parser must fold
+        # both into its one typed error.
+        import xml.etree.ElementTree as ET
+
+        import repro.schema.xsd_parser as xsd_parser
+
+        def reject(text):
+            raise ValueError("encoding declaration not supported")
+
+        monkeypatch.setattr(xsd_parser.ET, "fromstring", reject)
+        with pytest.raises(SchemaParseError, match="invalid XML"):
+            parse_xsd("<irrelevant/>", schema_name="fixture")
+
+
+class TestFileErrorSurface:
+    @pytest.mark.parametrize("parse_file", [parse_dtd_file, parse_xsd_file])
+    def test_missing_file_raises_schema_parse_error(self, tmp_path, parse_file):
+        with pytest.raises(SchemaParseError, match="cannot read"):
+            parse_file(tmp_path / "does-not-exist.dtd")
+
+    @pytest.mark.parametrize(
+        "suffix, parse_file", [(".dtd", parse_dtd_file), (".xsd", parse_xsd_file)]
+    )
+    def test_non_utf8_bytes_raise_schema_parse_error(self, tmp_path, suffix, parse_file):
+        path = tmp_path / f"latin1{suffix}"
+        path.write_bytes("<!ELEMENT caf\xe9 (#PCDATA)>".encode("latin-1"))
+        with pytest.raises(SchemaParseError, match="not valid UTF-8"):
+            parse_file(path)
+
+    def test_directory_raises_schema_parse_error(self, tmp_path):
+        with pytest.raises(SchemaParseError, match="cannot read"):
+            parse_dtd_file(tmp_path)
+
+    def test_bad_max_depth_is_typed(self):
+        with pytest.raises(SchemaParseError, match="max_depth"):
+            parse_dtd("<!ELEMENT a (#PCDATA)>", max_depth=0)
+        with pytest.raises(SchemaParseError, match="max_depth"):
+            parse_xsd("<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'/>", max_depth=0)

@@ -382,3 +382,97 @@ class TestShardCommands:
         assert stats["shards"] == 3
         assert len(stats["per_shard"]) == 3
         assert stats["trees_added"] == 1
+
+
+class TestIngestCommands:
+    @pytest.fixture
+    def corpus_dir(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        corpus.mkdir()
+        (corpus / "good.dtd").write_text("<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>")
+        (corpus / "bad.xsd").write_text(
+            "<xs:schema xmlns:xs='http://www.w3.org/2001/XMLSchema'><unclosed>"
+        )
+        return corpus
+
+    def test_run_status_resume_roundtrip(self, tmp_path, corpus_dir, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(
+            ["ingest", "run", "--run-dir", run_dir, "--bundled",
+             "--source-dir", str(corpus_dir), "--stop-after", "dedupe"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merge     pending" in out
+        assert "bad.xsd" in out
+
+        assert main(["ingest", "status", "--run-dir", run_dir]) == 0
+        assert "snapshot: not yet written" in capsys.readouterr().out
+
+        assert main(
+            ["ingest", "resume", "--run-dir", run_dir, "--bundled",
+             "--source-dir", str(corpus_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merge     complete" in out
+        assert "out.frozen" in out
+
+    def test_run_twice_is_a_clean_error(self, tmp_path, corpus_dir, capsys):
+        run_dir = str(tmp_path / "run")
+        args = ["ingest", "run", "--run-dir", run_dir, "--source-dir", str(corpus_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_status_on_a_non_run_directory_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["ingest", "status", "--run-dir", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    def test_synth_then_replay_against_ingested_snapshot(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["ingest", "run", "--run-dir", run_dir, "--bundled"]) == 0
+        trace_path = str(tmp_path / "trace.json")
+        assert main(
+            ["trace", "synth", "--out", trace_path, "--length", "12", "--seed", "7"]
+        ) == 0
+        capsys.readouterr()
+        snapshot = str(tmp_path / "run" / "out.frozen")
+        assert main(["trace", "replay", "--trace", trace_path, "--snapshot", snapshot]) == 0
+        batched = capsys.readouterr().out
+        assert main(
+            ["trace", "replay", "--trace", trace_path, "--snapshot", snapshot, "--single"]
+        ) == 0
+        single = capsys.readouterr().out
+        digest = [line for line in batched.splitlines() if "ranking digest" in line]
+        assert digest and digest == [
+            line for line in single.splitlines() if "ranking digest" in line
+        ]
+
+    def test_replay_json_report(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["ingest", "run", "--run-dir", run_dir, "--bundled"]) == 0
+        trace_path = str(tmp_path / "trace.json")
+        assert main(["trace", "synth", "--out", trace_path, "--length", "6", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["trace", "replay", "--trace", trace_path,
+             "--snapshot", str(tmp_path / "run" / "out.frozen"), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"] == 6
+        assert len(report["query_digests"]) == 6
+
+    def test_replay_missing_trace_is_a_clean_error(self, tmp_path, capsys):
+        assert main(
+            ["trace", "replay", "--trace", str(tmp_path / "nope.json"),
+             "--snapshot", str(tmp_path / "nope.frozen")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_synth_rejects_bad_option_lists(self, tmp_path, capsys):
+        assert main(
+            ["trace", "synth", "--out", str(tmp_path / "t.json"), "--deltas", "abc"]
+        ) == 2
+        assert "must be numbers" in capsys.readouterr().err

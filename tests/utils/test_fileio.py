@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import os
 
+import json
+
 import pytest
 
-from repro.utils.fileio import write_text_atomic
+from repro.utils.fileio import write_json_atomic, write_text_atomic
 
 
 class TestWriteTextAtomic:
@@ -34,4 +36,35 @@ class TestWriteTextAtomic:
         with pytest.raises(OSError):
             write_text_atomic(target, "bad")
         assert target.read_text(encoding="utf-8") == "good"
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]
+
+
+class TestWriteJsonAtomic:
+    def test_roundtrips_and_replaces(self, tmp_path):
+        target = tmp_path / "doc.json"
+        write_json_atomic(target, {"b": 1, "a": [1, 2]})
+        assert json.loads(target.read_text(encoding="utf-8")) == {"b": 1, "a": [1, 2]}
+        write_json_atomic(target, {"c": None})
+        assert json.loads(target.read_text(encoding="utf-8")) == {"c": None}
+
+    def test_one_canonical_rendering(self, tmp_path):
+        # Key order in the input must not leak into the bytes: checkpoints and
+        # manifests are compared byte-for-byte across runs.
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_json_atomic(first, {"x": 1, "a": 2})
+        write_json_atomic(second, {"a": 2, "x": 1})
+        assert first.read_bytes() == second.read_bytes()
+        assert first.read_bytes().endswith(b"\n")
+
+    def test_failed_write_preserves_old_document(self, tmp_path, monkeypatch):
+        target = tmp_path / "doc.json"
+        write_json_atomic(target, {"kept": True})
+
+        def explode(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_json_atomic(target, {"kept": False})
+        assert json.loads(target.read_text(encoding="utf-8")) == {"kept": True}
         assert sorted(p.name for p in tmp_path.iterdir()) == ["doc.json"]

@@ -1,0 +1,122 @@
+"""Query traces: seeded synthesis, roundtrips, bit-identical replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workload import RepositoryGenerator, RepositoryProfile
+from repro.workload.personal import book_personal_schema, contact_personal_schema
+from repro.workload.trace import (
+    QueryTrace,
+    load_trace,
+    replay_trace,
+    save_trace,
+    synthesize_zipf_trace,
+    trace_from_schemas,
+)
+
+
+@pytest.fixture(scope="module")
+def small_repository():
+    return RepositoryGenerator(RepositoryProfile(target_node_count=300, seed=11)).generate()
+
+
+@pytest.fixture(scope="module")
+def service(small_repository):
+    from repro.service import MatchingService
+
+    return MatchingService(small_repository, element_threshold=0.45, delta=0.7)
+
+
+class TestSynthesis:
+    def test_same_parameters_same_trace(self):
+        first = synthesize_zipf_trace(25, seed=7)
+        second = synthesize_zipf_trace(25, seed=7)
+        assert first.to_dict() == second.to_dict()
+
+    def test_different_seed_different_trace(self):
+        assert (
+            synthesize_zipf_trace(25, seed=7).to_dict()
+            != synthesize_zipf_trace(25, seed=8).to_dict()
+        )
+
+    def test_zipf_skew_produces_duplicates(self):
+        trace = synthesize_zipf_trace(60, seed=7)
+        assert trace.unique_query_count() < len(trace.queries)
+
+    def test_invalid_parameters_are_typed(self):
+        with pytest.raises(TraceError, match="length"):
+            synthesize_zipf_trace(0, seed=1)
+        with pytest.raises(TraceError, match="skew"):
+            synthesize_zipf_trace(5, seed=1, skew=0.0)
+        with pytest.raises(TraceError, match="non-empty"):
+            synthesize_zipf_trace(5, seed=1, deltas=())
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = synthesize_zipf_trace(10, seed=3)
+        save_trace(trace, tmp_path / "trace.json")
+        loaded = load_trace(tmp_path / "trace.json")
+        assert loaded.to_dict() == trace.to_dict()
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(tmp_path / "nope.json")
+
+    def test_invalid_json_is_typed(self, tmp_path):
+        (tmp_path / "bad.json").write_text("{truncated", encoding="utf-8")
+        with pytest.raises(TraceError, match="not valid JSON"):
+            load_trace(tmp_path / "bad.json")
+
+    def test_wrong_format_is_typed(self, tmp_path):
+        (tmp_path / "other.json").write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(TraceError, match="not a bellflower-query-trace"):
+            load_trace(tmp_path / "other.json")
+
+    def test_empty_trace_is_rejected(self):
+        with pytest.raises(TraceError, match="no queries"):
+            QueryTrace(name="empty", queries=[])
+
+
+class TestRecording:
+    def test_trace_from_schemas_preserves_order_and_options(self):
+        trace = trace_from_schemas(
+            "recorded", [book_personal_schema(), contact_personal_schema()], top_k=3
+        )
+        assert [query.top_k for query in trace.queries] == [3, 3]
+        assert trace.queries[0].build_schema().name == "personal-book"
+
+
+class TestReplay:
+    def test_match_many_and_single_replay_agree(self, service):
+        trace = synthesize_zipf_trace(20, seed=7)
+        batched = replay_trace(trace, service)
+        single = replay_trace(trace, service, use_match_many=False)
+        assert batched["query_digests"] == single["query_digests"]
+        assert batched["ranking_digest"] == single["ranking_digest"]
+
+    def test_sharded_backend_is_bit_identical(self, small_repository, service):
+        from repro.shard import ShardedMatchingService
+
+        trace = synthesize_zipf_trace(15, seed=7)
+        reference = replay_trace(trace, service)
+        sharded = ShardedMatchingService.from_repository(
+            small_repository, 3, element_threshold=0.45, delta=0.7
+        )
+        try:
+            report = replay_trace(trace, sharded)
+        finally:
+            sharded.close()
+        assert report["ranking_digest"] == reference["ranking_digest"]
+
+    def test_report_shape(self, service):
+        trace = synthesize_zipf_trace(12, seed=5)
+        report = replay_trace(trace, service)
+        assert report["queries"] == 12
+        assert len(report["query_digests"]) == 12
+        assert report["unique_queries"] == trace.unique_query_count()
+        assert report["partial"] == 0 and report["degraded"] == 0
